@@ -1,0 +1,45 @@
+"""E4/E5/E11 — Figures 2 and 3 and the §5.1.1 dichotomy, as measurements."""
+
+import pytest
+
+from repro.experiments.report import render_table
+from repro.experiments.structure_exp import (
+    dec1_connectivity_table,
+    figure2_report,
+    figure3_tree_report,
+)
+
+
+def test_e4_figure2_panels(benchmark, emit):
+    """Figure 2: Dec₁C, H₁, Dec_k C, H_k — all labeled properties hold."""
+    rep = benchmark.pedantic(lambda: figure2_report("strassen", 5), rounds=1, iterations=1)
+    emit(f"[E4] Figure 2 structural report (strassen, k=5):\n{rep}")
+    assert rep["dec1"]["V"] == 11
+    assert rep["dec1"]["connected"]
+    assert rep["deck"]["max_degree"] <= 6          # Fact 4.2
+    assert rep["hk"]["dec_fraction"] >= 1 / 3      # §4.1's α = 1/3
+    # Enc out-degree grows with k (the reason Dec is analyzed instead)
+    assert rep["hk"]["max_input_outdeg"] >= 5
+    assert rep["hk"]["n_mults"] == 7**5
+
+
+def test_e5_figure3_tree(benchmark, emit):
+    """Figure 3: the recursion tree T_k partitions Dec_k C correctly."""
+    rep = benchmark.pedantic(lambda: figure3_tree_report("strassen", 5), rounds=1, iterations=1)
+    emit(render_table(rep["rows"], title="[E5] recursion tree T_k levels (Fig. 3)"))
+    assert rep["partition_ok"]
+    for row in rep["rows"]:
+        assert row["n_nodes"] == row["expected_nodes"]
+        assert row["|V_u|"] == row["expected_size"]
+
+
+def test_e11_dec1_connectivity(benchmark, emit):
+    """§5.1.1: Dec₁C connectivity separates Strassen-like from classical."""
+    rows = benchmark.pedantic(dec1_connectivity_table, rounds=1, iterations=1)
+    emit(render_table(rows, title="[E11] Dec1C connectivity (critical assumption)"))
+    by_name = {r["scheme"]: r for r in rows}
+    assert by_name["strassen"]["dec1_connected"]
+    assert by_name["winograd"]["dec1_connected"]
+    assert by_name["strassen2x"]["dec1_connected"]
+    assert not by_name["classical2"]["dec1_connected"]
+    assert not by_name["classical3"]["dec1_connected"]

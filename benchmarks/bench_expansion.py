@@ -1,0 +1,55 @@
+"""E3 — Lemma 4.3: the edge expansion of Dec_k C decays as (4/7)^k.
+
+The paper's Main Lemma, measured: a certified sandwich around h(Dec_k C)
+whose upper side is a concrete cut and whose decay per level approaches
+c₀/m₀ = 4/7, plus the small-set profile behind Corollary 4.4.
+"""
+
+import pytest
+
+from repro.experiments.expansion_exp import expansion_decay, small_set_profile
+from repro.experiments.report import render_table
+
+
+def test_e3_expansion_decay_strassen(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: expansion_decay("strassen", k_max=5, spectral_upto=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_table(result["rows"], title="[E3] h(Dec_k C) sandwich (Lemma 4.3)"))
+    rows = result["rows"]
+    uppers = [r["upper"] for r in rows]
+    # strictly decaying, with per-level ratio approaching 4/7
+    assert all(uppers[i + 1] < uppers[i] for i in range(len(uppers) - 1))
+    last_ratio = uppers[-1] / uppers[-2]
+    emit(f"last decay ratio = {last_ratio:.4f} (expected -> {result['expected_decay']:.4f})")
+    benchmark.extra_info["last_decay_ratio"] = last_ratio
+    assert abs(last_ratio - result["expected_decay"]) < 0.1
+    # the normalized constant upper/(4/7)^k settles into a band
+    consts = [r["upper/(c0/m0)^k"] for r in rows[1:]]
+    assert max(consts) / min(consts) < 1.5
+    # lower bounds never exceed uppers
+    for r in rows:
+        if r["lower"] == r["lower"]:  # not NaN
+            assert r["lower"] <= r["upper"] + 1e-12
+
+
+def test_e3_expansion_decay_winograd(benchmark, emit):
+    """§5.1.2: the lemma is scheme-generic — Winograd decays identically."""
+    result = benchmark.pedantic(
+        lambda: expansion_decay("winograd", k_max=4, spectral_upto=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_table(result["rows"], title="[E3] h(Dec_k C) for Winograd"))
+    uppers = [r["upper"] for r in result["rows"]]
+    assert all(uppers[i + 1] < uppers[i] for i in range(len(uppers) - 1))
+
+
+def test_e3_small_set_cones(benchmark, emit):
+    """Corollary 4.4's engine: size-m₀^j sets with expansion ~(4/7)^j."""
+    result = benchmark.pedantic(lambda: small_set_profile("strassen", k=5), rounds=1, iterations=1)
+    emit(render_table(result["rows"], title="[E3] small-set decode cones (h_s profile)"))
+    hs = [r["h_of_cut"] for r in result["rows"]]
+    assert all(hs[i + 1] < hs[i] for i in range(len(hs) - 1))

@@ -1,0 +1,27 @@
+"""E8 — latency (footnote 8): messages ≥ bandwidth-bound / M, everywhere."""
+
+import pytest
+
+from repro.experiments.latency_exp import parallel_latency, sequential_latency
+from repro.experiments.report import render_table
+
+
+def test_e8_sequential_latency(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: sequential_latency("strassen", M=768, ns=(128, 256, 512, 1024)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_table(result["rows"], title="[E8] DF-Strassen messages vs bound/M"))
+    for row in result["rows"]:
+        assert row["measured_messages"] >= row["latency_bound"]
+    # the measured/bound ratio stays in a constant band (same exponent)
+    ratios = [r["measured/bound"] for r in result["rows"]]
+    assert max(ratios) / min(ratios) < 1.3
+
+
+def test_e8_parallel_latency(benchmark, emit):
+    result = benchmark.pedantic(lambda: parallel_latency(n=64), rounds=1, iterations=1)
+    emit(render_table(result["rows"], title="[E8] parallel message counts vs bound/M"))
+    for row in result["rows"]:
+        assert row["measured_messages"] >= row["latency_bound"]

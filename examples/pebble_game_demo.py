@@ -1,0 +1,73 @@
+"""Pebble-game demo: lower bounds meeting upper bounds on small CDAGs.
+
+Shows the full §3 chain on graphs small enough to certify end to end:
+exhaustive optimal red–blue pebbling, Belady/LRU schedule simulation, and
+the partition-argument lower bound — with the promised ordering
+``partition ≤ optimum ≤ Belady ≤ LRU`` visible in the numbers.
+
+Run:  python examples/pebble_game_demo.py
+"""
+
+from repro.cdag.classical_cdag import classical_matmul_cdag, matvec_cdag
+from repro.cdag.pebble import exhaustive_min_io, schedule_io
+from repro.cdag.schedule import (
+    bfs_topological_order,
+    dfs_topological_order,
+    random_topological_order,
+)
+from repro.core.partition import best_partition_bound
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    # Tiny graph: certify the whole chain including the true optimum.
+    g = matvec_cdag(2)
+    M = 4
+    order = dfs_topological_order(g)
+    chain = {
+        "partition_bound": best_partition_bound(g, order, M)[0],
+        "true_optimum": exhaustive_min_io(g, M),
+        "belady": schedule_io(g, order, M=M, policy="belady").total,
+        "lru": schedule_io(g, order, M=M, policy="lru").total,
+    }
+    print(f"matvec(2), M={M}:  {chain}")
+    assert (
+        chain["partition_bound"]
+        <= chain["true_optimum"]
+        <= chain["belady"]
+        <= chain["lru"]
+    )
+
+    # Larger graph: the schedule (player one of §3.2) decides the constant.
+    g = classical_matmul_cdag(5)
+    M = 12
+    rows = []
+    for name, fn in (
+        ("dfs", dfs_topological_order),
+        ("bfs", bfs_topological_order),
+        ("kahn", lambda gg: gg.topological_order),
+        ("random", lambda gg: random_topological_order(gg, seed=1)),
+    ):
+        order = fn(g)
+        io = schedule_io(g, order, M=M, policy="belady")
+        bound, seg = best_partition_bound(g, order, M)
+        rows.append(
+            {
+                "order": name,
+                "measured_io": io.total,
+                "loads": io.loads,
+                "stores": io.stores,
+                "partition_bound": bound,
+                "best_segment": seg,
+            }
+        )
+    print()
+    print(render_table(rows, title=f"classical matmul n=5 CDAG, M={M}: order matters"))
+    dfs_row = next(r for r in rows if r["order"] == "dfs")
+    bfs_row = next(r for r in rows if r["order"] == "bfs")
+    print(f"depth-first saves {1 - dfs_row['measured_io']/bfs_row['measured_io']:.0%} "
+          f"of the I/O of breadth-first — the footnote-5 phenomenon")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without network access to build-backend wheels.
+
+All metadata lives in pyproject.toml; this file only lets ``pip install -e .``
+use the legacy setuptools path when PEP-517 build isolation cannot download
+its requirements (offline CI).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — Graph expansion and communication costs of fast matrix multiplication.
+
+A full reproduction of Ballard, Demmel, Holtz & Schwartz, *Graph Expansion
+and Communication Costs of Fast Matrix Multiplication* (SPAA 2011,
+arXiv:1109.1693): the CDAG machinery and expansion analysis behind the
+paper's lower bounds, exact simulators for the sequential two-level and
+parallel α–β machines, the algorithms that attain the bounds (depth-first
+Strassen, Cannon, SUMMA, 3D, 2.5D, CAPS), and the experiment harnesses that
+regenerate every table and figure.
+
+Quick start::
+
+    from repro import dec_graph, estimate_expansion, dfs_io, sequential_io_bound
+
+    g = dec_graph("strassen", k=4)               # the Dec_k C graph of §4.1
+    est = estimate_expansion(g, "strassen", 4)   # Lemma 4.3's h = Θ((4/7)^k)
+    io = dfs_io(n=256, M=768)                    # measured words vs Theorem 1.1
+    print(io.words / sequential_io_bound(256, 768))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.cdag.graph import CDAG, VertexKind
+from repro.cdag.schemes import (
+    BilinearScheme,
+    available_schemes,
+    compose_schemes,
+    get_scheme,
+)
+from repro.cdag.strassen_cdag import HGraph, dec_graph, enc_graph, h_graph
+from repro.cdag.classical_cdag import classical_matmul_cdag, matvec_cdag
+from repro.cdag.pebble import exhaustive_min_io, schedule_io
+from repro.cdag.schedule import (
+    bfs_topological_order,
+    dfs_topological_order,
+    random_topological_order,
+)
+from repro.core.bounds import (
+    LG7,
+    latency_bound,
+    parallel_io_bound,
+    sequential_io_bound,
+    sequential_io_upper,
+    table1_rows,
+)
+from repro.core.expansion import (
+    ExpansionEstimate,
+    decode_cone_mask,
+    estimate_expansion,
+    exact_edge_expansion,
+    expansion_of_cut,
+)
+from repro.core.partition import best_partition_bound, partition_bound, segment_stats
+from repro.algorithms.strassen import bilinear_multiply, count_flops, strassen_multiply
+from repro.algorithms.io_strassen import dfs_io, dfs_io_model
+from repro.algorithms.io_classical import blocked_io, naive_io, recursive_io
+from repro.machine.cache import FastMemory
+from repro.machine.distributed import Machine, Message
+from repro.parallel.cannon import ParallelResult, cannon_multiply
+from repro.parallel.summa import summa_multiply
+from repro.parallel.threed import threed_multiply
+from repro.parallel.two5d import two5d_multiply
+from repro.parallel.caps import caps_multiply
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDAG", "VertexKind",
+    "BilinearScheme", "available_schemes", "compose_schemes", "get_scheme",
+    "HGraph", "dec_graph", "enc_graph", "h_graph",
+    "classical_matmul_cdag", "matvec_cdag",
+    "exhaustive_min_io", "schedule_io",
+    "bfs_topological_order", "dfs_topological_order", "random_topological_order",
+    "LG7", "latency_bound", "parallel_io_bound", "sequential_io_bound",
+    "sequential_io_upper", "table1_rows",
+    "ExpansionEstimate", "decode_cone_mask", "estimate_expansion",
+    "exact_edge_expansion", "expansion_of_cut",
+    "best_partition_bound", "partition_bound", "segment_stats",
+    "bilinear_multiply", "count_flops", "strassen_multiply",
+    "dfs_io", "dfs_io_model",
+    "blocked_io", "naive_io", "recursive_io",
+    "FastMemory", "Machine", "Message",
+    "ParallelResult", "cannon_multiply", "summa_multiply",
+    "threed_multiply", "two5d_multiply", "caps_multiply",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Sequential algorithms: in-core bilinear recursion and I/O-explicit variants."""
+
+from repro.algorithms.strassen import (
+    FlopCount,
+    bilinear_multiply,
+    count_flops,
+    strassen_multiply,
+)
+from repro.algorithms.io_strassen import (
+    StrassenIOReport,
+    canonical_base_size,
+    dfs_io,
+    dfs_io_model,
+)
+from repro.algorithms.io_classical import (
+    blocked_io,
+    classical_io_bound_shape,
+    naive_io,
+    recursive_io,
+)
+from repro.algorithms.nonstationary import (
+    nonstationary_flops,
+    nonstationary_io,
+    nonstationary_multiply,
+    strassen_with_cutoff_levels,
+)
+
+__all__ = [
+    "FlopCount", "bilinear_multiply", "count_flops", "strassen_multiply",
+    "StrassenIOReport", "canonical_base_size", "dfs_io", "dfs_io_model",
+    "blocked_io", "classical_io_bound_shape", "naive_io", "recursive_io",
+    "nonstationary_flops", "nonstationary_io", "nonstationary_multiply",
+    "strassen_with_cutoff_levels",
+]

@@ -1,0 +1,148 @@
+"""I/O-explicit classical matrix multiplication on the two-level machine.
+
+Three implementations with very different communication behaviour, all
+charging every word they move to a :class:`~repro.machine.cache.FastMemory`:
+
+* :func:`naive_io` — row-times-column with no blocking: Θ(n³) words.
+* :func:`blocked_io` — square tiling with ``b = √(M/3)``:
+  Θ(n³/√M) words, attaining Hong–Kung's classical lower bound.
+* :func:`recursive_io` — the cache-oblivious recursion [Frigo et al. 99]:
+  also Θ(n³/√M) *without knowing M*, the §6.2 discussion point.
+
+These are cost simulations of honest implementations: the block/recursion
+structure is executed for real (every load, store, and free happens), only
+the floating-point payload is elided since the numerics of the classical
+algorithm are not under test here.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+
+from repro.machine.cache import FastMemory
+from repro.machine.counters import IOCounter
+
+__all__ = ["naive_io", "blocked_io", "recursive_io", "classical_io_bound_shape"]
+
+_uid = count()
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}#{next(_uid)}"
+
+
+def naive_io(n: int, M: int) -> IOCounter:
+    """Row-times-column with only the current row cached.
+
+    For each output row, keep A's row resident and stream every column of B
+    past it: ``n² + n³ + n²`` words — the no-reuse baseline.
+    """
+    fm = FastMemory(M)
+    if M < 2 * n + 1:
+        raise MemoryError("naive_io needs at least two rows plus a scalar")
+    for i in range(n):
+        arow = _fresh("Arow")
+        fm.new_slow(arow, n)
+        fm.load(arow)
+        for j in range(n):
+            bcol = _fresh("Bcol")
+            fm.new_slow(bcol, n)
+            fm.load(bcol)
+            cij = _fresh("c")
+            fm.alloc_fast(cij, 1)
+            fm.store(cij)
+            fm.free(cij)
+            fm.drop(cij)
+            fm.free(bcol)
+            fm.drop(bcol)
+        fm.free(arow)
+        fm.drop(arow)
+    return fm.counter
+
+
+def blocked_io(n: int, M: int, b: int | None = None) -> IOCounter:
+    """Square-tiled classical multiplication with tile size ``b = √(M/3)``.
+
+    For each C tile: allocate it in fast memory, stream the n/b pairs of A
+    and B tiles through, write C once:  ``n² + 2·(n/b)·n² ≈ 2√3·n³/√M``.
+    """
+    if b is None:
+        b = max(int(math.isqrt(M // 3)), 1)
+    if 3 * b * b > M:
+        raise MemoryError(f"tile {b} too large for M={M}")
+    if n % b != 0:
+        raise ValueError(f"n={n} must be a multiple of the tile size b={b}")
+    fm = FastMemory(M)
+    t = n // b
+    for i in range(t):
+        for j in range(t):
+            cblk = _fresh("C")
+            fm.alloc_fast(cblk, b * b)
+            for k in range(t):
+                ablk, bblk = _fresh("A"), _fresh("B")
+                fm.new_slow(ablk, b * b)
+                fm.new_slow(bblk, b * b)
+                fm.load(ablk)
+                fm.load(bblk)
+                fm.touch_dirty(cblk)       # C += A_ik B_kj
+                fm.free(ablk)
+                fm.drop(ablk)
+                fm.free(bblk)
+                fm.drop(bblk)
+            fm.store(cblk)
+            fm.free(cblk)
+            fm.drop(cblk)
+    return fm.counter
+
+
+def recursive_io(n: int, M: int, base: int | None = None) -> IOCounter:
+    """Cache-oblivious recursive classical multiplication (C += A·B form).
+
+    Splits into quadrants and makes 8 recursive calls; a call whose three
+    operands fit in fast memory loads them, computes, and writes C back.
+    The recursion itself never consults M — only the base-case predicate
+    does, which is exactly the cache-oblivious property: the *same* code
+    is optimal for every M (§6.2's observation for matrix multiplication).
+    """
+    fm = FastMemory(M)
+    # The base predicate mimics hardware: a subproblem runs in-cache when
+    # its working set fits; the recursion does not otherwise use M or base.
+    if base is None:
+        base = max(int(math.isqrt(M // 3)), 1)
+
+    def recurse(size: int) -> None:
+        if 3 * size * size <= M and (size <= base or size % 2 != 0):
+            _base_case(fm, size)
+            return
+        if size % 2 != 0:
+            raise ValueError(f"odd size {size} above the base case")
+        half = size // 2
+        for _ in range(8):
+            recurse(half)
+
+    def _base_case(fm: FastMemory, size: int) -> None:
+        a, b_, c = _fresh("A"), _fresh("B"), _fresh("C")
+        fm.new_slow(a, size * size)
+        fm.new_slow(b_, size * size)
+        fm.new_slow(c, size * size)
+        fm.load(a)
+        fm.load(b_)
+        fm.load(c)            # C accumulates, so it is read and written
+        fm.touch_dirty(c)
+        fm.store(c)
+        for name in (a, b_, c):
+            fm.free(name)
+            fm.drop(name)
+
+    if 3 * n * n <= M:
+        _base_case(fm, n)
+    else:
+        recurse(n)
+    return fm.counter
+
+
+def classical_io_bound_shape(n: float, M: float) -> float:
+    """The classical lower-bound expression ``n³/√M`` (constant-1 form),
+    i.e. Theorem 1.3 with ω₀ = 3 — the [Hong & Kung 1981] shape."""
+    return n**3 / math.sqrt(M)

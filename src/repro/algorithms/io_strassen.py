@@ -1,0 +1,233 @@
+"""I/O-explicit depth-first Strassen-like multiplication (the Eq. 1 upper bound).
+
+This is the implementation §1.4.1 describes: run the recursion depth-first
+(footnote 5); once a subproblem's three blocks fit in fast memory, read the
+two inputs, multiply in-core, write the result.  Above the base case, the
+linear stages *stream*: each S_r / T_r / C_q combination reads its operands
+from slow memory chunk-wise and writes the result back, costing Θ((n/n₀)²)
+words per form — the ``O(n²)`` term of ``IO(n) ≤ m₀·IO(n/n₀) + O(n²)``.
+
+Generic over any registered scheme, so the same harness measures the
+ω₀-sweep of Theorem 1.3 (E2): Strassen (lg 7), hybrid4 (log₄ 56),
+classical2 (3) all run through identical code.
+
+Two engines with *identical accounting*:
+
+* :func:`dfs_io` — the full simulation against
+  :class:`~repro.machine.cache.FastMemory` (every region load/store/free
+  really happens, capacity enforced);
+* :func:`dfs_io_model` — a memoized recurrence producing bit-identical
+  counts (the recursion is uniform, so sibling subtrees cost the same);
+  used for deep sweeps where m₀^t simulation nodes would be prohibitive.
+  The test suite pins model == simulation across the overlapping range.
+
+The ``base`` parameter exposes the recursion-cutoff ablation: the canonical
+choice is the largest ``s ≤ √(M/3)`` reachable from n, and cutting deeper
+only adds streaming levels (E1's ablation quantifies the penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+
+from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.machine.cache import FastMemory
+from repro.machine.counters import IOCounter
+
+__all__ = ["dfs_io", "dfs_io_model", "StrassenIOReport", "canonical_base_size"]
+
+_uid = count()
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}#{next(_uid)}"
+
+
+@dataclass(frozen=True)
+class StrassenIOReport:
+    """Measured I/O of one depth-first run plus its bookkeeping."""
+
+    n: int
+    M: int
+    scheme: str
+    counter: IOCounter
+    base_size: int
+    n_base_multiplies: int
+
+    @property
+    def words(self) -> int:
+        return self.counter.words
+
+    @property
+    def messages(self) -> int:
+        return self.counter.messages
+
+
+def _nnz_rows(mat) -> list[int]:
+    return [int((row != 0).sum()) for row in mat]
+
+
+def canonical_base_size(n: int, M: int, n0: int) -> int:
+    """Largest recursion size whose 3 blocks fit in M, reached from n by /n₀."""
+    size = n
+    while 3 * size * size > M:
+        if size % n0 != 0:
+            raise ValueError(
+                f"n={n} cannot recurse below size {size} (not divisible by "
+                f"n0={n0}) yet 3·{size}² > M={M}"
+            )
+        size //= n0
+    if size < 1:
+        raise ValueError("M too small to hold even a 1x1 base case")
+    return size
+
+
+def _check_base(n: int, M: int, n0: int, base: int | None) -> int:
+    canonical = canonical_base_size(n, M, n0)
+    if base is None:
+        return canonical
+    if 3 * base * base > M:
+        raise ValueError(f"base {base} does not fit: 3·{base}² > M={M}")
+    # base must be reachable from n by repeated division by n0
+    size = n
+    while size > base and size % n0 == 0:
+        size //= n0
+    if size != base:
+        raise ValueError(f"base {base} not reachable from n={n} by /{n0}")
+    return base
+
+
+def dfs_io(
+    n: int,
+    M: int,
+    scheme: BilinearScheme | str = "strassen",
+    base: int | None = None,
+) -> StrassenIOReport:
+    """Depth-first Strassen-like multiplication against a FastMemory machine.
+
+    Every level above the base writes its m₀ pairs of encoded operands to
+    slow memory and reads the m₀ products back for decoding; the base case
+    holds 3 blocks resident.  Raises ``ValueError`` when n is not a power
+    of n₀ times a feasible base (no silent padding).
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    base = _check_base(n, M, scheme.n0, base)
+    fm = FastMemory(M)
+    u_nnz = _nnz_rows(scheme.U)
+    v_nnz = _nnz_rows(scheme.V)
+    w_nnz = _nnz_rows(scheme.W)
+    n_base = _dfs(fm, n, scheme, base, u_nnz, v_nnz, w_nnz)
+    return StrassenIOReport(
+        n=n, M=M, scheme=scheme.name, counter=fm.counter,
+        base_size=base, n_base_multiplies=n_base,
+    )
+
+
+def _dfs(fm, size, scheme, base, u_nnz, v_nnz, w_nnz) -> int:
+    """Recursive worker; returns the number of base multiplications done."""
+    if size <= base:
+        # Read A-block and B-block, multiply in fast memory, write C-block.
+        a, b, c = _fresh("A"), _fresh("B"), _fresh("C")
+        fm.new_slow(a, size * size)
+        fm.new_slow(b, size * size)
+        fm.load(a)
+        fm.load(b)
+        fm.alloc_fast(c, size * size)
+        fm.store(c)
+        for name in (a, b, c):
+            fm.free(name)
+            fm.drop(name)
+        return 1
+    sub = size // scheme.n0
+    sub_words = sub * sub
+    total = 0
+    for r in range(scheme.m0):
+        # S_r = Σ U[r,i]·A_i  and  T_r = Σ V[r,j]·B_j, streamed to slow.
+        fm.stream(read_sizes=[sub_words] * u_nnz[r], write_sizes=[sub_words])
+        fm.stream(read_sizes=[sub_words] * v_nnz[r], write_sizes=[sub_words])
+        total += _dfs(fm, sub, scheme, base, u_nnz, v_nnz, w_nnz)
+    for q in range(scheme.n0 * scheme.n0):
+        # C_q = Σ W[q,r]·Q_r, streamed.
+        fm.stream(read_sizes=[sub_words] * w_nnz[q], write_sizes=[sub_words])
+    return total
+
+
+def dfs_io_model(
+    n: int,
+    M: int,
+    scheme: BilinearScheme | str = "strassen",
+    base: int | None = None,
+) -> StrassenIOReport:
+    """Exact counts of :func:`dfs_io` via the uniform-recursion recurrence.
+
+    The simulation's cost at a node depends only on the subproblem size, so
+    one evaluation per distinct size suffices; this runs in O(depth) and
+    lets the experiments sweep to sizes where the tree has billions of
+    nodes.  Tests assert word- and message-exact agreement with dfs_io.
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    base = _check_base(n, M, scheme.n0, base)
+    u_nnz = _nnz_rows(scheme.U)
+    v_nnz = _nnz_rows(scheme.V)
+    w_nnz = _nnz_rows(scheme.W)
+
+    def stream_counts(size_words: int, n_reads: int, free_words: int) -> tuple[int, int, int, int]:
+        """(words_read, msgs_read, words_written, msgs_written) of one stream
+        — mirrors FastMemory.stream with chunk = free // (n_reads + 1)."""
+        chunk = max(free_words // (n_reads + 1), 1)
+        full, rem = divmod(size_words, chunk)
+        msgs_per_stream = full + (1 if rem else 0)
+        return (
+            size_words * n_reads,
+            msgs_per_stream * n_reads,
+            size_words,
+            msgs_per_stream,
+        )
+
+    cache: dict[int, tuple[int, int, int, int, int]] = {}
+
+    def go(size: int) -> tuple[int, int, int, int, int]:
+        """(wr, mr, ww, mw, base_mults) for one subproblem of this size."""
+        if size in cache:
+            return cache[size]
+        if size <= base:
+            res = (2 * size * size, 2, size * size, 1, 1)
+            cache[size] = res
+            return res
+        sub = size // scheme.n0
+        sw = sub * sub
+        wr = mr = ww = mw = mults = 0
+        sub_res = go(sub)
+        for r in range(scheme.m0):
+            for nnz in (u_nnz[r], v_nnz[r]):
+                a, b, c, d = stream_counts(sw, nnz, M)
+                wr += a
+                mr += b
+                ww += c
+                mw += d
+            wr += sub_res[0]
+            mr += sub_res[1]
+            ww += sub_res[2]
+            mw += sub_res[3]
+            mults += sub_res[4]
+        for q in range(scheme.n0 * scheme.n0):
+            a, b, c, d = stream_counts(sw, w_nnz[q], M)
+            wr += a
+            mr += b
+            ww += c
+            mw += d
+        res = (wr, mr, ww, mw, mults)
+        cache[size] = res
+        return res
+
+    wr, mr, ww, mw, mults = go(n)
+    counter = IOCounter(
+        words_read=wr, words_written=ww, messages_read=mr, messages_written=mw
+    )
+    return StrassenIOReport(
+        n=n, M=M, scheme=scheme.name, counter=counter,
+        base_size=base, n_base_multiplies=mults,
+    )

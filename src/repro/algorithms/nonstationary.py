@@ -1,0 +1,175 @@
+"""Uniform non-stationary algorithms (§5.2): a different scheme per level.
+
+The paper's second class: the recursion uses scheme ``schemes[0]`` at the
+outermost level, ``schemes[1]`` below it, and so on — uniformly across each
+level (all subproblems of a level use the same scheme).  This captures the
+practically important hybrids the paper cites ([Douglas et al. 94;
+Huss-Lederman et al. 96]): run Strassen for a few levels, then switch to
+the classical algorithm; or mix base cases to fit awkward sizes.
+
+§5.2 states the I/O lower bound generalizes to this class; here we provide
+the matching *upper-bound implementations* (in-core and I/O-explicit) and
+the arithmetic/count machinery, so the experiments can measure how the
+exponent interpolates between the constituent ω₀'s.
+
+The I/O recurrence for a level list ``[s₁, s₂, …]`` is
+
+    IO(n, [s₁, rest…]) = m₀(s₁)·IO(n/n₀(s₁), rest) + Θ((n/n₀(s₁))²)
+
+bottoming out in the 3-blocks-resident base case when the subproblem fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.io_strassen import StrassenIOReport
+from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.machine.cache import FastMemory
+from repro.machine.counters import IOCounter
+
+__all__ = [
+    "nonstationary_multiply",
+    "nonstationary_io",
+    "nonstationary_flops",
+    "strassen_with_cutoff_levels",
+]
+
+
+def _resolve(schemes) -> list[BilinearScheme]:
+    return [get_scheme(s) if isinstance(s, str) else s for s in schemes]
+
+
+def nonstationary_multiply(A: np.ndarray, B: np.ndarray, schemes) -> np.ndarray:
+    """Multiply with a per-level scheme list; classical below the last level.
+
+    ``schemes`` is a sequence of registry names / scheme objects applied
+    outermost-first.  When the list is exhausted (or the current size is
+    not divisible by the level's n₀), numpy's classical product finishes
+    the job — the "switch to classical" hybrid of §5.2.
+    """
+    schemes = _resolve(schemes)
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or A.shape != B.shape or A.shape[0] != A.shape[1]:
+        raise ValueError("A and B must be equal square matrices")
+    return _rec(A, B, schemes, 0)
+
+
+def _rec(A, B, schemes, level):
+    n = A.shape[0]
+    if level >= len(schemes) or n % schemes[level].n0 != 0:
+        return A @ B
+    s = schemes[level]
+    n0 = s.n0
+    b = n // n0
+    Ablocks = [
+        A[i * b : (i + 1) * b, j * b : (j + 1) * b]
+        for i in range(n0)
+        for j in range(n0)
+    ]
+    Bblocks = [
+        B[i * b : (i + 1) * b, j * b : (j + 1) * b]
+        for i in range(n0)
+        for j in range(n0)
+    ]
+    Cblocks = s.apply_blocked(Ablocks, Bblocks, lambda X, Y: _rec(X, Y, schemes, level + 1))
+    C = np.empty_like(A)
+    for i in range(n0):
+        for j in range(n0):
+            C[i * b : (i + 1) * b, j * b : (j + 1) * b] = Cblocks[i * n0 + j]
+    return C
+
+
+def nonstationary_io(n: int, M: int, schemes) -> StrassenIOReport:
+    """I/O of the depth-first non-stationary recursion (exact counts).
+
+    Mirrors :func:`repro.algorithms.io_strassen.dfs_io`'s accounting level
+    by level; the level list must be long enough to reach a base that fits
+    (``3·s² ≤ M``), otherwise ``ValueError``.
+    """
+    schemes = _resolve(schemes)
+    fm = FastMemory(M)
+    nnz = [
+        (
+            [int((row != 0).sum()) for row in s.U],
+            [int((row != 0).sum()) for row in s.V],
+            [int((row != 0).sum()) for row in s.W],
+        )
+        for s in schemes
+    ]
+
+    def go(size: int, level: int) -> int:
+        if 3 * size * size <= M:
+            a = f"A@{level}/{size}"
+            b = f"B@{level}/{size}"
+            c = f"C@{level}/{size}"
+            # names must be unique per call; FastMemory regions are dropped
+            # immediately so a counter suffix suffices
+            a, b, c = _unique(a), _unique(b), _unique(c)
+            fm.new_slow(a, size * size)
+            fm.new_slow(b, size * size)
+            fm.load(a)
+            fm.load(b)
+            fm.alloc_fast(c, size * size)
+            fm.store(c)
+            for name in (a, b, c):
+                fm.free(name)
+                fm.drop(name)
+            return 1
+        if level >= len(schemes):
+            raise ValueError(
+                f"scheme list exhausted at size {size} with 3·{size}² > M={M}"
+            )
+        s = schemes[level]
+        if size % s.n0 != 0:
+            raise ValueError(f"size {size} not divisible by level-{level} n0={s.n0}")
+        sub = size // s.n0
+        sw = sub * sub
+        u_nnz, v_nnz, w_nnz = nnz[level]
+        total = 0
+        for r in range(s.m0):
+            fm.stream(read_sizes=[sw] * u_nnz[r], write_sizes=[sw])
+            fm.stream(read_sizes=[sw] * v_nnz[r], write_sizes=[sw])
+            total += go(sub, level + 1)
+        for q in range(s.n0 * s.n0):
+            fm.stream(read_sizes=[sw] * w_nnz[q], write_sizes=[sw])
+        return total
+
+    mults = go(n, 0)
+    label = "+".join(s.name for s in schemes)
+    return StrassenIOReport(
+        n=n, M=M, scheme=f"nonstat[{label}]", counter=fm.counter,
+        base_size=-1, n_base_multiplies=mults,
+    )
+
+
+_counter = [0]
+
+
+def _unique(prefix: str) -> str:
+    _counter[0] += 1
+    return f"{prefix}#{_counter[0]}"
+
+
+def nonstationary_flops(n: int, schemes) -> int:
+    """Total arithmetic count of the non-stationary recursion (classical
+    below the last level)."""
+    schemes = _resolve(schemes)
+
+    def go(size: int, level: int) -> int:
+        if level >= len(schemes) or size % schemes[level].n0 != 0:
+            return 2 * size**3 - size * size
+        s = schemes[level]
+        sub = size // s.n0
+        return s.m0 * go(sub, level + 1) + s.n_additions * sub * sub
+
+    return go(n, 0)
+
+
+def strassen_with_cutoff_levels(n: int, levels: int) -> list[str]:
+    """The classic practical hybrid: ``levels`` Strassen steps, classical
+    after (returned as a scheme list for the functions above)."""
+    if levels < 0:
+        raise ValueError("levels must be >= 0")
+    return ["strassen"] * levels

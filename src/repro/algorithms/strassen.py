@@ -1,0 +1,120 @@
+"""In-core Strassen-like matrix multiplication (numerics + arithmetic counts).
+
+The recursion of §5.1: split into n₀² blocks, take the scheme's linear
+combinations, recurse on the m₀ products, recombine.  Below the cutoff the
+classical algorithm runs (the standard practical optimization, and a member
+of the paper's "uniform non-stationary" class §5.2 — switching schemes
+between levels).
+
+Numerics are served by numpy throughout; ``count_flops`` reproduces the
+arithmetic-cost recurrence ``T(n) = m₀·T(n/n₀) + Θ(n²)`` so tests can pin
+``T(n) = Θ(n^ω₀)`` (the quantity ω₀ is defined by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdag.schemes import BilinearScheme, get_scheme
+
+__all__ = ["strassen_multiply", "bilinear_multiply", "count_flops", "FlopCount"]
+
+
+@dataclass(frozen=True)
+class FlopCount:
+    """Arithmetic-operation tallies of one bilinear-recursion run."""
+
+    multiplications: int
+    additions: int
+
+    @property
+    def total(self) -> int:
+        return self.multiplications + self.additions
+
+
+def _split_blocks(X: np.ndarray, n0: int) -> list[np.ndarray]:
+    """The n₀² sub-blocks of X in row-major order (views, not copies)."""
+    n = X.shape[0]
+    b = n // n0
+    return [
+        X[i * b : (i + 1) * b, j * b : (j + 1) * b]
+        for i in range(n0)
+        for j in range(n0)
+    ]
+
+
+def bilinear_multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    scheme: BilinearScheme | str = "strassen",
+    cutoff: int = 32,
+) -> np.ndarray:
+    """Multiply square matrices with a bilinear scheme's recursion.
+
+    ``n`` must be ``n₀^t · c`` with ``c ≤ cutoff`` reachable by the
+    recursion; in practice: a multiple of a power of n₀ with the residual
+    handled by the classical base case.  Raises for shapes the pure
+    recursion cannot split evenly (no padding is silently applied — padding
+    changes communication counts, so callers opt in explicitly).
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1] or A.shape != B.shape:
+        raise ValueError("bilinear_multiply requires equal square matrices")
+    return _recurse(A, B, scheme, max(cutoff, scheme.n0))
+
+
+def _recurse(A: np.ndarray, B: np.ndarray, scheme: BilinearScheme, cutoff: int) -> np.ndarray:
+    n = A.shape[0]
+    n0 = scheme.n0
+    if n <= cutoff or n % n0 != 0:
+        if n > cutoff and n % n0 != 0:
+            raise ValueError(
+                f"matrix size {n} not divisible by n0={n0} above the cutoff; "
+                f"choose n = n0^t * c with c <= cutoff"
+            )
+        return A @ B
+    Ablocks = _split_blocks(A, n0)
+    Bblocks = _split_blocks(B, n0)
+    Cblocks = scheme.apply_blocked(
+        Ablocks, Bblocks, lambda X, Y: _recurse(X, Y, scheme, cutoff)
+    )
+    b = n // n0
+    C = np.empty_like(A)
+    for i in range(n0):
+        for j in range(n0):
+            C[i * b : (i + 1) * b, j * b : (j + 1) * b] = Cblocks[i * n0 + j]
+    return C
+
+
+def strassen_multiply(A: np.ndarray, B: np.ndarray, cutoff: int = 32, variant: str = "strassen") -> np.ndarray:
+    """Strassen's algorithm (or Winograd's variant) with a classical cutoff."""
+    if variant not in ("strassen", "winograd"):
+        raise ValueError("variant must be 'strassen' or 'winograd'")
+    return bilinear_multiply(A, B, variant, cutoff)
+
+
+def count_flops(n: int, scheme: BilinearScheme | str = "strassen", cutoff: int = 1) -> FlopCount:
+    """Exact arithmetic counts of the recursion (without running it).
+
+    Mirrors ``_recurse``: above the cutoff, one level costs the scheme's
+    linear-stage additions on (n/n₀)²-sized blocks plus m₀ recursive calls;
+    at the base, the classical count n³ mults and n²(n−1) adds.
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    n0 = scheme.n0
+    cutoff = max(cutoff, 1)
+    if n <= cutoff or n % n0 != 0:
+        return FlopCount(multiplications=n**3, additions=n * n * (n - 1))
+    b = n // n0
+    sub = count_flops(b, scheme, cutoff)
+    adds_here = scheme.n_additions * b * b
+    return FlopCount(
+        multiplications=scheme.m0 * sub.multiplications,
+        additions=scheme.m0 * sub.additions + adds_here,
+    )

@@ -1,0 +1,44 @@
+"""Computation-DAG substrate: graphs, schemes, constructions, pebbling."""
+
+from repro.cdag.graph import CDAG, VertexKind
+from repro.cdag.build import GraphBuilder
+from repro.cdag.schemes import (
+    BilinearScheme,
+    available_schemes,
+    classical_scheme,
+    compose_schemes,
+    get_scheme,
+    strassen_scheme,
+    winograd_scheme,
+)
+from repro.cdag.strassen_cdag import (
+    HGraph,
+    dec1_graph,
+    dec_graph,
+    dec_level_sizes,
+    dec_vertex_count,
+    enc_graph,
+    h_graph,
+    recursion_tree_partition,
+)
+from repro.cdag.classical_cdag import classical_matmul_cdag, matvec_cdag
+from repro.cdag.pebble import ScheduleIO, exhaustive_min_io, schedule_io
+from repro.cdag.schedule import (
+    bfs_topological_order,
+    dfs_topological_order,
+    is_topological,
+    random_topological_order,
+    topological_order,
+)
+
+__all__ = [
+    "CDAG", "VertexKind", "GraphBuilder",
+    "BilinearScheme", "available_schemes", "classical_scheme",
+    "compose_schemes", "get_scheme", "strassen_scheme", "winograd_scheme",
+    "HGraph", "dec1_graph", "dec_graph", "dec_level_sizes",
+    "dec_vertex_count", "enc_graph", "h_graph", "recursion_tree_partition",
+    "classical_matmul_cdag", "matvec_cdag",
+    "ScheduleIO", "exhaustive_min_io", "schedule_io",
+    "bfs_topological_order", "dfs_topological_order", "is_topological",
+    "random_topological_order", "topological_order",
+]

@@ -1,0 +1,88 @@
+"""Incremental CDAG builder.
+
+A tiny append-only tape of vertices and edges; the recursive constructors in
+:mod:`repro.cdag.strassen_cdag` and the tracing machinery use it and then
+``freeze()`` into the immutable :class:`~repro.cdag.graph.CDAG`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.graph import CDAG, VertexKind
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Append-only builder for :class:`CDAG`.
+
+    Vertices are dense integers in creation order.  Buffers grow in Python
+    lists (amortized O(1) appends) and are converted to numpy only once at
+    ``freeze`` time — per the optimization guide, avoid growing numpy arrays
+    element-wise.
+    """
+
+    def __init__(self) -> None:
+        self._kinds: list[int] = []
+        self._levels: list[int] = []
+        self._src: list[int] = []
+        self._dst: list[int] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._src)
+
+    def add_vertex(self, kind: int = VertexKind.ADD, level: int = -1) -> int:
+        """Append one vertex; returns its index."""
+        self._kinds.append(kind)
+        self._levels.append(level)
+        return len(self._kinds) - 1
+
+    def add_vertices(self, count: int, kind: int, level: int = -1) -> np.ndarray:
+        """Append ``count`` vertices of one kind; returns their indices."""
+        start = len(self._kinds)
+        self._kinds.extend([kind] * count)
+        self._levels.extend([level] * count)
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Append directed edge ``u -> v`` (producer to consumer)."""
+        if u == v:
+            raise ValueError("self-loop")
+        self._src.append(int(u))
+        self._dst.append(int(v))
+
+    def add_edges(self, us, vs) -> None:
+        """Append many edges at once from two equal-length sequences."""
+        us = np.asarray(us, dtype=np.int64).ravel()
+        vs = np.asarray(vs, dtype=np.int64).ravel()
+        if us.shape != vs.shape:
+            raise ValueError("endpoint arrays must have equal length")
+        if np.any(us == vs):
+            raise ValueError("self-loop")
+        self._src.extend(us.tolist())
+        self._dst.extend(vs.tolist())
+
+    def set_kind(self, v: int, kind: int) -> None:
+        """Re-tag a vertex (e.g. mark a decode sink as OUTPUT after wiring)."""
+        self._kinds[v] = kind
+
+    def set_level(self, v: int, level: int) -> None:
+        self._levels[v] = level
+
+    def freeze(self) -> CDAG:
+        """Build the immutable CDAG."""
+        return CDAG(
+            n_vertices=len(self._kinds),
+            src=np.asarray(self._src, dtype=np.int64),
+            dst=np.asarray(self._dst, dtype=np.int64),
+            kinds=np.asarray(self._kinds, dtype=np.int8),
+            levels=np.asarray(self._levels, dtype=np.int32),
+        )

@@ -1,0 +1,117 @@
+"""CDAG of the classical Θ(n³) matrix-multiplication algorithm.
+
+Used for three purposes in the reproduction:
+
+* the §5.1.1 contrast — the classical base case has a *disconnected*
+  ``Dec₁C`` (n₀² independent inner-product stars), which is why the paper's
+  technique does not apply to it and Hong–Kung's does;
+* cross-checks of the partition argument and the red–blue pebble game
+  against the known `Ω(n³/√M)` classical bound [Hong & Kung 1981];
+* small exactly-analyzable graphs for the test suite.
+
+Two constructions are provided: the recursive one (via
+:func:`repro.cdag.strassen_cdag.dec_graph` with a classical scheme) and the
+direct flat one here, which matches how the classical algorithm is usually
+drawn: a multiplication vertex per ``(i, j, l)`` triple and a binary
+summation tree (or chain) per output ``(i, j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.build import GraphBuilder
+from repro.cdag.graph import CDAG, VertexKind
+
+__all__ = ["classical_matmul_cdag", "matvec_cdag"]
+
+
+def classical_matmul_cdag(n: int, reduction: str = "chain") -> CDAG:
+    """CDAG of the classical n×n matrix multiplication.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (vertices grow as ``n³`` — intended for small n).
+    reduction:
+        ``"chain"`` sums each inner product left-to-right (the natural
+        sequential order, depth n); ``"tree"`` uses a balanced binary tree
+        (depth lg n).  Both have the same vertex count and I/O behaviour in
+        the Hong–Kung analysis; the option exists to exercise schedule- and
+        pebble-game code on graphs of different depths.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if reduction not in ("chain", "tree"):
+        raise ValueError("reduction must be 'chain' or 'tree'")
+    b = GraphBuilder()
+    a_ids = b.add_vertices(n * n, VertexKind.INPUT, level=0).reshape(n, n)
+    b_ids = b.add_vertices(n * n, VertexKind.INPUT, level=0).reshape(n, n)
+    for i in range(n):
+        for j in range(n):
+            prods = []
+            for l in range(n):
+                m = b.add_vertex(VertexKind.MULT, level=1)
+                b.add_edge(int(a_ids[i, l]), m)
+                b.add_edge(int(b_ids[l, j]), m)
+                prods.append(m)
+            out = _reduce(b, prods, reduction)
+            b.set_kind(out, VertexKind.OUTPUT)
+    return b.freeze()
+
+
+def _reduce(b: GraphBuilder, terms: list[int], reduction: str) -> int:
+    """Combine product vertices into one output vertex; returns its id."""
+    if len(terms) == 1:
+        # Single term: introduce an explicit copy vertex so the output is an
+        # arithmetic-op vertex distinct from the multiplication (keeps kinds
+        # unambiguous for 1x1 matrices).
+        v = b.add_vertex(VertexKind.ADD, level=2)
+        b.add_edge(terms[0], v)
+        return v
+    if reduction == "chain":
+        acc = terms[0]
+        depth = 2
+        for t in terms[1:]:
+            v = b.add_vertex(VertexKind.ADD, level=depth)
+            b.add_edge(acc, v)
+            b.add_edge(t, v)
+            acc = v
+            depth += 1
+        return acc
+    # balanced tree
+    level = 2
+    while len(terms) > 1:
+        nxt = []
+        for i in range(0, len(terms) - 1, 2):
+            v = b.add_vertex(VertexKind.ADD, level=level)
+            b.add_edge(terms[i], v)
+            b.add_edge(terms[i + 1], v)
+            nxt.append(v)
+        if len(terms) % 2:
+            nxt.append(terms[-1])
+        terms = nxt
+        level += 1
+    return terms[0]
+
+
+def matvec_cdag(n: int) -> CDAG:
+    """CDAG of a dense matrix–vector product (n² mults, n sum chains).
+
+    A convenient low-expansion graph: Hong–Kung show matrix–vector has
+    I/O Θ(n²) (no reuse), so it serves as a contrast case in the partition
+    and pebble tests.
+    """
+    b = GraphBuilder()
+    a_ids = b.add_vertices(n * n, VertexKind.INPUT, level=0).reshape(n, n)
+    x_ids = b.add_vertices(n, VertexKind.INPUT, level=0)
+    for i in range(n):
+        prods = []
+        for j in range(n):
+            m = b.add_vertex(VertexKind.MULT, level=1)
+            b.add_edge(int(a_ids[i, j]), m)
+            b.add_edge(int(x_ids[j]), m)
+            prods.append(m)
+        out = _reduce(b, prods, "chain")
+        b.set_kind(out, VertexKind.OUTPUT)
+    return b.freeze()

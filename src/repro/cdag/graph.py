@@ -1,0 +1,300 @@
+"""The computation-DAG (CDAG) data structure.
+
+The paper models an algorithm's computation as a DAG with a vertex per input
+element / arithmetic operation and an edge per direct dependency (§1.2, §3.1).
+This module provides an immutable, numpy-backed representation sized for the
+graphs we actually build: ``Dec_k C`` has ``Θ(7^k)`` vertices, so ``k`` up to
+7 (~1M vertices) must stay cheap.  Adjacency is stored as flat edge arrays
+plus lazily-built CSR indices; all per-vertex statistics are vectorized.
+
+Conventions from the paper that the structure implements directly:
+
+* **Undirected view** (§3.3, footnote 11): expansion arguments treat edges as
+  undirected; ``edge_boundary`` and the expansion code work on the
+  undirected simple graph.
+* **Loop regularization** (§2.0.2): a non-regular graph of max degree ``d``
+  is made ``d``-regular by adding loops, a loop adding 1 to the degree.
+  Loops never contribute to any edge boundary, so the structure only records
+  the *regular degree*; no physical loop edges are stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["VertexKind", "CDAG"]
+
+
+class VertexKind:
+    """Integer codes for vertex roles (stored in ``CDAG.kinds`` as int8)."""
+
+    INPUT = 0      # an input element (no predecessors)
+    ADD = 1        # a linear arithmetic op (addition/subtraction/scaling)
+    MULT = 2       # a scalar multiplication joining the two encodings
+    OUTPUT = 3     # an output element (also an arithmetic op vertex)
+
+    NAMES = {INPUT: "input", ADD: "add", MULT: "mult", OUTPUT: "output"}
+
+
+@dataclass(frozen=True)
+class CDAG:
+    """Immutable computation DAG.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of vertices, numbered ``0 .. n_vertices-1``.
+    src, dst:
+        Edge arrays: directed edge ``src[i] -> dst[i]`` (dependency flows
+        from producer to consumer, "edges going up" in a total order, §3.2).
+    kinds:
+        int8 array of :class:`VertexKind` codes, one per vertex.
+    levels:
+        Optional layer index per vertex for layered graphs (``Dec_k C`` is
+        layered by recursion step, §4.1.2).  -1 when not layered.
+    """
+
+    n_vertices: int
+    src: np.ndarray
+    dst: np.ndarray
+    kinds: np.ndarray
+    levels: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        object.__setattr__(self, "src", np.asarray(self.src, dtype=np.int64))
+        object.__setattr__(self, "dst", np.asarray(self.dst, dtype=np.int64))
+        object.__setattr__(self, "kinds", np.asarray(self.kinds, dtype=np.int8))
+        if self.levels is None:
+            object.__setattr__(
+                self, "levels", np.full(self.n_vertices, -1, dtype=np.int32)
+            )
+        else:
+            object.__setattr__(
+                self, "levels", np.asarray(self.levels, dtype=np.int32)
+            )
+        if len(self.kinds) != self.n_vertices:
+            raise ValueError("kinds must have one entry per vertex")
+        if len(self.src) != len(self.dst):
+            raise ValueError("src/dst length mismatch")
+        if len(self.src) and (
+            self.src.min() < 0
+            or self.dst.min() < 0
+            or self.src.max() >= self.n_vertices
+            or self.dst.max() >= self.n_vertices
+        ):
+            raise ValueError("edge endpoint out of range")
+        if np.any(self.src == self.dst):
+            raise ValueError("self-loops are not allowed in a CDAG")
+
+    # ------------------------------------------------------------------ #
+    # basic statistics                                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self.src)
+
+    @cached_property
+    def in_degree(self) -> np.ndarray:
+        """In-degree per vertex (number of operands; ≤ 2 for binary-op CDAGs)."""
+        return np.bincount(self.dst, minlength=self.n_vertices).astype(np.int64)
+
+    @cached_property
+    def out_degree(self) -> np.ndarray:
+        """Out-degree per vertex (number of consumers; unbounded in general, §3.1)."""
+        return np.bincount(self.src, minlength=self.n_vertices).astype(np.int64)
+
+    @cached_property
+    def degree(self) -> np.ndarray:
+        """Total (undirected) degree per vertex, counting multi-edges once."""
+        u, v = self._undirected_simple_edges()
+        d = np.bincount(u, minlength=self.n_vertices)
+        d += np.bincount(v, minlength=self.n_vertices)
+        return d.astype(np.int64)
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum undirected degree — the ``d`` used for loop regularization."""
+        return int(self.degree.max()) if self.n_vertices else 0
+
+    @cached_property
+    def inputs(self) -> np.ndarray:
+        """Vertices with no incoming edges (graph sources)."""
+        return np.flatnonzero(self.in_degree == 0)
+
+    @cached_property
+    def outputs(self) -> np.ndarray:
+        """Vertices with no outgoing edges (graph sinks)."""
+        return np.flatnonzero(self.out_degree == 0)
+
+    def count_kind(self, kind: int) -> int:
+        """Number of vertices with the given :class:`VertexKind` code."""
+        return int(np.count_nonzero(self.kinds == kind))
+
+    # ------------------------------------------------------------------ #
+    # undirected view                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _undirected_simple_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Deduplicated undirected edges as (u, v) with u < v."""
+        if self.n_edges == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+        u = np.minimum(self.src, self.dst)
+        v = np.maximum(self.src, self.dst)
+        key = u * self.n_vertices + v
+        _, idx = np.unique(key, return_index=True)
+        return u[idx], v[idx]
+
+    @cached_property
+    def undirected_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Public accessor for the deduplicated undirected edge list."""
+        return self._undirected_simple_edges()
+
+    @cached_property
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric 0/1 adjacency matrix of the undirected simple graph."""
+        u, v = self.undirected_edges
+        n = self.n_vertices
+        data = np.ones(2 * len(u), dtype=np.float64)
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def edge_boundary_size(self, mask: np.ndarray) -> int:
+        """``|E(S, V\\S)|`` in the undirected simple graph for ``S = mask``.
+
+        ``mask`` is a boolean array over vertices.  Loops added by
+        regularization never cross a cut, so they are correctly ignored.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_vertices,):
+            raise ValueError("mask must be a boolean vector over vertices")
+        u, v = self.undirected_edges
+        return int(np.count_nonzero(mask[u] != mask[v]))
+
+    def is_connected_undirected(self) -> bool:
+        """Connectivity of the undirected view (assumption §5.1.1 checks this)."""
+        if self.n_vertices <= 1:
+            return True
+        ncomp, _ = sp.csgraph.connected_components(self.adjacency, directed=False)
+        return ncomp == 1
+
+    # ------------------------------------------------------------------ #
+    # DAG structure                                                       #
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def topological_order(self) -> np.ndarray:
+        """A topological order (Kahn's algorithm, vectorized frontier peeling)."""
+        indeg = self.in_degree.copy()
+        order = np.empty(self.n_vertices, dtype=np.int64)
+        # CSR out-adjacency for fast frontier expansion.
+        csr = sp.csr_matrix(
+            (np.ones(self.n_edges, dtype=np.int8), (self.src, self.dst)),
+            shape=(self.n_vertices, self.n_vertices),
+        )
+        frontier = np.flatnonzero(indeg == 0)
+        pos = 0
+        while len(frontier):
+            order[pos : pos + len(frontier)] = frontier
+            pos += len(frontier)
+            # Decrement in-degrees of all successors of the frontier at once.
+            succ_counts = np.asarray(
+                csr[frontier].sum(axis=0)
+            ).ravel()
+            indeg = indeg - succ_counts.astype(indeg.dtype)
+            newly_zero = (indeg == 0) & (succ_counts > 0)
+            frontier = np.flatnonzero(newly_zero)
+        if pos != self.n_vertices:
+            raise ValueError("graph has a directed cycle")
+        return order
+
+    @cached_property
+    def longest_path_level(self) -> np.ndarray:
+        """Longest-path depth of each vertex from the sources (0 for inputs)."""
+        depth = np.zeros(self.n_vertices, dtype=np.int64)
+        order = self.topological_order
+        # Process edges grouped by source in topological order.
+        src_sorted = np.argsort(self.src, kind="stable") if self.n_edges else None
+        out_csr = sp.csr_matrix(
+            (np.arange(self.n_edges), (self.src, self.dst)),
+            shape=(self.n_vertices, self.n_vertices),
+        ) if self.n_edges else None
+        if self.n_edges == 0:
+            return depth
+        indptr = out_csr.indptr  # type: ignore[union-attr]
+        indices = out_csr.indices  # type: ignore[union-attr]
+        for v in order:
+            lo, hi = indptr[v], indptr[v + 1]
+            if lo != hi:
+                succ = indices[lo:hi]
+                np.maximum.at(depth, succ, depth[v] + 1)
+        return depth
+
+    # ------------------------------------------------------------------ #
+    # derived graphs                                                      #
+    # ------------------------------------------------------------------ #
+
+    def subgraph(self, vertices: np.ndarray) -> tuple["CDAG", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns ``(sub, mapping)`` where ``mapping[i]`` is the original index
+        of the subgraph's vertex ``i``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        keep = np.zeros(self.n_vertices, dtype=bool)
+        keep[vertices] = True
+        new_index = np.full(self.n_vertices, -1, dtype=np.int64)
+        new_index[vertices] = np.arange(len(vertices))
+        emask = keep[self.src] & keep[self.dst]
+        sub = CDAG(
+            n_vertices=len(vertices),
+            src=new_index[self.src[emask]],
+            dst=new_index[self.dst[emask]],
+            kinds=self.kinds[vertices],
+            levels=self.levels[vertices],
+        )
+        return sub, vertices
+
+    def reversed(self) -> "CDAG":
+        """The CDAG with every edge reversed (used by dominator analysis)."""
+        return CDAG(
+            n_vertices=self.n_vertices,
+            src=self.dst.copy(),
+            dst=self.src.copy(),
+            kinds=self.kinds.copy(),
+            levels=self.levels.copy(),
+        )
+
+    def as_networkx(self):
+        """Directed networkx graph (small graphs only — O(V+E) python objects)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(
+            (int(i), {"kind": VertexKind.NAMES[int(k)], "level": int(l)})
+            for i, (k, l) in enumerate(zip(self.kinds, self.levels))
+        )
+        g.add_edges_from(zip(self.src.tolist(), self.dst.tolist()))
+        return g
+
+    # ------------------------------------------------------------------ #
+    # misc                                                                #
+    # ------------------------------------------------------------------ #
+
+    def validate_binary_ops(self) -> bool:
+        """Check in-degree ≤ 2 everywhere (arithmetic ops are binary, §3.1)."""
+        return bool(np.all(self.in_degree <= 2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CDAG(V={self.n_vertices}, E={self.n_edges}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)}, "
+            f"max_deg={self.max_degree})"
+        )

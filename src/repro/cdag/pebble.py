@@ -1,0 +1,291 @@
+"""Red–blue pebble game and schedule-driven I/O simulation on CDAGs.
+
+Hong & Kung's red–blue pebble game [Hong & Kung 1981] is the classical model
+behind I/O lower bounds (§1.5 discusses it as the sibling of the paper's
+expansion approach):
+
+* a *red* pebble = a word in fast memory (at most ``M`` red pebbles),
+* a *blue* pebble = a word in slow memory (unbounded),
+* moves: **load** (blue→red), **store** (red→blue), **compute** (place red
+  on a vertex whose predecessors all carry red pebbles), **delete** a red.
+* the I/O cost is the number of load + store moves.
+
+Three engines are provided:
+
+* :func:`schedule_io` — the I/O of a *given* total order under LRU or
+  Belady (furthest-next-use) replacement.  With Belady this is the optimal
+  I/O achievable for that order (no recomputation), which is exactly the
+  quantity the paper's partition argument (§3.2) lower-bounds.
+* :func:`exhaustive_min_io` — true optimal play (over orders too) by
+  memoized search; exponential, for ≤ ~14-vertex graphs in tests.
+* :class:`PebbleState` — the raw rules, reusable by custom strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.cdag.graph import CDAG
+
+__all__ = ["PebbleState", "ScheduleIO", "schedule_io", "exhaustive_min_io"]
+
+
+@dataclass
+class ScheduleIO:
+    """Result of simulating a schedule: I/O counts and residency stats."""
+
+    loads: int
+    stores: int
+    peak_red: int
+    order: np.ndarray
+    policy: str
+
+    @property
+    def total(self) -> int:
+        """Total I/O (words moved) — loads plus stores."""
+        return self.loads + self.stores
+
+
+def _next_use_table(g: CDAG, order: np.ndarray) -> list[list[int]]:
+    """For each vertex, the positions (in schedule order) of its consumers."""
+    pos = np.empty(g.n_vertices, dtype=np.int64)
+    pos[order] = np.arange(g.n_vertices)
+    uses: list[list[int]] = [[] for _ in range(g.n_vertices)]
+    use_pos = pos[g.dst]
+    src_order = np.argsort(use_pos, kind="stable")
+    for e in src_order:
+        uses[g.src[e]].append(int(use_pos[e]))
+    # reversed so .pop() yields the earliest remaining use
+    for lst in uses:
+        lst.reverse()
+    return uses
+
+
+def schedule_io(
+    g: CDAG,
+    order: np.ndarray | None = None,
+    M: int = 8,
+    policy: str = "belady",
+    outputs_to_slow: bool = True,
+) -> ScheduleIO:
+    """Simulate the red–blue game for a fixed compute order.
+
+    Parameters
+    ----------
+    g:
+        The computation DAG.  Input vertices start with blue pebbles (the
+        paper's model: inputs reside in slow memory, §1.1).
+    order:
+        Total order over vertices respecting the DAG (defaults to
+        ``g.topological_order``).  Input vertices in the order are loads.
+    M:
+        Fast-memory capacity in words (red pebble budget).
+    policy:
+        ``"belady"`` (evict furthest next use — optimal for a fixed order)
+        or ``"lru"``.
+    outputs_to_slow:
+        Count a final store for every output vertex (the algorithm must
+        deliver C to slow memory), matching the upper-bound accounting of
+        Eq. (1).
+    """
+    if order is None:
+        order = g.topological_order
+    order = np.asarray(order, dtype=np.int64)
+    if len(order) != g.n_vertices:
+        raise ValueError("order must cover all vertices")
+    if M < 2:
+        raise ValueError("need at least 2 red pebbles to compute binary ops")
+    uses = _next_use_table(g, order)
+    is_input = np.zeros(g.n_vertices, dtype=bool)
+    is_input[g.inputs] = True
+    # Group predecessor lists once.
+    pred_sorted = np.argsort(g.dst, kind="stable")
+    pred_dst = g.dst[pred_sorted]
+    pred_src = g.src[pred_sorted]
+    starts = np.searchsorted(pred_dst, np.arange(g.n_vertices), side="left")
+    ends = np.searchsorted(pred_dst, np.arange(g.n_vertices), side="right")
+
+    red: set[int] = set()
+    blue: set[int] = set(int(v) for v in g.inputs)
+    lru_clock = 0
+    last_touch: dict[int, int] = {}
+    loads = stores = 0
+    peak = 0
+
+    def next_use(v: int, now: int) -> int:
+        lst = uses[v]
+        while lst and lst[-1] <= now:
+            lst.pop()
+        return lst[-1] if lst else np.iinfo(np.int64).max
+
+    def evict_one(now: int, protected: set[int]) -> None:
+        nonlocal stores
+        candidates = [v for v in red if v not in protected]
+        if not candidates:
+            raise MemoryError(
+                f"fast memory M={M} too small for a compute step with "
+                f"{len(protected)} live operands"
+            )
+        if policy == "belady":
+            victim = max(candidates, key=lambda v: (next_use(v, now), v))
+        elif policy == "lru":
+            victim = min(candidates, key=lambda v: (last_touch.get(v, -1), v))
+        else:
+            raise ValueError(f"unknown policy {policy!r}")
+        if next_use(victim, now) != np.iinfo(np.int64).max and victim not in blue:
+            stores += 1
+            blue.add(victim)
+        red.discard(victim)
+
+    def ensure_red(v: int, now: int, protected: set[int]) -> None:
+        nonlocal loads, lru_clock, peak
+        if v in red:
+            last_touch[v] = lru_clock
+            return
+        if v not in blue:
+            raise RuntimeError(f"value {v} needed but neither red nor blue")
+        while len(red) >= M:
+            evict_one(now, protected)
+        red.add(v)
+        loads += 1
+        last_touch[v] = lru_clock
+        peak = max(peak, len(red))
+
+    for now, v in enumerate(order.tolist()):
+        lru_clock += 1
+        if is_input[v]:
+            # Inputs are loaded lazily when first consumed; scheduling an
+            # input vertex is a no-op (it already holds a blue pebble).
+            continue
+        preds = [int(p) for p in pred_src[starts[v] : ends[v]]]
+        protected = set(preds)
+        for p in preds:
+            ensure_red(p, now, protected)
+        protected.add(v)
+        while len(red) >= M:
+            evict_one(now, protected - {v})
+        red.add(v)
+        last_touch[v] = lru_clock
+        peak = max(peak, len(red))
+
+    if outputs_to_slow:
+        for v in g.outputs.tolist():
+            if v not in blue:
+                stores += 1
+                blue.add(v)
+    return ScheduleIO(loads=loads, stores=stores, peak_red=peak, order=order, policy=policy)
+
+
+# ---------------------------------------------------------------------- #
+# exact optimal play (tiny graphs)                                        #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PebbleState:
+    """Immutable-ish search node for exhaustive play (internal)."""
+
+    computed: frozenset
+    red: frozenset
+    blue: frozenset
+    cost: int = 0
+    field_order: tuple = field(default_factory=tuple)
+
+
+def exhaustive_min_io(g: CDAG, M: int, io_upper: int | None = None) -> int:
+    """Optimal red–blue I/O by memoized branch & bound (no recomputation).
+
+    Dominance reductions keep the search tractable (still exponential —
+    intended for ≤ ~16-vertex graphs in the test suite):
+
+    * evictions happen only when the red set is full and something else
+      needs the slot (delaying a delete never costs more);
+    * a store happens only as part of an eviction of a still-needed value
+      (storing earlier is equivalent, storing useless values is dominated);
+    * an admissible heuristic prunes: every untouched input with a pending
+      consumer must still be loaded, and every unwritten output stored.
+
+    Certifies in tests that :func:`schedule_io` (Belady) and the partition
+    bound bracket the true optimum.
+    """
+    n = g.n_vertices
+    if n > 20:
+        raise ValueError("exhaustive search limited to tiny graphs")
+    preds: list[tuple[int, ...]] = [() for _ in range(n)]
+    for s, d in zip(g.src.tolist(), g.dst.tolist()):
+        preds[d] = preds[d] + (s,)
+    succs: list[tuple[int, ...]] = [() for _ in range(n)]
+    for s, d in zip(g.src.tolist(), g.dst.tolist()):
+        succs[s] = succs[s] + (d,)
+    inputs = frozenset(int(v) for v in g.inputs)
+    outputs = frozenset(int(v) for v in g.outputs)
+    targets = frozenset(range(n)) - inputs
+
+    if io_upper is None:
+        io_upper = schedule_io(g, M=M, policy="belady").total
+    best = io_upper
+    seen: dict[tuple[frozenset, frozenset, frozenset], int] = {}
+
+    def heuristic(computed: frozenset, red: frozenset, blue: frozenset) -> int:
+        h = 0
+        for v in inputs:
+            if v not in red and any(s not in computed for s in succs[v]):
+                h += 1
+        for v in outputs:
+            if v not in blue:
+                h += 1
+        return h
+
+    def needed(v: int, computed: frozenset) -> bool:
+        return (v in outputs) or any(s not in computed for s in succs[v])
+
+    def with_room(computed, red, blue, cost, incoming, protected):
+        """Place `incoming` into red, evicting (with optional store) if full."""
+        nonlocal best
+        if len(red) < M:
+            yield red | {incoming}, blue, cost
+            return
+        for victim in red:
+            if victim in protected:
+                continue
+            nred = red - {victim}
+            if victim in blue or not needed(victim, computed):
+                yield nred | {incoming}, blue, cost
+            else:
+                yield nred | {incoming}, blue | {victim}, cost + 1
+        return
+
+    def search(computed: frozenset, red: frozenset, blue: frozenset, cost: int) -> None:
+        nonlocal best
+        if cost + heuristic(computed, red, blue) >= best:
+            return
+        if targets <= computed:
+            extra = sum(1 for v in outputs if v not in blue)
+            if cost + extra < best:
+                best = cost + extra
+            return
+        key = (computed, red, blue)
+        prev = seen.get(key)
+        if prev is not None and prev <= cost:
+            return
+        seen[key] = cost
+        # Compute moves (free): any ready vertex.
+        progressed = False
+        for v in sorted(targets - computed):
+            ps = preds[v]
+            if all(p in red for p in ps):
+                progressed = True
+                for nred, nblue, ncost in with_room(computed, red, blue, cost, v, set(ps)):
+                    search(computed | {v}, nred, nblue, ncost)
+        # Load moves (cost 1): any useful blue value.
+        for v in sorted(blue - red):
+            if needed(v, computed) and (v in inputs or v in blue):
+                for nred, nblue, ncost in with_room(computed, red, blue, cost, v, set()):
+                    search(computed, nred, nblue, ncost + 1)
+        _ = progressed
+
+    search(frozenset(), frozenset(), inputs, 0)
+    return best

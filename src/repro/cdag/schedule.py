@@ -1,0 +1,124 @@
+"""Total orderings of CDAGs (§3.2's "player one").
+
+The partition argument works for *any* order respecting the DAG; the order
+determines how good the resulting I/O is.  This module generates the orders
+the experiments exercise:
+
+* :func:`topological_order` — the builder's natural Kahn order;
+* :func:`dfs_topological_order` — depth-first order (the recursion-friendly
+  order that makes Strassen attain Eq. (1));
+* :func:`bfs_topological_order` — breadth-first / level order (the
+  communication-hostile order: whole levels are live simultaneously);
+* :func:`random_topological_order` — randomized Kahn tie-breaking, used by
+  the property tests to check order-independence of the lower bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.graph import CDAG
+
+__all__ = [
+    "topological_order",
+    "dfs_topological_order",
+    "bfs_topological_order",
+    "random_topological_order",
+    "is_topological",
+]
+
+
+def topological_order(g: CDAG) -> np.ndarray:
+    """The graph's default (Kahn frontier) topological order."""
+    return g.topological_order
+
+
+def is_topological(g: CDAG, order: np.ndarray) -> bool:
+    """Check that every edge goes forward in the order ("edges go up", §3.2)."""
+    order = np.asarray(order, dtype=np.int64)
+    if sorted(order.tolist()) != list(range(g.n_vertices)):
+        return False
+    pos = np.empty(g.n_vertices, dtype=np.int64)
+    pos[order] = np.arange(g.n_vertices)
+    return bool(np.all(pos[g.src] < pos[g.dst]))
+
+
+def dfs_topological_order(g: CDAG) -> np.ndarray:
+    """Depth-first order: iterative post-order over the reversed DAG.
+
+    Starting from each output, emit a vertex once all of its predecessors
+    have been emitted, preferring to complete one operand subtree before
+    starting the next.  For the recursive matrix-multiplication CDAGs this
+    reproduces the depth-first traversal of the recursion tree that the
+    upper bound (Eq. 1, footnote 5) relies on.
+    """
+    n = g.n_vertices
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for s, d in zip(g.src.tolist(), g.dst.tolist()):
+        preds[d].append(s)
+    emitted = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    roots = g.outputs.tolist() + [v for v in range(n) if g.out_degree[v] == 0]
+    seen_root = set()
+    for root in roots:
+        if root in seen_root:
+            continue
+        seen_root.add(root)
+        stack: list[tuple[int, int]] = [(root, 0)]
+        while stack:
+            v, pi = stack[-1]
+            if emitted[v]:
+                stack.pop()
+                continue
+            ps = preds[v]
+            advanced = False
+            while pi < len(ps):
+                p = ps[pi]
+                pi += 1
+                if not emitted[p]:
+                    stack[-1] = (v, pi)
+                    stack.append((p, 0))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            emitted[v] = True
+            order.append(v)
+            stack.pop()
+    if len(order) != n:
+        # vertices unreachable from any sink (shouldn't happen in valid CDAGs)
+        rest = [v for v in range(n) if not emitted[v]]
+        order.extend(rest)
+    return np.asarray(order, dtype=np.int64)
+
+
+def bfs_topological_order(g: CDAG) -> np.ndarray:
+    """Level order: all of level 0, then level 1, ... (longest-path levels).
+
+    This is the order of a breadth-first traversal of the recursion — the
+    memory-hungry extreme whose working set is a whole graph level.
+    """
+    depth = g.longest_path_level
+    return np.argsort(depth, kind="stable").astype(np.int64)
+
+
+def random_topological_order(g: CDAG, seed: int = 0) -> np.ndarray:
+    """Kahn's algorithm with uniformly random ready-vertex selection."""
+    rng = np.random.default_rng(seed)
+    n = g.n_vertices
+    indeg = g.in_degree.copy()
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for s, d in zip(g.src.tolist(), g.dst.tolist()):
+        succs[s].append(d)
+    ready = list(np.flatnonzero(indeg == 0))
+    order = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        j = int(rng.integers(len(ready)))
+        ready[j], ready[-1] = ready[-1], ready[j]
+        v = ready.pop()
+        order[i] = v
+        for w in succs[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    return order

@@ -1,0 +1,355 @@
+"""Bilinear matrix-multiplication base cases ("Strassen-like" schemes, §5.1).
+
+A scheme ⟨n₀, m₀⟩ multiplies two ``n₀ × n₀`` matrices with ``m₀`` scalar
+multiplications.  It is encoded by three coefficient matrices
+
+* ``U`` (m₀ × n₀²): row ``r`` gives the left linear form
+  ``L_r = Σ U[r, i] · vec(A)_i``,
+* ``V`` (m₀ × n₀²): row ``r`` gives the right linear form
+  ``R_r = Σ V[r, j] · vec(B)_j``,
+* ``W`` (n₀² × m₀): ``vec(C)_k = Σ W[k, r] · (L_r · R_r)``,
+
+with row-major ``vec``.  Recursive application multiplies ``n × n`` matrices
+in ``Θ(n^ω₀)`` operations with ``ω₀ = log_{n₀} m₀`` (§5.1).
+
+The registry carries the schemes used throughout the paper and our
+experiments:
+
+=================  =====  =====  ==========  =============================
+name               n₀     m₀     ω₀          role
+=================  =====  =====  ==========  =============================
+``strassen``       2      7      lg 7        the paper's main subject
+``winograd``       2      7      lg 7        15-addition variant (§1.4.2)
+``classical2``     2      8      3           cubic recursion, disconnected
+                                             Dec₁C (§5.1.1 contrast)
+``classical3``     3      27     3           cubic with 3×3 base
+``strassen2x``     4      49     lg 7        Strassen ⊗ Strassen
+``hybrid4``        4      56     log₄ 56     Strassen ⊗ classical2 — a
+                                             genuinely different ω₀ ≈ 2.904
+=================  =====  =====  ==========  =============================
+
+Every scheme is validated against the Brent equations (exactly, on basis
+matrices) when constructed, so a wrong coefficient cannot survive import.
+
+A 3×3/23-multiplication (Laderman) scheme is deliberately *not* shipped:
+its coefficient tables cannot be re-derived from first principles here, and
+we only include schemes whose correctness the library itself can prove.
+The composed schemes (``hybrid4`` in particular) already provide a
+genuinely different ω₀ for the Theorem 1.3 exponent sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "BilinearScheme",
+    "strassen_scheme",
+    "winograd_scheme",
+    "classical_scheme",
+    "compose_schemes",
+    "get_scheme",
+    "available_schemes",
+]
+
+
+@dataclass(frozen=True)
+class BilinearScheme:
+    """A validated ⟨n₀, m₀⟩ bilinear matrix-multiplication base case."""
+
+    name: str
+    n0: int
+    U: np.ndarray
+    V: np.ndarray
+    W: np.ndarray
+    validate: bool = field(default=True, repr=False)
+
+    def __post_init__(self):
+        n0sq = self.n0 * self.n0
+        U = np.asarray(self.U, dtype=np.float64)
+        V = np.asarray(self.V, dtype=np.float64)
+        W = np.asarray(self.W, dtype=np.float64)
+        object.__setattr__(self, "U", U)
+        object.__setattr__(self, "V", V)
+        object.__setattr__(self, "W", W)
+        if U.shape != (self.m0, n0sq):
+            raise ValueError(f"U must be (m0, n0^2); got {U.shape}")
+        if V.shape != (self.m0, n0sq):
+            raise ValueError(f"V must be (m0, n0^2); got {V.shape}")
+        if W.shape != (n0sq, self.m0):
+            raise ValueError(f"W must be (n0^2, m0); got {W.shape}")
+        if self.validate and not self.brent_residual() == 0.0:
+            raise ValueError(
+                f"scheme {self.name!r} does not satisfy the Brent equations "
+                f"(residual {self.brent_residual()})"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m0(self) -> int:
+        """Number of scalar multiplications of the base case."""
+        return self.U.shape[0]
+
+    @property
+    def omega0(self) -> float:
+        """The arithmetic exponent ``ω₀ = log_{n₀} m₀`` (§5.1)."""
+        return math.log(self.m0) / math.log(self.n0)
+
+    @property
+    def n_additions(self) -> int:
+        """Flat linear-stage addition count (nnz − 1 per nonempty form).
+
+        This evaluates every linear form independently, with no reuse of
+        common subexpressions: Strassen's classic "18 additions" is already
+        flat, while Winograd's "15 additions" relies on CSE (its flat count
+        is 24 — S₁ = A₂₁+A₂₂ etc. are shared between forms).  The CDAG
+        construction and the I/O accounting both use the flat evaluation,
+        which changes constants only.
+        """
+        total = 0
+        for mat in (self.U, self.V):
+            nnz_per_row = (mat != 0).sum(axis=1)
+            total += int((np.maximum(nnz_per_row - 1, 0)).sum())
+        nnz_per_row = (self.W != 0).sum(axis=1)
+        total += int((np.maximum(nnz_per_row - 1, 0)).sum())
+        return total
+
+    # ------------------------------------------------------------------ #
+
+    def brent_residual(self) -> float:
+        """Max abs deviation from the Brent equations.
+
+        Checked exactly on all basis pairs: for ``A = E_{ij}``, ``B = E_{kl}``
+        the product is ``δ_{jk} E_{il}``.  All our schemes have small-integer
+        coefficients, so the float computation is exact and a correct scheme
+        returns exactly 0.0.
+        """
+        n0 = self.n0
+        n0sq = n0 * n0
+        # L[r, a] * R[r, b] summed with W gives the bilinear map on basis
+        # vectors:   C_vec[k; a, b] = sum_r W[k, r] U[r, a] V[r, b].
+        # Compare against the exact matrix-multiplication tensor.
+        T = np.einsum("kr,ra,rb->kab", self.W, self.U, self.V)
+        T_true = np.zeros((n0sq, n0sq, n0sq))
+        for i in range(n0):
+            for j in range(n0):
+                for k in range(n0):
+                    for l in range(n0):
+                        if j == k:
+                            T_true[i * n0 + l, i * n0 + j, k * n0 + l] = 1.0
+        return float(np.max(np.abs(T - T_true)))
+
+    def apply(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """One non-recursive application to ``n₀ × n₀`` numeric matrices."""
+        n0 = self.n0
+        if A.shape != (n0, n0) or B.shape != (n0, n0):
+            raise ValueError("apply() is the base case: matrices must be n0 x n0")
+        a = A.reshape(-1)
+        b = B.reshape(-1)
+        products = (self.U @ a) * (self.V @ b)
+        return (self.W @ products).reshape(n0, n0)
+
+    def apply_blocked(self, Ablocks: list, Bblocks: list, multiply) -> list:
+        """One blocked application: ``Ablocks``/``Bblocks`` are the n₀² blocks
+        in row-major order; ``multiply(X, Y)`` is the recursive product.
+
+        Returns the n₀² blocks of C.  This is *the* recursion step of every
+        Strassen-like algorithm (sequential, I/O-explicit, and parallel code
+        paths all funnel through it), so it is written once here.
+        """
+        left = [_linear_combination(self.U[r], Ablocks) for r in range(self.m0)]
+        right = [_linear_combination(self.V[r], Bblocks) for r in range(self.m0)]
+        prods = [multiply(left[r], right[r]) for r in range(self.m0)]
+        return [_linear_combination(self.W[k], prods) for k in range(self.n0 * self.n0)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BilinearScheme({self.name!r}, n0={self.n0}, m0={self.m0}, "
+            f"omega0={self.omega0:.4f})"
+        )
+
+
+def _linear_combination(coeffs: np.ndarray, blocks: list):
+    """``Σ coeffs[i] · blocks[i]`` skipping zeros (blocks are numpy arrays)."""
+    out = None
+    for c, blk in zip(coeffs, blocks):
+        if c == 0:
+            continue
+        term = blk if c == 1 else c * blk
+        out = term.copy() if out is None and c == 1 else (term if out is None else out + term)
+    if out is None:
+        out = np.zeros_like(blocks[0])
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# concrete schemes                                                        #
+# ---------------------------------------------------------------------- #
+
+
+def strassen_scheme() -> BilinearScheme:
+    """Strassen's original 7-multiplication scheme (Appendix A, Algorithm 1)."""
+    # vec order: [A11, A12, A21, A22]
+    U = np.array(
+        [
+            [1, 0, 0, 1],    # M1 = (A11 + A22) ...
+            [0, 0, 1, 1],    # M2 = (A21 + A22) ...
+            [1, 0, 0, 0],    # M3 = A11 ...
+            [0, 0, 0, 1],    # M4 = A22 ...
+            [1, 1, 0, 0],    # M5 = (A11 + A12) ...
+            [-1, 0, 1, 0],   # M6 = (A21 - A11) ...
+            [0, 1, 0, -1],   # M7 = (A12 - A22) ...
+        ],
+        dtype=np.float64,
+    )
+    V = np.array(
+        [
+            [1, 0, 0, 1],    # ... (B11 + B22)
+            [1, 0, 0, 0],    # ... B11
+            [0, 1, 0, -1],   # ... (B12 - B22)
+            [-1, 0, 1, 0],   # ... (B21 - B11)
+            [0, 0, 0, 1],    # ... B22
+            [1, 1, 0, 0],    # ... (B11 + B12)
+            [0, 0, 1, 1],    # ... (B21 + B22)
+        ],
+        dtype=np.float64,
+    )
+    W = np.array(
+        [
+            [1, 0, 0, 1, -1, 0, 1],   # C11 = M1 + M4 - M5 + M7
+            [0, 0, 1, 0, 1, 0, 0],    # C12 = M3 + M5
+            [0, 1, 0, 1, 0, 0, 0],    # C21 = M2 + M4
+            [1, -1, 1, 0, 0, 1, 0],   # C22 = M1 - M2 + M3 + M6
+        ],
+        dtype=np.float64,
+    )
+    return BilinearScheme("strassen", 2, U, V, W)
+
+
+def winograd_scheme() -> BilinearScheme:
+    """Winograd's variant: 7 multiplications, 15 additions [Winograd 1971].
+
+    The paper singles it out as the most used fast algorithm in practice
+    (§1.4.2) and as a member of the Strassen-like class (§5.1.1).
+    """
+    U = np.array(
+        [
+            [1, 0, 0, 0],     # M1 = A11 ...
+            [0, 1, 0, 0],     # M2 = A12 ...
+            [1, 1, -1, -1],   # M3 = (A11 + A12 - A21 - A22) ...
+            [0, 0, 0, 1],     # M4 = A22 ...
+            [0, 0, 1, 1],     # M5 = (A21 + A22) ...
+            [-1, 0, 1, 1],    # M6 = (A21 + A22 - A11) ...
+            [1, 0, -1, 0],    # M7 = (A11 - A21) ...
+        ],
+        dtype=np.float64,
+    )
+    V = np.array(
+        [
+            [1, 0, 0, 0],     # ... B11
+            [0, 0, 1, 0],     # ... B21
+            [0, 0, 0, 1],     # ... B22
+            [1, -1, -1, 1],   # ... (B11 - B12 - B21 + B22)
+            [-1, 1, 0, 0],    # ... (B12 - B11)
+            [1, -1, 0, 1],    # ... (B11 - B12 + B22)
+            [0, -1, 0, 1],    # ... (B22 - B12)
+        ],
+        dtype=np.float64,
+    )
+    W = np.array(
+        [
+            [1, 1, 0, 0, 0, 0, 0],    # C11 = M1 + M2
+            [1, 0, 1, 0, 1, 1, 0],    # C12 = M1 + M3 + M5 + M6
+            [1, 0, 0, -1, 0, 1, 1],   # C21 = M1 - M4 + M6 + M7
+            [1, 0, 0, 0, 1, 1, 1],    # C22 = M1 + M5 + M6 + M7
+        ],
+        dtype=np.float64,
+    )
+    return BilinearScheme("winograd", 2, U, V, W)
+
+
+def classical_scheme(n0: int) -> BilinearScheme:
+    """The classical ⟨n₀, n₀³⟩ scheme: one multiplication per (i, j, k) triple.
+
+    Its ``Dec₁C`` decomposes into n₀² disconnected stars — the paper's §5.1.1
+    example of an algorithm *outside* the Strassen-like class.
+    """
+    n0sq = n0 * n0
+    m0 = n0 ** 3
+    U = np.zeros((m0, n0sq))
+    V = np.zeros((m0, n0sq))
+    W = np.zeros((n0sq, m0))
+    r = 0
+    for i in range(n0):
+        for j in range(n0):
+            for k in range(n0):
+                # multiplication r computes A[i, k] * B[k, j]
+                U[r, i * n0 + k] = 1.0
+                V[r, k * n0 + j] = 1.0
+                W[i * n0 + j, r] = 1.0
+                r += 1
+    return BilinearScheme(f"classical{n0}", n0, U, V, W)
+
+
+def compose_schemes(s1: BilinearScheme, s2: BilinearScheme, name: str | None = None) -> BilinearScheme:
+    """Tensor (Kronecker) composition: a ⟨n₁n₂, m₁m₂⟩ scheme from two schemes.
+
+    Multiplying ``n₁n₂ × n₁n₂`` matrices by viewing them as ``n₁ × n₁`` blocks
+    of ``n₂ × n₂`` matrices and running ``s1`` with ``s2`` as the block
+    multiplier.  This is how the uniform recursive family of §5.1 composes,
+    and it manufactures *validated* schemes with new exponents, e.g.
+    strassen ⊗ classical2 has ``ω₀ = log₄ 56 ≈ 2.904``.
+    """
+    n1, n2 = s1.n0, s2.n0
+    n = n1 * n2
+    # Permutation from block-major (i1, j1, i2, j2) to row-major (i, j) vec.
+    # blockmajor index = (i1*n1 + j1) * n2^2 + (i2*n2 + j2)
+    # rowmajor  index = (i1*n2 + i2) * n + (j1*n2 + j2)
+    perm = np.empty(n * n, dtype=np.int64)  # perm[rowmajor] = blockmajor
+    for i1 in range(n1):
+        for j1 in range(n1):
+            for i2 in range(n2):
+                for j2 in range(n2):
+                    bm = (i1 * n1 + j1) * (n2 * n2) + (i2 * n2 + j2)
+                    rm = (i1 * n2 + i2) * n + (j1 * n2 + j2)
+                    perm[rm] = bm
+    U = np.kron(s1.U, s2.U)[:, perm]
+    V = np.kron(s1.V, s2.V)[:, perm]
+    W = np.kron(s1.W, s2.W)[perm, :]
+    return BilinearScheme(name or f"{s1.name}*{s2.name}", n, U, V, W)
+
+
+# ---------------------------------------------------------------------- #
+# registry                                                                #
+# ---------------------------------------------------------------------- #
+
+_FACTORIES = {
+    "strassen": strassen_scheme,
+    "winograd": winograd_scheme,
+    "classical2": lambda: classical_scheme(2),
+    "classical3": lambda: classical_scheme(3),
+    "strassen2x": lambda: compose_schemes(strassen_scheme(), strassen_scheme(), "strassen2x"),
+    "hybrid4": lambda: compose_schemes(strassen_scheme(), classical_scheme(2), "hybrid4"),
+}
+
+
+@lru_cache(maxsize=None)
+def get_scheme(name: str) -> BilinearScheme:
+    """Fetch a validated scheme from the registry by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered schemes."""
+    return sorted(_FACTORIES)

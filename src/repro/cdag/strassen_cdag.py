@@ -1,0 +1,453 @@
+"""Recursive construction of the Strassen(-like) computation graph (§4, §4.1.1).
+
+The paper builds ``H_{lg n}`` (the CDAG of Strassen's algorithm on n×n
+matrices) from three parts:
+
+* ``Enc_k A`` — weighted sums of elements of A (left linear forms),
+* ``Enc_k B`` — same for B,
+* ``Dec_k C`` — weighted sums of the 7^k element-wise products that produce C,
+
+connected by one multiplication vertex per product (§4, Fig. 2).  The
+construction below is the paper's top-down recursion (§4.1.1) implemented
+*iteratively over levels with vectorized index arithmetic*, generic over any
+:class:`~repro.cdag.schemes.BilinearScheme` ⟨n₀, m₀⟩ — the paper's ``4`` and
+``7`` become ``c₀ = n₀²`` and ``m₀`` (§5.1.2).
+
+Vertex/level layout of ``Dec_k C`` (the graph of Lemma 4.3):
+
+* level ``t = 0`` holds the ``m₀^k`` product vertices (the paper's top level
+  ``l_{k+1}``),
+* level ``t`` holds ``c₀^t · m₀^(k−t)`` vertices (the paper's ``l_{k+1−t}``,
+  Fact 4.6),
+* level ``t = k`` holds the ``c₀^k`` output vertices (the paper's ``l_1``),
+* between consecutive levels sit edge-disjoint copies of ``Dec₁C`` — exactly
+  the decomposition used by Claim 2.1 / Corollary 4.4 and by the recursion
+  tree ``T_k`` of the Main Lemma's proof (Fig. 3).
+
+``Enc_k A`` follows the same recursion on ``U`` with one twist the paper
+points out (§4.1): base-case rows that simply *forward* an input (a single
+``+1`` coefficient, e.g. ``M₃ = A11·(B12−B22)`` forwards ``A11``) do not
+create a new vertex — the form *is* the input.  This aliasing is what gives
+``Enc_{lg n} A`` vertices of out-degree Θ(lg n) while ``Dec_{lg n} C`` keeps
+constant degree (Fact 4.2), the reason the paper analyses ``Dec`` and not
+``H`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.cdag.graph import CDAG, VertexKind
+from repro.cdag.schemes import BilinearScheme, get_scheme
+
+__all__ = [
+    "dec_graph",
+    "enc_graph",
+    "h_graph",
+    "HGraph",
+    "dec_level_sizes",
+    "dec_vertex_count",
+    "dec1_graph",
+    "recursion_tree_partition",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Dec_k C                                                                 #
+# ---------------------------------------------------------------------- #
+
+
+def dec_level_sizes(scheme: BilinearScheme, k: int) -> np.ndarray:
+    """Level sizes of ``Dec_k C``: ``size[t] = c₀^t · m₀^(k−t)`` (Fact 4.6)."""
+    c0 = scheme.n0 * scheme.n0
+    m0 = scheme.m0
+    return np.array([c0**t * m0 ** (k - t) for t in range(k + 1)], dtype=np.int64)
+
+
+def dec_vertex_count(scheme: BilinearScheme, k: int) -> int:
+    """Total number of vertices of ``Dec_k C``."""
+    return int(dec_level_sizes(scheme, k).sum())
+
+
+def _dec_edges(scheme: BilinearScheme, k: int):
+    """Vectorized edge arrays of Dec_k C plus level offsets.
+
+    A level-``t`` vertex is ``off[t] + ρ·c₀^t + s`` where ``ρ ∈ [m₀^(k−t)]``
+    is the not-yet-decoded product prefix and ``s ∈ [c₀^t]`` the decoded
+    output suffix.  One decode step consumes the *last* digit ``r`` of ``ρ``
+    and produces digit ``q`` of the suffix for every nonzero ``W[q, r]`` —
+    one ``Dec₁C`` copy per ``(prefix, suffix)`` pair.
+    """
+    c0 = scheme.n0 * scheme.n0
+    m0 = scheme.m0
+    sizes = dec_level_sizes(scheme, k)
+    off = np.concatenate([[0], np.cumsum(sizes)])[:-1]
+    qs, rs = np.nonzero(scheme.W)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for t in range(k):
+        n_prefix = m0 ** (k - t - 1)
+        n_suffix = c0**t
+        P = np.arange(n_prefix, dtype=np.int64)[:, None]
+        S = np.arange(n_suffix, dtype=np.int64)[None, :]
+        base_src = off[t] + (P * m0) * n_suffix + S          # + r * n_suffix
+        base_dst = off[t + 1] + P * (n_suffix * c0) + S      # + q * n_suffix
+        for q, r in zip(qs, rs):
+            src_parts.append((base_src + int(r) * n_suffix).ravel())
+            dst_parts.append((base_dst + int(q) * n_suffix).ravel())
+    src = np.concatenate(src_parts) if src_parts else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dst_parts) if dst_parts else np.empty(0, dtype=np.int64)
+    return src, dst, off, sizes
+
+
+def dec_graph(
+    scheme: BilinearScheme | str = "strassen",
+    k: int = 1,
+    expand_trees: bool = False,
+) -> CDAG:
+    """Build ``Dec_k C`` for a scheme (Strassen by default).
+
+    Parameters
+    ----------
+    scheme:
+        A :class:`BilinearScheme` or registry name.
+    k:
+        Recursion depth; the graph has ``Θ(m₀^k)`` vertices.
+    expand_trees:
+        If True, apply Comment 4.1: vertices of in-degree > 2 are replaced by
+        binary addition trees, restoring the in-degree ≤ 2 invariant of real
+        binary-arithmetic CDAGs (changes expansion by a constant factor only).
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    if k < 0:
+        raise ValueError("recursion depth k must be >= 0")
+    src, dst, off, sizes = _dec_edges(scheme, k)
+    n = int(sizes.sum())
+    kinds = np.full(n, VertexKind.ADD, dtype=np.int8)
+    kinds[: sizes[0]] = VertexKind.MULT            # level 0: the products
+    kinds[off[k] :] = VertexKind.OUTPUT            # level k: entries of C
+    levels = np.repeat(np.arange(k + 1, dtype=np.int32), sizes)
+    g = CDAG(n_vertices=n, src=src, dst=dst, kinds=kinds, levels=levels)
+    if expand_trees:
+        g = _expand_high_indegree(g)
+    return g
+
+
+def dec1_graph(scheme: BilinearScheme | str = "strassen", expand_trees: bool = False) -> CDAG:
+    """``Dec₁C`` — the base-case decode graph (Fig. 2 top-left)."""
+    return dec_graph(scheme, 1, expand_trees=expand_trees)
+
+
+def _expand_high_indegree(g: CDAG) -> CDAG:
+    """Replace in-degree > 2 vertices with balanced binary addition trees.
+
+    New internal vertices are ADDs inheriting the level of the target vertex.
+    The number of inputs/outputs is unchanged (Comment 4.1).
+    """
+    indeg = g.in_degree
+    heavy = np.flatnonzero(indeg > 2)
+    if len(heavy) == 0:
+        return g
+    src = list(g.src)
+    dst = list(g.dst)
+    kinds = list(g.kinds)
+    levels = list(g.levels)
+    # Group incoming edges by target once.
+    order = np.argsort(g.dst, kind="stable")
+    sorted_dst = g.dst[order]
+    sorted_src = g.src[order]
+    starts = np.searchsorted(sorted_dst, heavy, side="left")
+    ends = np.searchsorted(sorted_dst, heavy, side="right")
+    keep = np.ones(g.n_edges, dtype=bool)
+    next_id = g.n_vertices
+    for v, lo, hi in zip(heavy, starts, ends):
+        keep[order[lo:hi]] = False
+        operands = list(sorted_src[lo:hi])
+        # Pairwise-combine operands until two remain; they feed v directly.
+        while len(operands) > 2:
+            nxt = []
+            for i in range(0, len(operands) - 1, 2):
+                kinds.append(VertexKind.ADD)
+                levels.append(levels[v])
+                src.extend([operands[i], operands[i + 1]])
+                dst.extend([next_id, next_id])
+                nxt.append(next_id)
+                next_id += 1
+            if len(operands) % 2:
+                nxt.append(operands[-1])
+            operands = nxt
+        for u in operands:
+            src.append(u)
+            dst.append(v)
+    old_src = g.src[keep]
+    old_dst = g.dst[keep]
+    new_src = np.concatenate([old_src, np.asarray(src[g.n_edges :], dtype=np.int64)])
+    new_dst = np.concatenate([old_dst, np.asarray(dst[g.n_edges :], dtype=np.int64)])
+    return CDAG(
+        n_vertices=next_id,
+        src=new_src,
+        dst=new_dst,
+        kinds=np.asarray(kinds, dtype=np.int8),
+        levels=np.asarray(levels, dtype=np.int32),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Enc_k (A or B)                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def _identity_rows(M: np.ndarray) -> dict[int, int]:
+    """Rows of a linear-form matrix that merely forward one input.
+
+    Returns ``{row: column}`` for rows with a single nonzero equal to +1;
+    such forms are aliased to their operand vertex (§4.1: vertices that are
+    both input and output of ``Enc₁``).
+    """
+    out: dict[int, int] = {}
+    for r in range(M.shape[0]):
+        nz = np.flatnonzero(M[r])
+        if len(nz) == 1 and M[r, nz[0]] == 1.0:
+            out[r] = int(nz[0])
+    return out
+
+
+@dataclass(frozen=True)
+class _EncPart:
+    """Intermediate result of building one encoder inside a larger graph."""
+
+    input_ids: np.ndarray     # c0^k input vertex ids
+    form_ids: np.ndarray      # m0^k final linear-form vertex ids (may alias inputs)
+    n_vertices: int           # total ids consumed (incl. the caller's base offset)
+    src: np.ndarray
+    dst: np.ndarray
+    kinds: np.ndarray         # kinds of the *new* vertices allocated here
+    levels: np.ndarray
+
+
+def _build_enc(M: np.ndarray, n0: int, k: int, base: int) -> _EncPart:
+    """Build ``Enc_k`` for linear-form matrix ``M`` (U or V), ids from ``base``.
+
+    Level ``t`` nominal slots are pairs ``(ρ ∈ [m₀^t], e ∈ [c₀^(k−t)])``
+    holding the value of form ``ρ`` applied at sub-position ``e``; the slot
+    array maps to actual vertex ids, with identity rows aliased.
+    """
+    c0 = n0 * n0
+    m0 = M.shape[0]
+    ident = _identity_rows(M)
+    kinds: list[np.ndarray] = []
+    levels: list[np.ndarray] = []
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    next_id = base
+
+    n_inputs = c0**k
+    input_ids = np.arange(next_id, next_id + n_inputs, dtype=np.int64)
+    next_id += n_inputs
+    kinds.append(np.full(n_inputs, VertexKind.INPUT, dtype=np.int8))
+    levels.append(np.zeros(n_inputs, dtype=np.int32))
+
+    vid = input_ids  # level-t slot -> vertex id, shape (m0^t * c0^(k-t),)
+    for t in range(1, k + 1):
+        n_rho = m0 ** (t - 1)
+        n_pos = c0 ** (k - t)          # positions after consuming one digit
+        prev = vid.reshape(n_rho, c0 * n_pos)
+        new_vid = np.empty((n_rho, m0, n_pos), dtype=np.int64)
+        for r in range(m0):
+            if r in ident:
+                i = ident[r]
+                new_vid[:, r, :] = prev[:, i * n_pos : (i + 1) * n_pos]
+                continue
+            count = n_rho * n_pos
+            ids = np.arange(next_id, next_id + count, dtype=np.int64).reshape(
+                n_rho, n_pos
+            )
+            next_id += count
+            kinds.append(np.full(count, VertexKind.ADD, dtype=np.int8))
+            levels.append(np.full(count, t, dtype=np.int32))
+            new_vid[:, r, :] = ids
+            for i in np.flatnonzero(M[r]):
+                src_parts.append(prev[:, i * n_pos : (i + 1) * n_pos].ravel())
+                dst_parts.append(ids.ravel())
+        vid = new_vid.reshape(-1)
+
+    return _EncPart(
+        input_ids=input_ids,
+        form_ids=vid,
+        n_vertices=next_id,
+        src=np.concatenate(src_parts) if src_parts else np.empty(0, np.int64),
+        dst=np.concatenate(dst_parts) if dst_parts else np.empty(0, np.int64),
+        kinds=np.concatenate(kinds),
+        levels=np.concatenate(levels),
+    )
+
+
+def enc_graph(scheme: BilinearScheme | str = "strassen", k: int = 1, side: str = "A") -> CDAG:
+    """Standalone ``Enc_k A`` (or ``Enc_k B`` with ``side='B'``)."""
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    M = scheme.U if side.upper() == "A" else scheme.V
+    part = _build_enc(M, scheme.n0, k, base=0)
+    return CDAG(
+        n_vertices=part.n_vertices,
+        src=part.src,
+        dst=part.dst,
+        kinds=part.kinds,
+        levels=part.levels,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# H_k — the full computation graph                                        #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class HGraph:
+    """The composed CDAG ``H_k`` with named vertex regions (Fig. 2 bottom-right).
+
+    Attributes
+    ----------
+    cdag:
+        The full graph.
+    a_inputs, b_inputs:
+        Vertex ids of the entries of A and B (``c₀^k`` each).
+    mult_ids:
+        The ``m₀^k`` multiplication vertices (= level-0 vertices of Dec).
+    output_ids:
+        The ``c₀^k`` entries of C.
+    dec_ids:
+        All vertices of the embedded ``Dec_k C`` (including ``mult_ids``) —
+        the subgraph ``G'`` used by Lemma 3.3 / Theorem 1.1.
+    k, scheme_name:
+        Construction parameters.
+    """
+
+    cdag: CDAG
+    a_inputs: np.ndarray
+    b_inputs: np.ndarray
+    mult_ids: np.ndarray
+    output_ids: np.ndarray
+    dec_ids: np.ndarray
+    k: int
+    scheme_name: str
+
+    @property
+    def dec_fraction(self) -> float:
+        """|V(Dec_k C)| / |V(H_k)| — the α of Claim 3.2 (≥ 1/3 for Strassen)."""
+        return len(self.dec_ids) / self.cdag.n_vertices
+
+    def dec_subgraph(self) -> CDAG:
+        """Extract the embedded ``Dec_k C`` as its own CDAG."""
+        sub, _ = self.cdag.subgraph(self.dec_ids)
+        return sub
+
+
+def h_graph(scheme: BilinearScheme | str = "strassen", k: int = 1) -> HGraph:
+    """Build the full Strassen-like computation graph ``H_k`` (§4.1.1).
+
+    Encode A, encode B, join with one multiplication vertex per product,
+    decode C.  Multiplication vertices receive in-edges from the two final
+    linear forms and serve as the inputs of the decode stage.
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    c0 = scheme.n0 * scheme.n0
+    m0 = scheme.m0
+
+    enc_a = _build_enc(scheme.U, scheme.n0, k, base=0)
+    enc_b = _build_enc(scheme.V, scheme.n0, k, base=enc_a.n_vertices)
+
+    n_mult = m0**k
+    mult_base = enc_b.n_vertices
+    mult_ids = np.arange(mult_base, mult_base + n_mult, dtype=np.int64)
+
+    # Dec_k C: its level-0 vertices *are* the multiplication vertices, so we
+    # shift its internal ids by mult_base (level 0 occupies [0, m0^k) there).
+    dsrc, ddst, doff, dsizes = _dec_edges(scheme, k)
+    dec_total = int(dsizes.sum())
+    dec_kinds = np.full(dec_total, VertexKind.ADD, dtype=np.int8)
+    dec_kinds[:n_mult] = VertexKind.MULT
+    dec_kinds[doff[k] :] = VertexKind.OUTPUT
+    dec_levels = np.repeat(np.arange(k + 1, dtype=np.int32), dsizes) + (k + 1)
+
+    src = np.concatenate(
+        [
+            enc_a.src,
+            enc_b.src,
+            enc_a.form_ids,          # left operand -> mult
+            enc_b.form_ids,          # right operand -> mult
+            dsrc + mult_base,
+        ]
+    )
+    dst = np.concatenate(
+        [
+            enc_a.dst,
+            enc_b.dst,
+            mult_ids,
+            mult_ids,
+            ddst + mult_base,
+        ]
+    )
+    kinds = np.concatenate([enc_a.kinds, enc_b.kinds, dec_kinds])
+    levels = np.concatenate(
+        [enc_a.levels, enc_b.levels + 0, dec_levels]
+    )
+    n_vertices = mult_base + dec_total
+    cdag = CDAG(n_vertices=n_vertices, src=src, dst=dst, kinds=kinds, levels=levels)
+    output_ids = np.arange(mult_base + doff[k], mult_base + dec_total, dtype=np.int64)
+    dec_ids = np.arange(mult_base, mult_base + dec_total, dtype=np.int64)
+    return HGraph(
+        cdag=cdag,
+        a_inputs=enc_a.input_ids,
+        b_inputs=enc_b.input_ids,
+        mult_ids=mult_ids,
+        output_ids=output_ids,
+        dec_ids=dec_ids,
+        k=k,
+        scheme_name=scheme.name,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the recursion tree T_k (Fig. 3)                                         #
+# ---------------------------------------------------------------------- #
+
+
+def recursion_tree_partition(scheme: BilinearScheme | str, k: int) -> list[np.ndarray]:
+    """The vertex sets ``V_u`` of the recursion tree ``T_k`` (§4.1.2, Fig. 3).
+
+    ``T_k`` is the (c₀-ary) tree whose root corresponds to the largest level
+    ``l_{k+1}`` of ``Dec_k C`` and whose depth-``i`` nodes correspond to the
+    largest levels of the sub-``Dec`` graphs after peeling ``i`` levels.
+    Returns a list of tree levels ``t_1 .. t_{k+1}`` (bottom-up like the
+    paper): element ``i`` is an array of shape ``(c₀^(k+1−i), m₀^(i−1))``
+    whose row ``u`` holds the ``Dec_k C`` vertex ids of ``V_u``.
+
+    Together the ``V_u`` partition ``V(Dec_k C)``, ``|V_u| = m₀^(i−1)`` for
+    ``u ∈ t_i``, and each internal node has ``c₀`` children — every claim is
+    exercised by the tests and by Fact 4.9's leaf statement.
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    c0 = scheme.n0 * scheme.n0
+    m0 = scheme.m0
+    sizes = dec_level_sizes(scheme, k)
+    off = np.concatenate([[0], np.cumsum(sizes)])[:-1]
+    levels_out: list[np.ndarray] = []
+    # Tree level t_i (i = 1 bottom) collects, for each suffix s ∈ [c0^(k-i+1)],
+    # the graph level t = k-i+1 vertices sharing that suffix: ids
+    # off[t] + rho * c0^t + s for rho ∈ [m0^(k-t)] — |V_u| = m0^(i-1).
+    for i in range(1, k + 2):
+        t = k - i + 1
+        n_suffix = c0**t
+        n_rho = m0 ** (k - t)
+        S = np.arange(n_suffix, dtype=np.int64)[:, None]
+        R = np.arange(n_rho, dtype=np.int64)[None, :]
+        ids = off[t] + R * n_suffix + S
+        levels_out.append(ids)
+    return levels_out

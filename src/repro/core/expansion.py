@@ -1,0 +1,356 @@
+"""Edge-expansion estimation (§2, §3.3, §4.1.2 — the paper's core quantity).
+
+For a ``d``-regular graph the edge expansion is
+
+    h(G) = min_{|U| ≤ |V|/2}  |E(U, V\\U)| / (d · |U|)        (Eq. 4)
+
+CDAGs are not regular; the paper regularizes by adding loops up to the max
+degree ``d`` (§2.0.2) — loops never cross a cut, so in practice we divide by
+``d = max_degree`` and never materialize loops.
+
+Exact ``h`` is NP-hard, so the module offers a *sandwich*:
+
+* **exact enumeration** for tiny graphs (≤ ~22 vertices) — ground truth for
+  the test suite and for ``Dec₁C``;
+* **spectral (Cheeger) bounds** — ``λ₂/2 ≤ h(G) ≤ √(2 λ₂)`` for the
+  loop-regularized graph, computed with sparse eigensolvers: a certified
+  lower bound on one side;
+* **constructive cuts** — every cut gives a certified *upper* bound:
+  Fiedler sweep cuts, and the structural witness for Lemma 4.3's tightness:
+  the *decode cone* of one outermost recursion branch of ``Dec_k C``
+  (``S`` = everything decoded exclusively from products whose outermost
+  digit is ``r``), whose boundary is the ``c₀^(k−1)`` partial results it
+  hands to the final combine — giving ``h ≤ O((c₀/m₀)^k)``;
+* **small-set expansion** ``h_s`` (Eq. 5) with the decomposition lower
+  bound of Claim 2.1.
+
+Together the experiments verify ``h(Dec_k C) = Θ((4/7)^k)`` (Lemma 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.cdag.graph import CDAG
+from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.cdag.strassen_cdag import dec_level_sizes
+
+__all__ = [
+    "ExpansionEstimate",
+    "expansion_of_cut",
+    "exact_edge_expansion",
+    "exact_small_set_expansion",
+    "spectral_lower_bound",
+    "fiedler_sweep_cut",
+    "decode_cone_mask",
+    "decode_cone_upper_bound",
+    "estimate_expansion",
+    "claim_2_1_small_set_bound",
+]
+
+_EXACT_LIMIT = 22  # 2^22 subsets is the practical enumeration ceiling
+
+
+@dataclass(frozen=True)
+class ExpansionEstimate:
+    """A two-sided estimate of h(G) with the witness cut for the upper side."""
+
+    lower: float               # certified lower bound (spectral or exact)
+    upper: float               # certified upper bound (a concrete cut)
+    witness_size: int          # |U| of the best cut found
+    witness_boundary: int      # |E(U, V\U)| of that cut
+    degree: int                # the regularized degree d used
+    method: str
+
+
+# ---------------------------------------------------------------------- #
+# cut evaluation                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def expansion_of_cut(g: CDAG, mask: np.ndarray, degree: int | None = None) -> float:
+    """The ratio ``|E(U, V\\U)| / (d · |U|)`` for ``U = mask``.
+
+    Raises if ``U`` is empty or larger than ``|V|/2`` (Eq. 4's constraint).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    size = int(mask.sum())
+    if size == 0:
+        raise ValueError("cut set must be nonempty")
+    if size > g.n_vertices // 2:
+        raise ValueError("cut set exceeds |V|/2; expansion is defined on the smaller side")
+    d = degree if degree is not None else g.max_degree
+    return g.edge_boundary_size(mask) / (d * size)
+
+
+# ---------------------------------------------------------------------- #
+# exact enumeration (tiny graphs)                                         #
+# ---------------------------------------------------------------------- #
+
+
+def _popcount(x: np.ndarray) -> np.ndarray:
+    """Vectorized popcount for non-negative int64 arrays."""
+    x = x.copy()
+    count = np.zeros_like(x)
+    while np.any(x):
+        count += x & 1
+        x >>= 1
+    return count
+
+
+def exact_edge_expansion(g: CDAG, max_size: int | None = None) -> tuple[float, np.ndarray]:
+    """Exact ``h(G)`` (or ``h_s`` when ``max_size`` given) by enumeration.
+
+    Returns ``(h, best_mask)``.  Only feasible for ``|V| ≤ 22``.
+    """
+    n = g.n_vertices
+    if n > _EXACT_LIMIT:
+        raise ValueError(f"exact enumeration limited to {_EXACT_LIMIT} vertices; got {n}")
+    if n < 2:
+        raise ValueError("expansion undefined for graphs with < 2 vertices")
+    limit = n // 2 if max_size is None else min(max_size, n)
+    d = g.max_degree
+    masks = np.arange(1, 2**n, dtype=np.int64)
+    sizes = _popcount(masks)
+    ok = (sizes >= 1) & (sizes <= limit)
+    masks = masks[ok]
+    sizes = sizes[ok]
+    u, v = g.undirected_edges
+    boundary = np.zeros(len(masks), dtype=np.int64)
+    for a, b in zip(u.tolist(), v.tolist()):
+        boundary += ((masks >> a) ^ (masks >> b)) & 1
+    ratios = boundary / (d * sizes)
+    best = int(np.argmin(ratios))
+    best_mask = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if (int(masks[best]) >> i) & 1:
+            best_mask[i] = True
+    return float(ratios[best]), best_mask
+
+
+def exact_small_set_expansion(g: CDAG, s: int) -> float:
+    """Exact ``h_s(G)`` (Eq. 5) by enumeration — tiny graphs only."""
+    h, _ = exact_edge_expansion(g, max_size=s)
+    return h
+
+
+# ---------------------------------------------------------------------- #
+# spectral machinery                                                      #
+# ---------------------------------------------------------------------- #
+
+
+def _regularized_laplacian(g: CDAG) -> tuple[sp.csr_matrix, int]:
+    """Normalized Laplacian of the loop-regularized d-regular graph.
+
+    ``L = I − (A + (d − deg)·I)/d``; loops appear only on the diagonal and
+    leave every cut untouched, exactly the paper's §2.0.2 convention.
+    """
+    d = g.max_degree
+    A = g.adjacency
+    deg = g.degree.astype(np.float64)
+    n = g.n_vertices
+    diag = (d - deg) / d
+    L = sp.identity(n, format="csr") - (A / d + sp.diags(diag))
+    return L.tocsr(), d
+
+
+def _two_smallest_eigs(L: sp.csr_matrix) -> tuple[np.ndarray, np.ndarray]:
+    """The two algebraically smallest eigenpairs of a PSD sparse matrix.
+
+    Shift-invert around a small negative sigma converges fast even when the
+    spectral gap is tiny (it is ~(4/7)^{2k} for deep decode graphs); fall
+    back to plain 'SA' Lanczos if the factorization fails.
+    """
+    n = L.shape[0]
+    if n <= 600:
+        w, V = np.linalg.eigh(L.toarray())
+        return w[:2], V[:, :2]
+    try:
+        w, V = spla.eigsh(L, k=2, sigma=-1e-8, which="LM", maxiter=5000)
+    except Exception:
+        w, V = spla.eigsh(L, k=2, which="SA", maxiter=20000, tol=1e-10)
+    order = np.argsort(w)
+    return w[order], V[:, order]
+
+
+def spectral_lower_bound(g: CDAG) -> tuple[float, np.ndarray]:
+    """Cheeger lower bound ``h(G) ≥ λ₂/2`` plus the Fiedler vector.
+
+    Returns ``(λ₂ / 2, fiedler_vector)`` for the regularized graph.
+    """
+    L, _ = _regularized_laplacian(g)
+    w, V = _two_smallest_eigs(L)
+    lam2 = max(float(w[1]), 0.0)
+    return lam2 / 2.0, V[:, 1]
+
+
+def fiedler_sweep_cut(g: CDAG, fiedler: np.ndarray | None = None) -> tuple[float, np.ndarray]:
+    """Best prefix cut of the Fiedler ordering — a certified upper bound.
+
+    Sorts vertices by the second eigenvector and evaluates *every* prefix
+    ``U_i = first i vertices`` in O(V + E) total using a difference array
+    over edge spans (an edge crosses exactly the prefixes between the ranks
+    of its endpoints).
+    """
+    if fiedler is None:
+        _, fiedler = spectral_lower_bound(g)
+    n = g.n_vertices
+    d = g.max_degree
+    order = np.argsort(fiedler, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    u, v = g.undirected_edges
+    lo = np.minimum(rank[u], rank[v])
+    hi = np.maximum(rank[u], rank[v])
+    # cut(i) = number of edges with lo <= i < hi, for prefix of size i+1
+    diff = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(diff, lo, 1)
+    np.add.at(diff, hi, -1)
+    cut_sizes = np.cumsum(diff[:-1])
+    prefix_sizes = np.arange(1, n + 1)
+    valid = prefix_sizes <= n // 2
+    ratios = np.where(valid, cut_sizes / (d * prefix_sizes), np.inf)
+    best = int(np.argmin(ratios))
+    mask = np.zeros(n, dtype=bool)
+    mask[order[: best + 1]] = True
+    return float(ratios[best]), mask
+
+
+# ---------------------------------------------------------------------- #
+# structural witness cuts for Dec_k C                                     #
+# ---------------------------------------------------------------------- #
+
+
+def decode_cone_mask(scheme: BilinearScheme | str, k: int, branch: int = 0, depth: int | None = None) -> np.ndarray:
+    """The decode cone of one outermost recursion branch of ``Dec_k C``.
+
+    ``S`` = all vertices whose pending product prefix starts with outermost
+    digit ``branch`` — i.e. everything computed *exclusively* from the
+    products of subproblem ``M_branch`` of the top-level recursion, before
+    the final combine.  ``|S| = (m₀^k − c₀^k)/(m₀ − c₀) ≈ |V|·(m₀−c₀)/ (m₀·?)``
+    and its out-boundary is only the ``(nnz of W column branch) · c₀^(k−1)``
+    edges that feed the top-level combine — the witness that Lemma 4.3 is
+    tight: ``h(Dec_k C) = O((c₀/m₀)^k)``.
+
+    ``depth`` (default ``k``) restricts the cone to its first ``depth``
+    levels, producing the smaller witnesses used for ``h_s`` studies.
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    c0 = scheme.n0 * scheme.n0
+    m0 = scheme.m0
+    if not (0 <= branch < m0):
+        raise ValueError(f"branch must be in [0, {m0})")
+    if depth is None:
+        depth = k
+    if not (1 <= depth <= k):
+        raise ValueError("depth must be in [1, k]")
+    sizes = dec_level_sizes(scheme, k)
+    off = np.concatenate([[0], np.cumsum(sizes)])[:-1]
+    mask = np.zeros(int(sizes.sum()), dtype=bool)
+    # Level t vertices: id = off[t] + rho * c0^t + s, rho in [m0^(k-t)].
+    # The outermost product digit is the most significant digit of rho, so
+    # the cone at level t is rho in [branch * m0^(k-t-1), (branch+1) * ...).
+    for t in range(0, depth):
+        n_suffix = c0**t
+        stride = m0 ** (k - t - 1)
+        lo = off[t] + branch * stride * n_suffix
+        hi = off[t] + (branch + 1) * stride * n_suffix
+        mask[lo:hi] = True
+    return mask
+
+
+def decode_cone_upper_bound(g: CDAG, scheme: BilinearScheme | str, k: int) -> tuple[float, np.ndarray]:
+    """Best decode-cone cut over all outermost branches — upper bound on h.
+
+    The best branch is one whose W column has the fewest nonzeros (its
+    products feed the fewest outputs of the top-level combine).
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    best_ratio = math.inf
+    best_mask: np.ndarray | None = None
+    half = g.n_vertices // 2
+    for branch in range(scheme.m0):
+        mask = decode_cone_mask(scheme, k, branch)
+        if not (1 <= mask.sum() <= half):
+            continue
+        ratio = expansion_of_cut(g, mask)
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_mask = mask
+    if best_mask is None:
+        raise ValueError("no feasible decode cone (graph too small?)")
+    return best_ratio, best_mask
+
+
+# ---------------------------------------------------------------------- #
+# the combined estimator                                                  #
+# ---------------------------------------------------------------------- #
+
+
+def estimate_expansion(
+    g: CDAG,
+    scheme: BilinearScheme | str | None = None,
+    k: int | None = None,
+) -> ExpansionEstimate:
+    """Two-sided expansion estimate.
+
+    Tiny graphs are solved exactly.  Larger graphs get the Cheeger lower
+    bound and the best of (Fiedler sweep, decode cones when ``scheme``/``k``
+    describe the graph as a ``Dec_k C``).
+    """
+    d = g.max_degree
+    if g.n_vertices <= _EXACT_LIMIT:
+        h, mask = exact_edge_expansion(g)
+        return ExpansionEstimate(
+            lower=h,
+            upper=h,
+            witness_size=int(mask.sum()),
+            witness_boundary=g.edge_boundary_size(mask),
+            degree=d,
+            method="exact",
+        )
+    lower, fiedler = spectral_lower_bound(g)
+    upper, mask = fiedler_sweep_cut(g, fiedler)
+    method = "spectral+sweep"
+    if scheme is not None and k is not None:
+        cone_ratio, cone_mask = decode_cone_upper_bound(g, scheme, k)
+        if cone_ratio < upper:
+            upper, mask = cone_ratio, cone_mask
+            method = "spectral+cone"
+    return ExpansionEstimate(
+        lower=lower,
+        upper=upper,
+        witness_size=int(mask.sum()),
+        witness_boundary=g.edge_boundary_size(mask),
+        degree=d,
+        method=method,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# small-set expansion via decomposition (Claim 2.1)                       #
+# ---------------------------------------------------------------------- #
+
+
+def claim_2_1_small_set_bound(
+    h_small: float, d_small: int, d_big: int
+) -> float:
+    """Claim 2.1: if ``G`` decomposes into edge-disjoint copies of ``G'``
+    (d'-regular, expansion ``h(G')``), then sets of size ≤ |V(G')|/2 in G
+    expand at least ``h(G') · d'/d``.
+
+    The deep decode graph ``Dec_{lg n} C`` decomposes into edge-disjoint
+    copies of ``Dec_{k'} C`` (each spanning ``k'`` consecutive levels), so
+    its small-set expansion inherits the small graph's — the step that turns
+    Lemma 4.3 into Corollary 4.4.
+    """
+    if d_small <= 0 or d_big <= 0 or d_small > d_big:
+        raise ValueError("degrees must satisfy 0 < d_small <= d_big")
+    return h_small * d_small / d_big

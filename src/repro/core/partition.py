@@ -1,0 +1,150 @@
+"""The partition argument (§3.2) — certified I/O lower bounds for schedules.
+
+Given any total order O of a CDAG and any partition of O into contiguous
+segments S₁, S₂, …, the I/O of executing O with fast memory M satisfies
+
+    IO  ≥  Σ_S ( |R_S| + |W_S| − 2M )                     (Eq. 6)
+
+where ``R_S`` (read operands) are vertices outside S with an edge into S and
+``W_S`` (write operands) are vertices in S with an edge leaving S (Fig. 1).
+Each segment starts with at most M operands already resident and ends
+leaving at most M behind, so it must *read* at least |R_S| − M and *write*
+at least |W_S| − M words.
+
+This module computes the bound exactly for concrete schedules, optimizes
+the segment size (the ``max_P`` in Eq. 6), and connects to expansion: when
+the graph's small sets expand, Claim 3.1 gives |R_S| + |W_S| ≥ h·|S|/2 and
+Eq. 7–8 turn that into the familiar ``IO ≥ (|V|/s)·M`` form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdag.graph import CDAG
+
+__all__ = [
+    "SegmentStats",
+    "segment_stats",
+    "partition_bound",
+    "best_partition_bound",
+    "expansion_io_bound",
+]
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """Per-segment read/write operand counts for one segmentation."""
+
+    segment_size: int
+    n_segments: int
+    reads: np.ndarray       # |R_S| per segment
+    writes: np.ndarray      # |W_S| per segment
+
+    def bound(self, M: int, clamp: bool = True) -> int:
+        """Eq. 6 evaluated at memory M (per-segment clamping at 0 is valid
+        because every segment's true I/O is nonnegative)."""
+        raw = self.reads + self.writes - 2 * M
+        if clamp:
+            raw = np.maximum(raw, 0)
+        return int(raw.sum())
+
+
+def segment_stats(g: CDAG, order: np.ndarray, segment_size: int) -> SegmentStats:
+    """Compute |R_S| and |W_S| for contiguous segments of a total order.
+
+    Fully vectorized: an edge (u, v) with the endpoints in different
+    segments contributes u to ``W_{seg(u)}`` and to ``R_{seg(v)}``; operands
+    are counted once per segment (distinct vertices, like Fig. 1).
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = g.n_vertices
+    if len(order) != n:
+        raise ValueError("order must cover all vertices")
+    if segment_size < 1:
+        raise ValueError("segment size must be >= 1")
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n)
+    seg = pos // segment_size
+    n_segments = int(seg.max()) + 1 if n else 0
+
+    su = seg[g.src]
+    sv = seg[g.dst]
+    cross = su != sv
+    cu = g.src[cross]
+    cv_seg = sv[cross]
+    cu_seg = su[cross]
+
+    # R_S: distinct (target segment, source vertex) pairs.
+    r_keys = cv_seg * np.int64(n) + cu
+    r_unique = np.unique(r_keys)
+    reads = np.bincount((r_unique // n).astype(np.int64), minlength=n_segments)
+
+    # W_S: distinct (source segment, source vertex) pairs.
+    w_keys = cu_seg * np.int64(n) + cu
+    w_unique = np.unique(w_keys)
+    writes = np.bincount((w_unique // n).astype(np.int64), minlength=n_segments)
+
+    return SegmentStats(
+        segment_size=segment_size,
+        n_segments=n_segments,
+        reads=reads.astype(np.int64),
+        writes=writes.astype(np.int64),
+    )
+
+
+def partition_bound(g: CDAG, order: np.ndarray, M: int, segment_size: int) -> int:
+    """Eq. 6 for one segment size: a certified I/O lower bound for ``order``."""
+    return segment_stats(g, order, segment_size).bound(M)
+
+
+def best_partition_bound(
+    g: CDAG,
+    order: np.ndarray,
+    M: int,
+    sizes: list[int] | None = None,
+) -> tuple[int, int]:
+    """``max_P`` of Eq. 6 over a geometric grid of segment sizes.
+
+    Returns ``(bound, best_segment_size)``.  The default grid spans from
+    2M (below which segments cannot force I/O) to |V|.
+    """
+    n = g.n_vertices
+    if sizes is None:
+        sizes = []
+        s = max(2 * M, 4)
+        while s <= n:
+            sizes.append(s)
+            s *= 2
+        if not sizes:
+            sizes = [max(n // 2, 1)]
+    best = -1
+    best_s = sizes[0]
+    for s in sizes:
+        b = partition_bound(g, order, M, s)
+        if b > best:
+            best, best_s = b, s
+    return best, best_s
+
+
+def expansion_io_bound(
+    n_vertices: int,
+    hs: float,
+    s: int,
+    M: int,
+    alpha: float = 1.0,
+) -> float:
+    """The expansion ⇒ I/O step (Eq. 7–9 and Claim 3.2).
+
+    If sets of size ≤ s in (an α-fraction subgraph of) the CDAG expand so
+    that ``h_s · s / 2 ≥ 3M``, then ``IO ≥ (α/2) · (|V|/s) · M``.  Returns
+    that bound, or 0.0 when the premise fails — callers are expected to
+    *search* s (Corollary 4.4 supplies the right s for Strassen).
+    """
+    if s < 1 or M < 1:
+        raise ValueError("s and M must be positive")
+    if hs * s / 2.0 < 3.0 * M:
+        return 0.0
+    return (alpha / 2.0) * (n_vertices / s) * M

@@ -1,0 +1,15 @@
+"""Experiment harnesses regenerating each of the paper's tables and figures.
+
+Each module maps to experiment ids in DESIGN.md §4:
+
+* :mod:`repro.experiments.seq_io` — E1/E2 (Eq. 1, Thm 1.1, Thm 1.3)
+* :mod:`repro.experiments.expansion_exp` — E3 (Lemma 4.3, Cor. 4.4)
+* :mod:`repro.experiments.structure_exp` — E4/E5/E11 (Figs. 2–3, §5.1.1)
+* :mod:`repro.experiments.table1` — E6/E7/E10 (Table I, §6.1)
+* :mod:`repro.experiments.latency_exp` — E8 (footnote 8)
+* :mod:`repro.experiments.report` — plain-text table rendering
+"""
+
+from repro.experiments.report import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,77 @@
+"""E8 — latency (message-count) bounds: footnote 8's ``bandwidth / M``.
+
+Both the sequential DF implementations and the parallel algorithms report
+message counts; dividing the bandwidth bound by the maximum message size M
+gives the latency lower bound every run must respect.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.io_strassen import dfs_io_model
+from repro.core.bounds import LG7, latency_bound, parallel_io_bound, sequential_io_bound
+from repro.parallel.cannon import cannon_multiply
+from repro.parallel.caps import caps_multiply
+from repro.util.matgen import integer_matrix
+
+__all__ = ["sequential_latency", "parallel_latency"]
+
+
+def sequential_latency(scheme: str = "strassen", M: int = 768, ns=(128, 256, 512, 1024)) -> dict:
+    """Messages of DF-Strassen vs ``Ω((n/√M)^ω₀)`` (bound / M)."""
+    from repro.cdag.schemes import get_scheme
+
+    s = get_scheme(scheme)
+    rows = []
+    for n in ns:
+        rep = dfs_io_model(n, M, s)
+        bw_bound = sequential_io_bound(n, M, s.omega0)
+        lat = latency_bound(bw_bound, M)
+        rows.append(
+            {
+                "n": n,
+                "measured_messages": rep.messages,
+                "latency_bound": lat,
+                "measured/bound": rep.messages / lat,
+                "measured_words": rep.words,
+            }
+        )
+    return {"rows": rows, "M": M, "scheme": scheme}
+
+
+def parallel_latency(n: int = 64) -> dict:
+    """Message counts of the parallel algorithms vs bound/M per regime."""
+    A = integer_matrix(n, seed=11)
+    B = integer_matrix(n, seed=13)
+    rows = []
+    for q in (2, 4, 8):
+        r = cannon_multiply(A, B, q)
+        p = q * q
+        M = 3 * (n // q) ** 2
+        bw = parallel_io_bound(n, M, p, 3.0)
+        rows.append(
+            {
+                "algorithm": "cannon",
+                "p": p,
+                "measured_messages": r.critical_messages,
+                "latency_bound": latency_bound(bw, M),
+                "measured_words": r.critical_words,
+            }
+        )
+    n7 = 56
+    A7 = integer_matrix(n7, seed=11)
+    B7 = integer_matrix(n7, seed=13)
+    for sched in ("B", "DB"):
+        r = caps_multiply(A7, B7, 1, schedule=sched)
+        p = 7
+        M = r.max_mem_peak
+        bw = parallel_io_bound(n7, M, p, LG7)
+        rows.append(
+            {
+                "algorithm": f"caps({sched})",
+                "p": p,
+                "measured_messages": r.critical_messages,
+                "latency_bound": latency_bound(bw, M),
+                "measured_words": r.critical_words,
+            }
+        )
+    return {"rows": rows}

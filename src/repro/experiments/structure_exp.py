@@ -1,0 +1,77 @@
+"""E4/E5/E11 — Figure 2/3 structural reproduction.
+
+The paper's figures are schematics of graph objects; reproducing them means
+building the objects and verifying every labeled property: sizes, degrees,
+level profiles, connectivity, the recursion tree, and the §5.1.1
+connectivity dichotomy across schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.analysis import (
+    check_claim_5_1,
+    check_dec1_connected,
+    check_fact_4_2,
+    check_fact_4_6,
+    structure_report,
+)
+from repro.cdag.schemes import available_schemes, get_scheme
+from repro.cdag.strassen_cdag import dec_graph, recursion_tree_partition
+
+__all__ = ["figure2_report", "figure3_tree_report", "dec1_connectivity_table"]
+
+
+def figure2_report(scheme: str = "strassen", k: int = 4) -> dict:
+    """The four panels of Figure 2 as measured statistics."""
+    return structure_report(scheme, k)
+
+
+def figure3_tree_report(scheme: str = "strassen", k: int = 4) -> dict:
+    """Figure 3's recursion tree T_k: level-by-level structure checks."""
+    s = get_scheme(scheme)
+    c0, m0 = s.n0 * s.n0, s.m0
+    tree = recursion_tree_partition(s, k)
+    g = dec_graph(s, k)
+    rows = []
+    total = 0
+    for i, level in enumerate(tree, start=1):
+        n_nodes, node_size = level.shape
+        rows.append(
+            {
+                "tree_level": i,
+                "n_nodes": n_nodes,
+                "expected_nodes": c0 ** (k - i + 1),
+                "|V_u|": node_size,
+                "expected_size": m0 ** (i - 1),
+            }
+        )
+        total += level.size
+    all_ids = np.concatenate([lvl.ravel() for lvl in tree])
+    return {
+        "rows": rows,
+        "partition_ok": bool(
+            total == g.n_vertices and len(np.unique(all_ids)) == total
+        ),
+        "scheme": scheme,
+        "k": k,
+    }
+
+
+def dec1_connectivity_table() -> list[dict]:
+    """§5.1.1: Dec₁C connected for fast schemes, disconnected for classical."""
+    rows = []
+    for name in available_schemes():
+        s = get_scheme(name)
+        connected = check_dec1_connected(s)
+        check_claim_5_1(s)  # raises on violation
+        rows.append(
+            {
+                "scheme": name,
+                "omega0": s.omega0,
+                "dec1_connected": connected,
+                "strassen_like": connected,  # the §5.1.1 criterion
+            }
+        )
+    return rows

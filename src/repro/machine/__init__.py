@@ -1,0 +1,27 @@
+"""Machine models: the sequential two-level memory and the parallel α–β machine."""
+
+from repro.machine.cache import FastMemory, Region, streamed_add_cost
+from repro.machine.counters import CommLog, IOCounter, SuperstepRecord
+from repro.machine.distributed import Machine, Message
+from repro.machine.collectives import (
+    allgather,
+    broadcast,
+    broadcast_many,
+    gather,
+    reduce,
+    reduce_many,
+    reduce_scatter,
+    scatter,
+    shift,
+    shift_many,
+)
+from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
+
+__all__ = [
+    "FastMemory", "Region", "streamed_add_cost",
+    "CommLog", "IOCounter", "SuperstepRecord",
+    "Machine", "Message",
+    "allgather", "broadcast", "broadcast_many", "gather", "reduce",
+    "reduce_many", "reduce_scatter", "scatter", "shift", "shift_many",
+    "Grid2D", "Grid3D", "distribute_blocks", "gather_blocks",
+]

@@ -1,0 +1,209 @@
+"""The sequential two-level memory machine (§1.1's sequential model).
+
+Slow memory is unbounded; fast memory holds at most ``M`` words.  Words move
+in messages of one-to-``M`` contiguous words.  Algorithms in
+:mod:`repro.algorithms.io_classical` / :mod:`repro.algorithms.io_strassen`
+run *against this machine*: every operand they touch must be resident, every
+transfer is counted, and capacity is enforced — so a measured I/O number is
+the exact communication of that implementation, not an estimate.
+
+Two granularities are provided:
+
+* :class:`FastMemory` — block-granular explicit management (``load`` /
+  ``store`` / ``free`` of named regions).  This matches how the paper's
+  upper-bound implementations are written ("read the two input sub-matrices
+  into fast memory …", §1.4.1) and is fast enough for big sweeps.
+* :func:`streamed_op` — helper charging the streaming cost of element-wise
+  operations on non-resident regions (the additions of the recursion),
+  which touch each word a constant number of times regardless of M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.counters import IOCounter
+
+__all__ = ["FastMemory", "Region", "streamed_add_cost"]
+
+
+@dataclass
+class Region:
+    """A named contiguous array of words living in slow and/or fast memory."""
+
+    name: str
+    size: int
+    data: np.ndarray | None = None   # payload (optional; costs are data-free)
+    resident: bool = False
+    dirty: bool = False
+
+
+class FastMemory:
+    """Explicit fast-memory manager with capacity enforcement.
+
+    The machine tracks which regions are resident and charges the
+    :class:`IOCounter` for every load/store.  It refuses to over-commit:
+    loading beyond ``M`` raises, so an algorithm cannot accidentally cheat
+    its claimed footprint — eviction decisions belong to the *algorithm*
+    (this is the model where the program controls transfers; an LRU cache
+    sits in :mod:`repro.cdag.pebble` for schedule-level simulations).
+    """
+
+    def __init__(self, M: int):
+        if M < 1:
+            raise ValueError("fast memory must hold at least one word")
+        self.M = int(M)
+        self.counter = IOCounter()
+        self._regions: dict[str, Region] = {}
+        self._used = 0
+        self.peak_used = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def used(self) -> int:
+        """Words currently resident in fast memory."""
+        return self._used
+
+    @property
+    def available(self) -> int:
+        """Remaining fast-memory capacity in words."""
+        return self.M - self._used
+
+    def region(self, name: str) -> Region:
+        """Look up a registered region by name."""
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions and self._regions[name].resident
+
+    # ------------------------------------------------------------------ #
+
+    def new_slow(self, name: str, size: int, data: np.ndarray | None = None) -> Region:
+        """Register a region that lives in slow memory (e.g. an input matrix)."""
+        self._check_new(name, size, data)
+        r = Region(name, int(size), data, resident=False)
+        self._regions[name] = r
+        return r
+
+    def alloc_fast(self, name: str, size: int, data: np.ndarray | None = None) -> Region:
+        """Create a region directly in fast memory (a scratch buffer).
+
+        Costs no I/O; counts against capacity.
+        """
+        self._check_new(name, size, data)
+        self._reserve(size)
+        r = Region(name, int(size), data, resident=True, dirty=True)
+        self._regions[name] = r
+        return r
+
+    def load(self, name: str) -> Region:
+        """Slow→fast transfer of a whole region (one message, size words)."""
+        r = self._regions[name]
+        if r.resident:
+            return r
+        self._reserve(r.size)
+        self.counter.read(r.size)
+        r.resident = True
+        r.dirty = False
+        return r
+
+    def store(self, name: str) -> Region:
+        """Fast→slow transfer (one message); region stays resident."""
+        r = self._regions[name]
+        if not r.resident:
+            raise RuntimeError(f"store of non-resident region {name!r}")
+        self.counter.write(r.size)
+        r.dirty = False
+        return r
+
+    def free(self, name: str, discard: bool = False) -> None:
+        """Release a region's fast-memory footprint.
+
+        Dirty regions must either be stored first or explicitly discarded —
+        silently dropping computed data is almost always an accounting bug
+        in the calling algorithm, so it is an error by default.
+        """
+        r = self._regions[name]
+        if not r.resident:
+            return
+        if r.dirty and not discard:
+            raise RuntimeError(
+                f"freeing dirty region {name!r} without store (pass "
+                f"discard=True for scratch data)"
+            )
+        r.resident = False
+        self._used -= r.size
+        if r.data is None and discard:
+            del self._regions[name]
+
+    def drop(self, name: str) -> None:
+        """Unregister a non-resident region completely."""
+        r = self._regions.pop(name)
+        if r.resident:
+            self._used -= r.size
+
+    def touch_dirty(self, name: str) -> None:
+        """Mark a resident region as modified (the caller computed into it)."""
+        r = self._regions[name]
+        if not r.resident:
+            raise RuntimeError(f"writing to non-resident region {name!r}")
+        r.dirty = True
+
+    # ------------------------------------------------------------------ #
+    # streaming (element-wise) operations                                 #
+    # ------------------------------------------------------------------ #
+
+    def stream(self, read_sizes: list[int], write_sizes: list[int], chunk: int | None = None) -> None:
+        """Charge a streaming pass: read the operand regions and write the
+        results chunk-by-chunk through fast memory.
+
+        Streaming needs only O(1) fast-memory headroom per stream; the cost
+        is one read per operand word plus one write per result word, in
+        messages of ``chunk`` words (default: the largest chunk that fits,
+        ``free // (streams)``, floored at 1).  This is the Θ(n²) "additions"
+        term of the recurrences (§1.4.1).
+        """
+        n_streams = len(read_sizes) + len(write_sizes)
+        if n_streams == 0:
+            return
+        if chunk is None:
+            chunk = max(self.available // max(n_streams, 1), 1)
+        for size in read_sizes:
+            self._charge_stream(size, chunk, is_read=True)
+        for size in write_sizes:
+            self._charge_stream(size, chunk, is_read=False)
+
+    def _charge_stream(self, size: int, chunk: int, is_read: bool) -> None:
+        full, rem = divmod(int(size), int(chunk))
+        for _ in range(full):
+            (self.counter.read if is_read else self.counter.write)(chunk)
+        if rem:
+            (self.counter.read if is_read else self.counter.write)(rem)
+
+    # ------------------------------------------------------------------ #
+
+    def _reserve(self, size: int) -> None:
+        if size > self.available:
+            raise MemoryError(
+                f"fast memory overflow: need {size} words, have {self.available} "
+                f"of {self.M}"
+            )
+        self._used += size
+        self.peak_used = max(self.peak_used, self._used)
+
+    def _check_new(self, name: str, size: int, data: np.ndarray | None) -> None:
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already exists")
+        if size < 0:
+            raise ValueError("region size must be nonnegative")
+        if data is not None and data.size != size:
+            raise ValueError("payload size mismatch")
+
+
+def streamed_add_cost(operand_words: int, n_operands: int) -> int:
+    """Closed-form I/O of a streamed linear combination (reference value):
+    read each operand once, write the result once."""
+    return operand_words * (n_operands + 1)

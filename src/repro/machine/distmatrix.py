@@ -1,0 +1,99 @@
+"""Block-distributed matrices on the simulated machine (2D grids).
+
+The classical parallel algorithms (Cannon, SUMMA, 3D, 2.5D) all view the
+machine as a logical grid and own one square block per processor.  This
+module provides the grid arithmetic and the free *initial* distribution
+(the model assumes inputs start evenly distributed, §1.1, so placing the
+blocks costs nothing) plus the free final gather used only to verify the
+numerics against ``A @ B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.distributed import Machine
+
+__all__ = ["Grid2D", "Grid3D", "distribute_blocks", "gather_blocks"]
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A q×q logical processor grid over ranks [0, q²)."""
+
+    q: int
+
+    @property
+    def p(self) -> int:
+        return self.q * self.q
+
+    def rank(self, i: int, j: int) -> int:
+        """Rank of grid position (i, j), row-major, indices taken mod q."""
+        return (i % self.q) * self.q + (j % self.q)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        return divmod(rank, self.q)
+
+    def row(self, i: int) -> list[int]:
+        """Ranks of grid row i."""
+        return [self.rank(i, j) for j in range(self.q)]
+
+    def col(self, j: int) -> list[int]:
+        """Ranks of grid column j."""
+        return [self.rank(i, j) for i in range(self.q)]
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A q×q×c logical grid over ranks [0, q²·c); layer 0 owns the inputs."""
+
+    q: int
+    c: int
+
+    @property
+    def p(self) -> int:
+        return self.q * self.q * self.c
+
+    def rank(self, i: int, j: int, l: int) -> int:
+        return (l % self.c) * self.q * self.q + (i % self.q) * self.q + (j % self.q)
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        l, r = divmod(rank, self.q * self.q)
+        i, j = divmod(r, self.q)
+        return i, j, l
+
+    def fiber(self, i: int, j: int) -> list[int]:
+        """Ranks of the depth fiber through grid position (i, j)."""
+        return [self.rank(i, j, l) for l in range(self.c)]
+
+
+def distribute_blocks(m: Machine, X: np.ndarray, key: str, grid: Grid2D, layer_rank=None) -> None:
+    """Place the q×q blocks of X on the grid (free: initial data layout).
+
+    ``layer_rank(i, j) -> rank`` overrides the target ranks (used by 3D/2.5D
+    to put inputs on layer 0 of a deeper grid).
+    """
+    n = X.shape[0]
+    q = grid.q
+    if n % q != 0:
+        raise ValueError(f"matrix size {n} not divisible by grid size {q}")
+    b = n // q
+    for i in range(q):
+        for j in range(q):
+            rank = layer_rank(i, j) if layer_rank else grid.rank(i, j)
+            m.put(rank, key, X[i * b : (i + 1) * b, j * b : (j + 1) * b].copy())
+
+
+def gather_blocks(m: Machine, key: str, grid: Grid2D, n: int, layer_rank=None) -> np.ndarray:
+    """Collect the blocks into a full matrix host-side (verification only —
+    not charged; the model leaves C distributed)."""
+    q = grid.q
+    b = n // q
+    out = np.empty((n, n))
+    for i in range(q):
+        for j in range(q):
+            rank = layer_rank(i, j) if layer_rank else grid.rank(i, j)
+            out[i * b : (i + 1) * b, j * b : (j + 1) * b] = m.get(rank, key)
+    return out

@@ -1,0 +1,13 @@
+"""Parallel algorithms on the simulated machine: Table I's attaining algorithms."""
+
+from repro.parallel.cannon import ParallelResult, cannon_multiply
+from repro.parallel.summa import summa_multiply
+from repro.parallel.threed import threed_multiply
+from repro.parallel.two5d import two5d_multiply
+from repro.parallel.caps import caps_multiply, quadtree_permutation, validate_caps_geometry
+
+__all__ = [
+    "ParallelResult", "cannon_multiply", "summa_multiply", "threed_multiply",
+    "two5d_multiply", "caps_multiply", "quadtree_permutation",
+    "validate_caps_geometry",
+]

@@ -1,0 +1,292 @@
+"""CAPS — Communication-Avoiding Parallel Strassen [Ballard et al. 2011].
+
+The algorithm the paper credits with *attaining* the Strassen-like cells of
+Table I (up to O(log p)).  ``p = 7^ℓ`` processors execute the Strassen
+recursion itself in parallel; each recursion step is one of:
+
+* **BFS step** ("breadth-first"): the 7 subproblems run *simultaneously*,
+  each on a disjoint 1/7 of the current processor group.  Requires a
+  redistribution (the only communication!) and multiplies the per-processor
+  memory footprint by 7/4 — the communication-cheap, memory-hungry choice.
+* **DFS step** ("depth-first"): all processors cooperate on the 7
+  subproblems *sequentially*.  No communication at all (linear combinations
+  are local under the layout below), memory shrinks by 4 — the
+  memory-lean, parallelism-deferring choice.
+
+The schedule (a string like ``"DBB"``) interleaves them; with unlimited
+memory all-BFS gives bandwidth ``Θ(n²/p^(2/ω₀))``, and prepending DFS steps
+trades bandwidth for memory exactly along the ``(n/√M)^(ω₀)·M/p`` curve —
+the E7/E10 experiments sweep this.
+
+Data layout (the heart of CAPS): matrices are stored in *quadtree order*
+(block-recursive flattening to leaf cells of size ``(n/2^depth)²``), and
+each group of g processors owns the elements of its current block
+**cyclically**: global quadtree position ``t`` lives on group rank
+``t mod g``.  Consequences, each load-bearing:
+
+* every quadrant of the current block is a *contiguous quarter* of the
+  flattening whose cyclic pattern is identical across quadrants (requires
+  ``g | (s/2)²``, enforced at construction) — so the Strassen linear
+  combinations are purely local slice arithmetic;
+* a BFS redistribution from cyclic-mod-g to cyclic-mod-(g/7) sends each
+  processor's chunk of ``S_r``/``T_r`` to exactly *one* target processor,
+  and the target interleaves the 7 chunks it receives (``out[w::7] = …``);
+* at the base (g = 1) the processor holds one contiguous leaf cell in
+  row-major order — a plain in-core multiply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.machine.distributed import Machine, Message
+from repro.parallel.cannon import ParallelResult
+
+__all__ = ["caps_multiply", "quadtree_permutation", "validate_caps_geometry"]
+
+
+def quadtree_permutation(n: int, depth: int) -> np.ndarray:
+    """π with ``flat[t] = M.ravel()[π[t]]``: block-recursive flattening.
+
+    ``depth`` levels of quadrant splitting; leaf cells of size
+    ``(n/2^depth)²`` are stored row-major.
+    """
+    if n % (1 << depth) != 0:
+        raise ValueError(f"n={n} not divisible by 2^{depth}")
+    idx = np.arange(n * n, dtype=np.int64).reshape(n, n)
+
+    def rec(block: np.ndarray, d: int) -> np.ndarray:
+        if d == 0:
+            return block.ravel()
+        h = block.shape[0] // 2
+        return np.concatenate(
+            [
+                rec(block[:h, :h], d - 1),
+                rec(block[:h, h:], d - 1),
+                rec(block[h:, :h], d - 1),
+                rec(block[h:, h:], d - 1),
+            ]
+        )
+
+    return rec(idx, depth)
+
+
+def validate_caps_geometry(n: int, p: int, schedule: str) -> None:
+    """Check the divisibility the cyclic-over-quadtree layout needs.
+
+    At each step the current group of g processors must satisfy
+    ``g | (s/2)²`` (quadrant chunks align), and the final leaf must be a
+    whole matrix on one processor.
+    """
+    ell = schedule.count("B")
+    if 7**ell != p:
+        raise ValueError(f"schedule {schedule!r} has {ell} BFS steps; needs 7^{ell} == p={p}")
+    g = p
+    s = n
+    for i, step in enumerate(schedule):
+        if s % 2 != 0:
+            raise ValueError(f"step {i}: size {s} not divisible by 2")
+        quarter = (s // 2) * (s // 2)
+        if quarter % g != 0:
+            raise ValueError(
+                f"step {i}: group size {g} does not divide (s/2)²={quarter} "
+                f"(choose n as a multiple of 2^depth · 7^⌈ℓ/2⌉)"
+            )
+        s //= 2
+        if step == "B":
+            g //= 7
+        elif step != "D":
+            raise ValueError(f"schedule may contain only 'B'/'D', got {step!r}")
+    if g != 1:
+        raise ValueError("schedule must end with group size 1 (ℓ BFS steps)")
+
+
+def caps_multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    ell: int,
+    schedule: str | None = None,
+    memory_limit: int | None = None,
+    scheme: BilinearScheme | str = "strassen",
+) -> ParallelResult:
+    """Run CAPS on ``p = m₀^ℓ`` simulated processors.
+
+    ``schedule`` defaults to all-BFS (``"B"·ℓ`` — unlimited-memory CAPS);
+    any interleaving with exactly ℓ B's is accepted, e.g. ``"DDBB"`` for a
+    memory-constrained run.  The scheme defaults to Strassen; any 2×2
+    scheme works (Winograd gives the practical variant).
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    if scheme.n0 != 2:
+        raise ValueError("CAPS layout implemented for 2x2 schemes (n0=2)")
+    m0 = scheme.m0
+    p = m0**ell
+    if schedule is None:
+        schedule = "B" * ell
+    n = A.shape[0]
+    if A.shape != B.shape or A.shape != (n, n):
+        raise ValueError("A and B must be equal square matrices")
+    validate_caps_geometry(n, p, schedule)
+    depth = len(schedule)
+
+    m = Machine(p, memory_limit=memory_limit)
+    perm = quadtree_permutation(n, depth)
+    a_flat = A.ravel()[perm]
+    b_flat = B.ravel()[perm]
+    for r in range(p):
+        m.put(r, "A", a_flat[r::p])
+        m.put(r, "B", b_flat[r::p])
+
+    _caps(m, list(range(p)), "A", "B", "C", n, schedule, 0, scheme)
+
+    c_flat = np.empty(n * n)
+    for r in range(p):
+        c_flat[r::p] = m.get(r, "C")
+    C = np.empty(n * n)
+    C[perm] = c_flat
+    return ParallelResult(
+        C=C.reshape(n, n), machine=m, algorithm=f"caps({schedule})", n=n, p=p
+    )
+
+
+def _lin_combo(m: Machine, rank: int, coeffs: np.ndarray, segments: list[np.ndarray]) -> np.ndarray:
+    """Local linear combination of chunk segments (flops charged)."""
+    out = None
+    terms = 0
+    for c, seg in zip(coeffs, segments):
+        if c == 0:
+            continue
+        term = seg if c == 1 else c * seg
+        out = term.copy() if out is None else out + term
+        terms += 1
+    if out is None:
+        out = np.zeros_like(segments[0])
+    if terms:
+        m.flop(rank, terms * int(out.size))
+    return out
+
+
+def _caps(m, group, key_a, key_b, key_c, s, schedule, si, scheme) -> None:
+    g = len(group)
+    if si == len(schedule):
+        assert g == 1, "recursion must bottom out on a single processor"
+        rank = group[0]
+        a = m.get(rank, key_a).reshape(s, s)
+        b = m.get(rank, key_b).reshape(s, s)
+        c = a @ b
+        m.flop(rank, 2 * s * s * s - s * s)
+        m.put(rank, key_c, c.ravel())
+        return
+    m0 = scheme.m0
+    seg = (s // 2) * (s // 2) // g        # per-rank words of one quadrant
+    step = schedule[si]
+
+    if step == "D":
+        # All processors walk the m0 subproblems together; zero communication.
+        q_keys = []
+        for r in range(m0):
+            ka, kb, kq = f"{key_a}.s{r}", f"{key_b}.t{r}", f"{key_c}.q{r}"
+            for rank in group:
+                a_chunk = m.get(rank, key_a)
+                b_chunk = m.get(rank, key_b)
+                a_segs = [a_chunk[q * seg : (q + 1) * seg] for q in range(4)]
+                b_segs = [b_chunk[q * seg : (q + 1) * seg] for q in range(4)]
+                m.put(rank, ka, _lin_combo(m, rank, scheme.U[r], a_segs))
+                m.put(rank, kb, _lin_combo(m, rank, scheme.V[r], b_segs))
+            _caps(m, group, ka, kb, kq, s // 2, schedule, si + 1, scheme)
+            for rank in group:
+                m.delete(rank, ka)
+                m.delete(rank, kb)
+            q_keys.append(kq)
+        for rank in group:
+            q_chunks = [m.get(rank, kq) for kq in q_keys]
+            out = np.concatenate(
+                [_lin_combo(m, rank, scheme.W[q], q_chunks) for q in range(4)]
+            )
+            m.put(rank, key_c, out)
+        for rank in group:
+            for kq in q_keys:
+                m.delete(rank, kq)
+        return
+
+    # --- BFS step -------------------------------------------------------
+    g7 = g // m0
+    subgroups = [group[r * g7 : (r + 1) * g7] for r in range(m0)]
+
+    # 1. Local encode: all S_r, T_r chunks.
+    for rank in group:
+        a_chunk = m.get(rank, key_a)
+        b_chunk = m.get(rank, key_b)
+        a_segs = [a_chunk[q * seg : (q + 1) * seg] for q in range(4)]
+        b_segs = [b_chunk[q * seg : (q + 1) * seg] for q in range(4)]
+        for r in range(m0):
+            m.put(rank, f"__S{r}", _lin_combo(m, rank, scheme.U[r], a_segs))
+            m.put(rank, f"__T{r}", _lin_combo(m, rank, scheme.V[r], b_segs))
+
+    # 2. Redistribute: S_r/T_r go from cyclic-mod-g to cyclic-mod-g7 on
+    #    subgroup r.  Each source chunk lands on exactly one target.
+    msgs = []
+    for a_idx, rank in enumerate(group):
+        tgt_pos = a_idx % g7
+        for r in range(m0):
+            src_lane = a_idx // g7      # which of the 7 interleaved lanes
+            tgt = subgroups[r][tgt_pos]
+            msgs.append(Message(rank, tgt, f"__Sin{r}.{src_lane}", m.get(rank, f"__S{r}")))
+            msgs.append(Message(rank, tgt, f"__Tin{r}.{src_lane}", m.get(rank, f"__T{r}")))
+    m.exchange(msgs, label=f"caps-bfs-fwd@{si}")
+    for rank in group:
+        for r in range(m0):
+            m.delete(rank, f"__S{r}")
+            m.delete(rank, f"__T{r}")
+
+    # 3. Assemble subproblem inputs on each subgroup: element t of S_r sat
+    #    at parent position t mod g = b + lane·g7, so the child's chunk
+    #    (length (s/2)²/g7 = m0·seg) interleaves the m0 received lanes.
+    for r in range(m0):
+        for b_idx, rank in enumerate(subgroups[r]):
+            out_s = np.empty(m0 * seg)
+            out_t = np.empty(m0 * seg)
+            for lane in range(m0):
+                out_s[lane::m0] = m.pop(rank, f"__Sin{r}.{lane}")
+                out_t[lane::m0] = m.pop(rank, f"__Tin{r}.{lane}")
+            m.put(rank, f"{key_a}.s{r}", out_s)
+            m.put(rank, f"{key_b}.t{r}", out_t)
+
+    # 4. Recurse on all subgroups *in parallel*.
+    with m.parallel() as par:
+        for r in range(m0):
+            with par.branch():
+                _caps(
+                    m, subgroups[r], f"{key_a}.s{r}", f"{key_b}.t{r}",
+                    f"{key_c}.q{r}", s // 2, schedule, si + 1, scheme,
+                )
+    for r in range(m0):
+        for rank in subgroups[r]:
+            m.delete(rank, f"{key_a}.s{r}")
+            m.delete(rank, f"{key_b}.t{r}")
+
+    # 5. Inverse redistribution: parent position a needs Q_r elements
+    #    t ≡ a (mod g): the slice [w::7] of child (a mod g7)'s chunk,
+    #    where w = a // g7.
+    msgs = []
+    for r in range(m0):
+        for b_idx, rank in enumerate(subgroups[r]):
+            q_chunk = m.get(rank, f"{key_c}.q{r}")
+            for lane in range(m0):
+                parent = group[lane * g7 + b_idx]
+                msgs.append(Message(rank, parent, f"__Qin{r}", q_chunk[lane::m0]))
+    m.exchange(msgs, label=f"caps-bfs-bwd@{si}")
+    for r in range(m0):
+        for rank in subgroups[r]:
+            m.delete(rank, f"{key_c}.q{r}")
+
+    # 6. Local decode into C chunks (each parent got exactly one __Qin{r}
+    #    message per subproblem, from child position a mod g7 of group r).
+    for a_idx, rank in enumerate(group):
+        q_chunks = [m.pop(rank, f"__Qin{r}") for r in range(m0)]
+        out = np.concatenate(
+            [_lin_combo(m, rank, scheme.W[q], q_chunks) for q in range(4)]
+        )
+        m.put(rank, key_c, out)

@@ -1,0 +1,103 @@
+"""The "2.5D" algorithm [Solomonik & Demmel 2011] — Table I row 3.
+
+Interpolates between 2D and 3D with a replication factor ``1 ≤ c ≤ p^(1/3)``:
+``p = q²·c`` processors as c layers of q×q grids, ``M = Θ(c·n²/p)`` words
+each.  A and B are replicated across the c layers; each layer executes a
+1/c slice of Cannon's shift rounds starting from a layer-specific offset;
+C partials are reduced across layers.
+
+Per-processor bandwidth ``Θ(n²/√(c·p))`` — at c=1 this *is* Cannon, at
+c=p^(1/3) it matches 3D, which is the §6.1 story the E10 sweep reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.collectives import broadcast_many, reduce_many, shift_many
+from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
+from repro.machine.distributed import Machine, Message
+from repro.parallel.cannon import ParallelResult
+
+__all__ = ["two5d_multiply"]
+
+
+def two5d_multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    q: int,
+    c: int,
+    memory_limit: int | None = None,
+) -> ParallelResult:
+    """Run the 2.5D algorithm on c layers of q×q grids (p = q²·c).
+
+    ``q`` must be divisible by ``c`` (each layer advances q/c of the q
+    shift rounds; c=1 degenerates to Cannon with an explicit skew).
+    """
+    n = A.shape[0]
+    if A.shape != B.shape or A.shape != (n, n):
+        raise ValueError("A and B must be equal square matrices")
+    if q % c != 0:
+        raise ValueError(f"q={q} must be divisible by c={c}")
+    grid = Grid3D(q, c)
+    face = Grid2D(q)
+    m = Machine(grid.p, memory_limit=memory_limit)
+    b = n // q
+
+    distribute_blocks(m, A, "A", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+    distribute_blocks(m, B, "B", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+
+    # Replicate A and B across the c layers (all fibers broadcast at once).
+    fibers = [(grid.fiber(i, j), grid.fiber(i, j)[0]) for i in range(q) for j in range(q)]
+    broadcast_many(m, fibers, "A", label="replA")
+    broadcast_many(m, fibers, "B", label="replB")
+
+    # Layer l performs Cannon rounds k = l·(q/c) .. (l+1)·(q/c) − 1.  The
+    # alignment for its first round uses A_{i, j+i+l·q/c} and
+    # B_{i+j+l·q/c, j}: a layer-dependent rotation, realized as one
+    # permutation superstep across all layers (fully connected model).
+    rounds = q // c
+    if q > 1:
+        msgs = []
+        for l in range(c):
+            off = l * rounds
+            for i in range(q):
+                for j in range(q):
+                    src = grid.rank(i, j, l)
+                    msgs.append(Message(src, grid.rank(i, j - i - off, l), "A", m.get(src, "A")))
+        m.exchange(msgs, label="skewA")
+        msgs = []
+        for l in range(c):
+            off = l * rounds
+            for i in range(q):
+                for j in range(q):
+                    src = grid.rank(i, j, l)
+                    msgs.append(Message(src, grid.rank(i - j - off, j, l), "B", m.get(src, "B")))
+        m.exchange(msgs, label="skewB")
+
+    for r in range(grid.p):
+        m.put(r, "Cpart", np.zeros((b, b)))
+
+    for k in range(rounds):
+        for r in range(grid.p):
+            Cp = m.get(r, "Cpart") + m.get(r, "A") @ m.get(r, "B")
+            m.put(r, "Cpart", Cp)
+            m.flop(r, 2 * b * b * b)
+        m.end_compute_phase()
+        if k < rounds - 1:
+            shift_many(
+                m,
+                [[grid.rank(i, j, l) for j in range(q)] for l in range(c) for i in range(q)],
+                "A", -1, label="shiftA",
+            )
+            shift_many(
+                m,
+                [[grid.rank(i, j, l) for i in range(q)] for l in range(c) for j in range(q)],
+                "B", -1, label="shiftB",
+            )
+
+    # Reduce C partials across layers onto layer 0 (all fibers at once).
+    reduce_many(m, fibers, "Cpart", "C", label="reduceC")
+
+    C = gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
+    return ParallelResult(C=C, machine=m, algorithm=f"2.5d(c={c})", n=n, p=grid.p)

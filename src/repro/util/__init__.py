@@ -1,0 +1,27 @@
+"""Shared utilities: matrix generation, validation helpers, power-of-two math."""
+
+from repro.util.matgen import (
+    random_matrix,
+    structured_matrix,
+    hilbert_like,
+    integer_matrix,
+)
+from repro.util.numutil import (
+    is_power_of,
+    ilog,
+    next_power_of,
+    relative_error,
+    fit_power_law,
+)
+
+__all__ = [
+    "random_matrix",
+    "structured_matrix",
+    "hilbert_like",
+    "integer_matrix",
+    "is_power_of",
+    "ilog",
+    "next_power_of",
+    "relative_error",
+    "fit_power_law",
+]

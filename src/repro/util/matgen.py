@@ -1,0 +1,71 @@
+"""Deterministic test-matrix generators.
+
+All generators take an explicit ``seed`` so that experiments are exactly
+reproducible run-to-run.  Matrices are returned as C-contiguous float64
+arrays unless stated otherwise (the guides' advice: keep data contiguous so
+that numpy kernels and our simulated block transfers stay cache-friendly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_matrix", "structured_matrix", "hilbert_like", "integer_matrix"]
+
+
+def random_matrix(n: int, m: int | None = None, seed: int = 0) -> np.ndarray:
+    """Uniform [-1, 1) random ``n x m`` matrix (``m`` defaults to ``n``)."""
+    if m is None:
+        m = n
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(n, m))
+
+
+def structured_matrix(n: int, m: int | None = None, kind: str = "wave") -> np.ndarray:
+    """Deterministic structured matrices useful for eyeballing block layouts.
+
+    Kinds
+    -----
+    ``wave``     smooth sinusoidal field (well conditioned for its size).
+    ``index``    ``A[i, j] = i * m + j`` — every entry unique, which makes
+                 layout/redistribution bugs show up as wrong values rather
+                 than as silently-matching zeros.
+    ``identity`` the identity (requires ``n == m``).
+    """
+    if m is None:
+        m = n
+    if kind == "wave":
+        i = np.arange(n)[:, None]
+        j = np.arange(m)[None, :]
+        return np.sin(0.37 * i + 0.11 * j) + 0.25 * np.cos(0.05 * i * j % 6.28)
+    if kind == "index":
+        return np.arange(n * m, dtype=np.float64).reshape(n, m)
+    if kind == "identity":
+        if n != m:
+            raise ValueError("identity requires a square shape")
+        return np.eye(n)
+    raise ValueError(f"unknown matrix kind: {kind!r}")
+
+
+def hilbert_like(n: int) -> np.ndarray:
+    """The Hilbert matrix ``1/(i+j+1)`` — classically ill-conditioned.
+
+    Used in tests that check numerical robustness of the fast algorithms
+    (Strassen loses a few digits versus classical; the tests budget for it).
+    """
+    i = np.arange(n)[:, None]
+    j = np.arange(n)[None, :]
+    return 1.0 / (i + j + 1.0)
+
+
+def integer_matrix(n: int, m: int | None = None, lo: int = -4, hi: int = 5, seed: int = 0) -> np.ndarray:
+    """Small-integer matrix (as float64).
+
+    Products of small-integer matrices are exactly representable, so
+    Strassen-like algorithms must match the classical product *bit for bit*;
+    these matrices give the sharpest correctness tests.
+    """
+    if m is None:
+        m = n
+    rng = np.random.default_rng(seed)
+    return rng.integers(lo, hi, size=(n, m)).astype(np.float64)

@@ -1,0 +1,81 @@
+"""Small numeric helpers used across the library.
+
+These are deliberately tiny, dependency-free functions: integer powers and
+logs (the recursion machinery needs exact integer arithmetic, not floats),
+and the power-law fitter used by every experiment that checks an asymptotic
+exponent from the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["is_power_of", "ilog", "next_power_of", "relative_error", "fit_power_law"]
+
+
+def is_power_of(n: int, base: int) -> bool:
+    """True iff ``n == base**k`` for some integer ``k >= 0``."""
+    if n < 1 or base < 2:
+        return False
+    while n % base == 0:
+        n //= base
+    return n == 1
+
+
+def ilog(n: int, base: int) -> int:
+    """Exact integer logarithm: the ``k`` with ``base**k == n``.
+
+    Raises ``ValueError`` if ``n`` is not an exact power — callers rely on
+    this to reject invalid recursion depths early instead of silently
+    rounding (float ``log`` of 7**20 is already off by ULPs).
+    """
+    if n < 1:
+        raise ValueError(f"ilog undefined for n={n}")
+    k = 0
+    m = n
+    while m % base == 0:
+        m //= base
+        k += 1
+    if m != 1:
+        raise ValueError(f"{n} is not a power of {base}")
+    return k
+
+
+def next_power_of(n: int, base: int) -> int:
+    """Smallest ``base**k >= n``."""
+    if n < 1:
+        return 1
+    p = 1
+    while p < n:
+        p *= base
+    return p
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` with a 0/0 guard."""
+    if reference == 0:
+        return 0.0 if measured == 0 else math.inf
+    return abs(measured - reference) / abs(reference)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y = C * x**e`` in log-log space.
+
+    Returns ``(e, C)``.  This is the workhorse of the shape checks: the
+    paper's bounds are `Θ(n^e)` statements, so every experiment fits the
+    measured series and compares the exponent against the theorem's.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.ndim != 1 or xs.shape != ys.shape:
+        raise ValueError("xs and ys must be 1-D of equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(xs), np.log(ys)
+    e, logc = np.polyfit(lx, ly, 1)
+    return float(e), float(np.exp(logc))

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cdag.build import GraphBuilder
+from repro.cdag.graph import CDAG, VertexKind
+from repro.cdag.schemes import available_schemes, get_scheme
+
+FAST_SCHEMES = ["strassen", "winograd"]
+ALL_SCHEMES = available_schemes()
+SMALL_SCHEMES = ["strassen", "winograd", "classical2"]
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def any_scheme(request):
+    """Every registered scheme."""
+    return get_scheme(request.param)
+
+
+@pytest.fixture(params=SMALL_SCHEMES)
+def small_scheme(request):
+    """Schemes with n0=2 (cheap to recurse deeply in tests)."""
+    return get_scheme(request.param)
+
+
+@pytest.fixture
+def diamond_graph() -> CDAG:
+    """in0, in1 -> a, b -> out : the smallest interesting DAG."""
+    b = GraphBuilder()
+    i0 = b.add_vertex(VertexKind.INPUT)
+    i1 = b.add_vertex(VertexKind.INPUT)
+    a = b.add_vertex(VertexKind.ADD)
+    c = b.add_vertex(VertexKind.ADD)
+    out = b.add_vertex(VertexKind.OUTPUT)
+    b.add_edge(i0, a)
+    b.add_edge(i1, a)
+    b.add_edge(i0, c)
+    b.add_edge(i1, c)
+    b.add_edge(a, out)
+    b.add_edge(c, out)
+    return b.freeze()
+
+
+@pytest.fixture
+def path_graph() -> CDAG:
+    """A 6-vertex path (chain of dependent ops)."""
+    b = GraphBuilder()
+    prev = b.add_vertex(VertexKind.INPUT)
+    for i in range(5):
+        v = b.add_vertex(VertexKind.OUTPUT if i == 4 else VertexKind.ADD)
+        b.add_edge(prev, v)
+        prev = v
+    return b.freeze()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

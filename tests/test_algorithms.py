@@ -1,0 +1,196 @@
+"""Tests for sequential algorithms: in-core numerics and I/O-explicit runs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.io_classical import blocked_io, naive_io, recursive_io
+from repro.algorithms.io_strassen import canonical_base_size, dfs_io, dfs_io_model
+from repro.algorithms.strassen import bilinear_multiply, count_flops, strassen_multiply
+from repro.cdag.schemes import get_scheme
+from repro.util.matgen import hilbert_like, integer_matrix, random_matrix
+
+
+class TestInCoreNumerics:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_strassen_exact_on_integers(self, n):
+        A = integer_matrix(n, seed=n)
+        B = integer_matrix(n, seed=n + 1)
+        C = strassen_multiply(A, B, cutoff=4)
+        assert np.array_equal(C, A @ B)
+
+    @pytest.mark.parametrize("variant", ["strassen", "winograd"])
+    def test_variants_exact(self, variant):
+        A = integer_matrix(32, seed=1)
+        B = integer_matrix(32, seed=2)
+        assert np.array_equal(strassen_multiply(A, B, cutoff=4, variant=variant), A @ B)
+
+    def test_all_schemes_multiply_correctly(self, any_scheme):
+        n = any_scheme.n0 ** 2 * 2
+        A = integer_matrix(n, seed=3)
+        B = integer_matrix(n, seed=4)
+        C = bilinear_multiply(A, B, any_scheme, cutoff=any_scheme.n0)
+        assert np.array_equal(C, A @ B)
+
+    def test_float_accuracy_reasonable(self):
+        A = random_matrix(64, seed=1)
+        B = random_matrix(64, seed=2)
+        C = strassen_multiply(A, B, cutoff=8)
+        assert np.allclose(C, A @ B, atol=1e-10)
+
+    def test_ill_conditioned_budgeted(self):
+        # Strassen loses a constant number of digits vs classical — allow it
+        A = hilbert_like(32)
+        C = strassen_multiply(A, A, cutoff=4)
+        assert np.allclose(C, A @ A, atol=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bilinear_multiply(np.zeros((4, 4)), np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            bilinear_multiply(np.zeros((4, 8)), np.zeros((4, 8)))
+
+    def test_indivisible_size_raises(self):
+        # 9 is odd and above the cutoff: the pure recursion cannot split it
+        A = np.zeros((9, 9))
+        with pytest.raises(ValueError, match="not divisible"):
+            bilinear_multiply(A, A, "strassen", cutoff=3)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            strassen_multiply(np.eye(4), np.eye(4), variant="nope")
+
+    def test_cutoff_larger_than_n_is_classical(self):
+        A = integer_matrix(8, seed=7)
+        B = integer_matrix(8, seed=8)
+        assert np.array_equal(strassen_multiply(A, B, cutoff=16), A @ B)
+
+
+class TestFlopCounts:
+    def test_classical_base_counts(self):
+        fc = count_flops(4, "strassen", cutoff=4)
+        assert fc.multiplications == 64
+        assert fc.additions == 16 * 3
+
+    def test_strassen_reduces_multiplications(self):
+        classical = count_flops(64, "classical2", cutoff=1)
+        fast = count_flops(64, "strassen", cutoff=1)
+        assert fast.multiplications < classical.multiplications
+
+    def test_multiplication_count_formula(self):
+        # pure recursion to 1x1: exactly 7^lg n multiplications
+        fc = count_flops(16, "strassen", cutoff=1)
+        assert fc.multiplications == 7**4
+
+    def test_omega_scaling(self):
+        s = get_scheme("strassen")
+        f1 = count_flops(64, s, cutoff=1).total
+        f2 = count_flops(128, s, cutoff=1).total
+        assert 6.5 < f2 / f1 < 7.5  # ~m0 per doubling
+
+
+class TestCanonicalBase:
+    def test_base_fits(self):
+        b = canonical_base_size(256, 3 * 16 * 16, 2)
+        assert b == 16
+
+    def test_unreachable_base_raises(self):
+        with pytest.raises(ValueError):
+            canonical_base_size(192, 8, 2)  # 192 -> 96 -> ... -> 3: 3*9>8
+
+    def test_tiny_m_raises(self):
+        with pytest.raises(ValueError):
+            canonical_base_size(8, 2, 2)
+
+
+class TestDfsIO:
+    def test_model_equals_simulation(self, small_scheme):
+        for n, M in ((64, 192), (128, 768)):
+            a = dfs_io(n, M, small_scheme)
+            b = dfs_io_model(n, M, small_scheme)
+            assert a.words == b.words
+            assert a.messages == b.messages
+            assert a.n_base_multiplies == b.n_base_multiplies
+
+    def test_base_case_count(self):
+        rep = dfs_io(64, 3 * 16 * 16, "strassen")
+        assert rep.n_base_multiplies == 49  # two recursion levels: 7^2
+
+    def test_recurrence_structure(self):
+        # IO(n) = m0 IO(n/2) + streams: check the exact recurrence
+        s = get_scheme("strassen")
+        M = 768
+        io_n = dfs_io_model(128, M, s).words
+        io_half = dfs_io_model(64, M, s).words
+        sub_words = 64 * 64
+        u_nnz = int((s.U != 0).sum())
+        v_nnz = int((s.V != 0).sum())
+        w_nnz = int((s.W != 0).sum())
+        streams = (u_nnz + s.m0) + (v_nnz + s.m0) + (w_nnz + 4)
+        assert io_n == s.m0 * io_half + streams * sub_words
+
+    def test_in_memory_case(self):
+        # when 3n^2 <= M: just read inputs, write output
+        rep = dfs_io(16, 1000, "strassen")
+        assert rep.words == 3 * 256
+
+    def test_io_decreases_with_memory(self):
+        ios = [dfs_io_model(512, 3 * b * b).words for b in (8, 16, 32, 64)]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_custom_base_monotone(self):
+        # cutting the recursion deeper than necessary only adds I/O
+        M = 3 * 32 * 32
+        words = [dfs_io_model(256, M, "strassen", base=b).words for b in (32, 16, 8, 4)]
+        assert words == sorted(words)
+
+    def test_infeasible_base_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            dfs_io_model(256, 192, "strassen", base=64)
+
+    def test_unreachable_base_rejected(self):
+        with pytest.raises(ValueError, match="not reachable"):
+            dfs_io_model(256, 3 * 32 * 32, "strassen", base=24)
+
+    def test_messages_bounded_by_words(self):
+        rep = dfs_io_model(256, 768, "strassen")
+        assert rep.messages <= rep.words
+
+
+class TestClassicalIO:
+    def test_blocked_matches_formula(self):
+        n, M = 64, 3 * 16 * 16
+        io = blocked_io(n, M).words
+        b = 16
+        t = n // b
+        # per C tile: write b² + read 2 t b²; t² tiles
+        assert io == t * t * (b * b + 2 * t * b * b)
+
+    def test_blocked_beats_naive(self):
+        n, M = 64, 3 * 16 * 16
+        assert blocked_io(n, M).words < naive_io(n, M).words
+
+    def test_recursive_matches_blocked_shape(self):
+        n, M = 128, 3 * 16 * 16
+        rec = recursive_io(n, M).words
+        blk = blocked_io(n, M).words
+        assert 0.5 < rec / blk < 4.0  # same Θ(n³/√M), constant differs
+
+    def test_recursive_is_cache_adaptive(self):
+        # same call, bigger M -> less I/O, no parameter change (oblivious)
+        ios = [recursive_io(128, 3 * b * b).words for b in (8, 16, 32)]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_naive_cubic_shape(self):
+        io32 = naive_io(32, 256).words
+        io64 = naive_io(64, 256).words
+        assert 6.5 < io64 / io32 < 8.5
+
+    def test_blocked_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            blocked_io(100, 3 * 16 * 16)
+
+    def test_naive_needs_two_rows(self):
+        with pytest.raises(MemoryError):
+            naive_io(64, 100)

@@ -1,0 +1,138 @@
+"""Tests for the bound formulas (repro.core.bounds) — Table I algebra."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    LG7,
+    latency_bound,
+    memory_regimes,
+    parallel_io_bound,
+    sequential_io_bound,
+    sequential_io_upper,
+    table1_cell,
+    table1_rows,
+)
+
+
+class TestSequential:
+    def test_strassen_form(self):
+        n, M = 1024, 1024
+        assert sequential_io_bound(n, M) == pytest.approx((n / 32) ** LG7 * M)
+
+    def test_classical_reduces_to_hong_kung(self):
+        n, M = 1024, 256
+        # omega0 = 3: (n/sqrt(M))^3 M = n^3/sqrt(M)
+        assert sequential_io_bound(n, M, 3.0) == pytest.approx(n**3 / math.sqrt(M))
+
+    def test_trivial_floor(self):
+        # with huge M the bound degrades to reading the input
+        n = 64
+        assert sequential_io_bound(n, 10**9) == pytest.approx(2 * n * n)
+
+    def test_upper_form_above_lower(self):
+        for n in (128, 512, 2048):
+            for M in (192, 768, 3072):
+                assert sequential_io_upper(n, M) >= 0.3 * sequential_io_bound(n, M)
+
+    def test_upper_in_memory_case(self):
+        assert sequential_io_upper(8, 1000) == 3 * 64
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sequential_io_bound(0, 10)
+        with pytest.raises(ValueError):
+            sequential_io_bound(10, 0)
+        with pytest.raises(ValueError):
+            sequential_io_bound(10, 10, omega0=1.5)
+
+
+class TestParallel:
+    def test_divides_by_p(self):
+        n, M = 1024, 1024
+        assert parallel_io_bound(n, M, 4) == pytest.approx(
+            (n / 32) ** LG7 * M / 4
+        )
+
+    def test_p_must_be_positive(self):
+        with pytest.raises(ValueError):
+            parallel_io_bound(64, 64, 0)
+
+
+class TestLatency:
+    def test_footnote_8(self):
+        assert latency_bound(7000.0, 70.0) == pytest.approx(100.0)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            latency_bound(100.0, 0.5)
+
+
+class TestTable1:
+    def test_memory_regimes(self):
+        reg = memory_regimes(64, 64, c=4)
+        assert reg["2D"] == pytest.approx(64.0)
+        assert reg["3D"] == pytest.approx(64 * 64 / 16)
+        assert reg["2.5D"] == pytest.approx(256.0)
+
+    def test_classical_2d_closed_form(self):
+        cell = table1_cell("2D", "classical", 64, 16)
+        assert cell.bound == pytest.approx(64 * 64 / 4)  # n²/√p
+        assert cell.exponent_of_p == pytest.approx(0.5)
+        assert "Cannon" in cell.attained_by
+
+    def test_classical_3d_closed_form(self):
+        cell = table1_cell("3D", "classical", 64, 64)
+        assert cell.bound == pytest.approx(64 * 64 / 16)  # n²/p^(2/3)
+        assert cell.exponent_of_p == pytest.approx(2 / 3)
+
+    def test_classical_25d_closed_form(self):
+        n, p, c = 64, 64, 4
+        cell = table1_cell("2.5D", "classical", n, p, c)
+        assert cell.bound == pytest.approx(n * n / (math.sqrt(c) * math.sqrt(p)))
+
+    def test_strassen_2d_exponent(self):
+        cell = table1_cell("2D", "strassen-like", 64, 49)
+        assert cell.exponent_of_p == pytest.approx(2 - LG7 / 2)
+        assert cell.bound == pytest.approx(64 * 64 / 49 ** (2 - LG7 / 2))
+
+    def test_strassen_3d_exponent(self):
+        cell = table1_cell("3D", "strassen-like", 64, 64)
+        assert cell.exponent_of_p == pytest.approx((5 - LG7) / 3)
+
+    def test_strassen_beats_classical_everywhere(self):
+        # the Strassen-like lower bound is *smaller* (less communication
+        # needed) in every regime — the ω₀ improvement deepens p's power
+        for regime in ("2D", "3D", "2.5D"):
+            sc = table1_cell(regime, "strassen-like", 256, 64, 2)
+            cc = table1_cell(regime, "classical", 256, 64, 2)
+            assert sc.bound < cc.bound
+
+    def test_numerator_omega_free(self):
+        # §6.1: at p = 1 every cell collapses to n² regardless of ω₀
+        for w in (2.1, 2.5, LG7, 3.0):
+            cell = table1_cell("2D", "strassen-like", 128, 1, omega0=w)
+            assert cell.bound == pytest.approx(128 * 128)
+
+    def test_rows_complete(self):
+        rows = table1_rows(64, 64, 2)
+        assert len(rows) == 6
+        assert {r.regime for r in rows} == {"2D", "3D", "2.5D"}
+        assert {r.algorithm_class for r in rows} == {"classical", "strassen-like"}
+
+    def test_unknown_regime(self):
+        with pytest.raises(ValueError):
+            table1_cell("4D", "classical", 64, 4)
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            table1_cell("2D", "quantum", 64, 4)
+
+    def test_consistency_with_corollary(self):
+        # every cell equals Cor 1.2/1.4 evaluated at the regime's M
+        n, p, c = 128, 64, 2
+        for regime, M in memory_regimes(n, p, c).items():
+            for cls, w in (("classical", 3.0), ("strassen-like", LG7)):
+                cell = table1_cell(regime, cls, n, p, c)
+                assert cell.bound == pytest.approx(parallel_io_bound(n, M, p, w))

@@ -1,0 +1,137 @@
+"""Tests for the sequential two-level machine (repro.machine.cache)."""
+
+import pytest
+
+from repro.machine.cache import FastMemory, streamed_add_cost
+
+
+class TestCapacity:
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            FastMemory(0)
+
+    def test_load_counts_words_and_messages(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 40)
+        fm.load("a")
+        assert fm.counter.words_read == 40
+        assert fm.counter.messages_read == 1
+
+    def test_double_load_is_free(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 40)
+        fm.load("a")
+        fm.load("a")
+        assert fm.counter.words_read == 40
+
+    def test_overflow_raises(self):
+        fm = FastMemory(10)
+        fm.new_slow("a", 8)
+        fm.new_slow("b", 8)
+        fm.load("a")
+        with pytest.raises(MemoryError, match="overflow"):
+            fm.load("b")
+
+    def test_peak_tracking(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 60)
+        fm.load("a")
+        fm.free("a")
+        fm.new_slow("b", 30)
+        fm.load("b")
+        assert fm.peak_used == 60
+        assert fm.used == 30
+
+    def test_available(self):
+        fm = FastMemory(50)
+        fm.alloc_fast("x", 20)
+        assert fm.available == 30
+
+
+class TestDirtyProtocol:
+    def test_store_required_before_free(self):
+        fm = FastMemory(100)
+        fm.alloc_fast("c", 10)
+        with pytest.raises(RuntimeError, match="dirty"):
+            fm.free("c")
+
+    def test_discard_allows_dropping_scratch(self):
+        fm = FastMemory(100)
+        fm.alloc_fast("c", 10)
+        fm.free("c", discard=True)
+        assert fm.used == 0
+
+    def test_store_then_free_ok(self):
+        fm = FastMemory(100)
+        fm.alloc_fast("c", 10)
+        fm.store("c")
+        fm.free("c")
+        assert fm.counter.words_written == 10
+
+    def test_store_nonresident_raises(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 10)
+        with pytest.raises(RuntimeError, match="non-resident"):
+            fm.store("a")
+
+    def test_touch_dirty_requires_residency(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 10)
+        with pytest.raises(RuntimeError):
+            fm.touch_dirty("a")
+
+    def test_contains_reflects_residency(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 10)
+        assert "a" not in fm
+        fm.load("a")
+        assert "a" in fm
+
+
+class TestRegions:
+    def test_duplicate_name_rejected(self):
+        fm = FastMemory(100)
+        fm.new_slow("a", 10)
+        with pytest.raises(ValueError, match="already exists"):
+            fm.new_slow("a", 5)
+
+    def test_drop_releases_capacity(self):
+        fm = FastMemory(100)
+        fm.alloc_fast("a", 40)
+        fm.drop("a")
+        assert fm.used == 0
+
+    def test_negative_size_rejected(self):
+        fm = FastMemory(100)
+        with pytest.raises(ValueError):
+            fm.new_slow("a", -1)
+
+
+class TestStreaming:
+    def test_stream_words_exact(self):
+        fm = FastMemory(1000)
+        fm.stream(read_sizes=[100, 100], write_sizes=[100])
+        assert fm.counter.words_read == 200
+        assert fm.counter.words_written == 100
+
+    def test_stream_message_chunking(self):
+        fm = FastMemory(30)
+        # 3 streams -> chunk = 10; 100 words = 10 messages per stream
+        fm.stream(read_sizes=[100, 100], write_sizes=[100])
+        assert fm.counter.messages_read == 20
+        assert fm.counter.messages_written == 10
+
+    def test_stream_remainder_message(self):
+        fm = FastMemory(20)
+        fm.stream(read_sizes=[25], write_sizes=[])
+        # chunk = 20 -> messages of 20 + 5
+        assert fm.counter.messages_read == 2
+        assert fm.counter.words_read == 25
+
+    def test_stream_empty_noop(self):
+        fm = FastMemory(10)
+        fm.stream(read_sizes=[], write_sizes=[])
+        assert fm.counter.words == 0
+
+    def test_streamed_add_cost_formula(self):
+        assert streamed_add_cost(100, 3) == 400

@@ -1,0 +1,191 @@
+"""Tests for collectives: correctness on all group shapes + cost sanity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.collectives import (
+    allgather,
+    broadcast,
+    broadcast_many,
+    gather,
+    reduce,
+    reduce_many,
+    reduce_scatter,
+    scatter,
+    shift,
+    shift_many,
+)
+from repro.machine.distributed import Machine
+
+GROUP_SIZES = [2, 3, 4, 5, 7, 8]
+
+
+def _machine_with(group, key, arrays):
+    m = Machine(max(group) + 1)
+    for r, a in zip(group, arrays):
+        m.put(r, key, a)
+    return m
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestBroadcast:
+    def test_everyone_receives(self, g, rng):
+        group = list(range(1, g + 1))
+        data = rng.random(6)
+        m = Machine(g + 2)
+        root = group[g // 2]
+        m.put(root, "x", data)
+        broadcast(m, group, root, "x")
+        for r in group:
+            assert np.array_equal(m.get(r, "x"), data)
+
+    def test_round_count_logarithmic(self, g, rng):
+        group = list(range(g))
+        m = Machine(g)
+        m.put(0, "x", rng.random(4))
+        broadcast(m, group, 0, "x")
+        assert m.log.n_supersteps == math.ceil(math.log2(g))
+
+    def test_critical_words_per_round(self, g, rng):
+        group = list(range(g))
+        m = Machine(g)
+        m.put(0, "x", rng.random(10))
+        broadcast(m, group, 0, "x")
+        # each round a rank sends and/or receives one 10-word block
+        assert m.critical_words <= 20 * math.ceil(math.log2(g))
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestReduce:
+    def test_sum_at_root(self, g, rng):
+        group = list(range(g))
+        arrays = [rng.random(5) for _ in range(g)]
+        m = _machine_with(group, "x", arrays)
+        reduce(m, group, 0, "x", "sum")
+        assert np.allclose(m.get(0, "sum"), sum(arrays))
+
+    def test_nonzero_root(self, g, rng):
+        group = list(range(g))
+        arrays = [rng.random(5) for _ in range(g)]
+        m = _machine_with(group, "x", arrays)
+        root = group[-1]
+        reduce(m, group, root, "x", "sum")
+        assert np.allclose(m.get(root, "sum"), sum(arrays))
+
+    def test_reduction_flops_charged(self, g, rng):
+        group = list(range(g))
+        m = _machine_with(group, "x", [rng.random(5) for _ in range(g)])
+        reduce(m, group, 0, "x", "sum")
+        assert m.flops.sum() == 5 * (g - 1)
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestAllgather:
+    def test_concatenation_everywhere(self, g, rng):
+        group = list(range(g))
+        arrays = [rng.random(3) for _ in range(g)]
+        m = _machine_with(group, "x", arrays)
+        allgather(m, group, "x", "all")
+        expect = np.concatenate(arrays)
+        for r in group:
+            assert np.allclose(m.get(r, "all"), expect)
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestReduceScatter:
+    def test_slab_sums(self, g, rng):
+        group = list(range(g))
+        full = [rng.random(g * 4) for _ in range(g)]
+        m = _machine_with(group, "x", full)
+        reduce_scatter(m, group, "x", "part")
+        total = sum(full)
+        slabs = np.array_split(total, g)
+        for i, r in enumerate(group):
+            assert np.allclose(m.get(r, "part"), slabs[i])
+
+    def test_bandwidth_optimal_volume(self, g, rng):
+        group = list(range(g))
+        m = _machine_with(group, "x", [rng.random(g * 4) for _ in range(g)])
+        reduce_scatter(m, group, "x", "part")
+        # every rank sends (g-1)/g of its data: critical sum over rounds
+        per_rank_sent = m.log.per_rank_sent()
+        assert all(v == (g - 1) * 4 for v in per_rank_sent.values())
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestScatterGather:
+    def test_roundtrip(self, g):
+        group = list(range(g))
+        m = Machine(g)
+        data = np.arange(4.0 * g)
+        m.put(0, "big", data)
+        scatter(m, group, 0, "big", "piece")
+        gather(m, group, 0, "piece", "back")
+        assert np.allclose(m.get(0, "back"), data)
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestShift:
+    def test_cyclic_rotation(self, g):
+        group = list(range(g))
+        m = _machine_with(group, "x", [np.full(2, float(i)) for i in range(g)])
+        shift(m, group, "x", 1)
+        for i in range(g):
+            assert np.allclose(m.get(group[(i + 1) % g], "x"), float(i))
+
+    def test_negative_offset(self, g):
+        group = list(range(g))
+        m = _machine_with(group, "x", [np.full(2, float(i)) for i in range(g)])
+        shift(m, group, "x", -1)
+        for i in range(g):
+            assert np.allclose(m.get(group[(i - 1) % g], "x"), float(i))
+
+
+class TestBatchedVariants:
+    def test_shift_many_single_superstep(self, rng):
+        m = Machine(8)
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        for grp in groups:
+            for i, r in enumerate(grp):
+                m.put(r, "x", np.full(3, float(i)))
+        shift_many(m, groups, "x", 1)
+        assert m.log.n_supersteps == 1
+
+    def test_shift_many_rejects_overlap(self):
+        m = Machine(4)
+        for r in range(4):
+            m.put(r, "x", np.zeros(1))
+        with pytest.raises(ValueError, match="disjoint"):
+            shift_many(m, [[0, 1], [1, 2]], "x", 1)
+
+    def test_broadcast_many_matches_single(self, rng):
+        data = [rng.random(5), rng.random(5)]
+        m = Machine(8)
+        m.put(0, "x", data[0])
+        m.put(4, "x", data[1])
+        broadcast_many(m, [([0, 1, 2, 3], 0), ([4, 5, 6, 7], 4)], "x")
+        for r in range(4):
+            assert np.array_equal(m.get(r, "x"), data[0])
+        for r in range(4, 8):
+            assert np.array_equal(m.get(r, "x"), data[1])
+        assert m.log.n_supersteps == 2  # lg 4 rounds, shared across groups
+
+    def test_reduce_many_matches_single(self, rng):
+        m = Machine(6)
+        arrays = [rng.random(4) for _ in range(6)]
+        for r, a in enumerate(arrays):
+            m.put(r, "x", a)
+        reduce_many(m, [([0, 1, 2], 0), ([3, 4, 5], 3)], "x", "sum")
+        assert np.allclose(m.get(0, "sum"), sum(arrays[:3]))
+        assert np.allclose(m.get(3, "sum"), sum(arrays[3:]))
+
+    def test_reduce_many_mixed_group_sizes(self, rng):
+        m = Machine(7)
+        arrays = [rng.random(4) for _ in range(7)]
+        for r, a in enumerate(arrays):
+            m.put(r, "x", a)
+        reduce_many(m, [([0, 1], 0), ([2, 3, 4, 5, 6], 2)], "x", "sum")
+        assert np.allclose(m.get(0, "sum"), arrays[0] + arrays[1])
+        assert np.allclose(m.get(2, "sum"), sum(arrays[2:]))

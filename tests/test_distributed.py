@@ -1,0 +1,175 @@
+"""Tests for the parallel machine (repro.machine.distributed + counters)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.counters import CommLog, SuperstepRecord
+from repro.machine.distributed import Machine, Message
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self):
+        m = Machine(2)
+        m.put(0, "x", np.arange(5.0))
+        assert np.array_equal(m.get(0, "x"), np.arange(5.0))
+
+    def test_get_missing_raises(self):
+        m = Machine(2)
+        with pytest.raises(KeyError):
+            m.get(0, "nope")
+
+    def test_memory_accounting(self):
+        m = Machine(2)
+        m.put(0, "x", np.zeros(10))
+        m.put(0, "y", np.zeros(5))
+        assert m.mem_used(0) == 15
+        m.delete(0, "x")
+        assert m.mem_used(0) == 5
+        assert m.mem_peak[0] == 15
+
+    def test_replace_updates_usage(self):
+        m = Machine(1)
+        m.put(0, "x", np.zeros(10))
+        m.put(0, "x", np.zeros(3))
+        assert m.mem_used(0) == 3
+
+    def test_memory_limit_enforced(self):
+        m = Machine(1, memory_limit=8)
+        m.put(0, "x", np.zeros(5))
+        with pytest.raises(MemoryError, match="exceeded"):
+            m.put(0, "y", np.zeros(5))
+
+    def test_rank_bounds_checked(self):
+        m = Machine(2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.put(5, "x", np.zeros(1))
+
+
+class TestExchange:
+    def test_message_delivery(self):
+        m = Machine(2)
+        m.exchange([(0, 1, "data", np.arange(4.0))])
+        assert np.array_equal(m.get(1, "data"), np.arange(4.0))
+
+    def test_self_send_free(self):
+        m = Machine(2)
+        m.exchange([(0, 0, "data", np.arange(4.0))])
+        assert m.critical_words == 0
+        assert np.array_equal(m.get(0, "data"), np.arange(4.0))
+
+    def test_critical_words_max_over_ranks(self):
+        m = Machine(4)
+        # two disjoint simultaneous transfers count once (paper's example);
+        # each rank only sends or only receives, so the round costs 10
+        m.exchange([(0, 1, "a", np.zeros(10)), (2, 3, "b", np.zeros(10))])
+        assert m.critical_words == 10
+
+    def test_fan_in_serializes(self):
+        m = Machine(3)
+        # two messages into rank 2 serialize (paper's §1.1 example)
+        m.exchange([(0, 2, "a", np.zeros(10)), (1, 2, "b", np.zeros(10))])
+        assert m.critical_words == 20
+
+    def test_message_counts(self):
+        m = Machine(3)
+        m.exchange([(0, 2, "a", np.zeros(10)), (1, 2, "b", np.zeros(10))])
+        assert m.critical_messages == 2  # rank 2 handles two messages
+
+    def test_payload_snapshot(self):
+        # delivery copies: later mutation of the source must not leak
+        m = Machine(2)
+        buf = np.zeros(3)
+        m.exchange([(0, 1, "a", buf)])
+        buf[:] = 9.0
+        assert np.array_equal(m.get(1, "a"), np.zeros(3))
+
+    def test_words_conservation(self):
+        m = Machine(4)
+        m.exchange([(0, 1, "a", np.zeros(7)), (2, 3, "b", np.zeros(9))])
+        step = m.log.steps[-1]
+        assert sum(step.sent.values()) == sum(step.recv.values()) == 16
+
+
+class TestParallelRegions:
+    def test_branches_merge_positionally(self):
+        m = Machine(4)
+        with m.parallel() as par:
+            with par.branch():
+                m.exchange([(0, 1, "a", np.zeros(10))])
+            with par.branch():
+                m.exchange([(2, 3, "b", np.zeros(10))])
+        # one merged superstep, not two
+        assert m.log.n_supersteps == 1
+        assert m.critical_words == 10
+
+    def test_uneven_branches(self):
+        m = Machine(4)
+        with m.parallel() as par:
+            with par.branch():
+                m.exchange([(0, 1, "a", np.zeros(5))])
+                m.exchange([(0, 1, "a2", np.zeros(5))])
+            with par.branch():
+                m.exchange([(2, 3, "b", np.zeros(5))])
+        assert m.log.n_supersteps == 2
+
+    def test_overlapping_ranks_rejected(self):
+        m = Machine(4)
+        with pytest.raises(ValueError, match="disjoint"):
+            with m.parallel() as par:
+                with par.branch():
+                    m.exchange([(0, 1, "a", np.zeros(5))])
+                with par.branch():
+                    m.exchange([(0, 2, "b", np.zeros(5))])
+
+    def test_nested_regions(self):
+        m = Machine(8)
+        with m.parallel() as par:
+            with par.branch():
+                with m.parallel() as inner:
+                    with inner.branch():
+                        m.exchange([(0, 1, "a", np.zeros(4))])
+                    with inner.branch():
+                        m.exchange([(2, 3, "b", np.zeros(4))])
+            with par.branch():
+                m.exchange([(4, 5, "c", np.zeros(4))])
+        assert m.log.n_supersteps == 1
+        assert m.critical_words == 4
+
+
+class TestFlops:
+    def test_compute_phase_takes_max(self):
+        m = Machine(2)
+        m.flop(0, 100)
+        m.flop(1, 40)
+        m.end_compute_phase()
+        assert m.critical_flops == 100
+        m.flop(1, 60)
+        m.end_compute_phase()
+        assert m.critical_flops == 160
+
+    def test_negative_flops_rejected(self):
+        m = Machine(1)
+        with pytest.raises(ValueError):
+            m.flop(0, -1)
+
+    def test_estimated_time_combines(self):
+        m = Machine(2, alpha=5.0, beta=2.0)
+        m.exchange([(0, 1, "a", np.zeros(10))])
+        t = m.estimated_time()
+        assert t == 5.0 * 1 + 2.0 * 10
+
+
+class TestCounters:
+    def test_superstep_critical(self):
+        s = SuperstepRecord(sent={0: 5, 1: 3}, recv={1: 5, 0: 3}, msgs={0: 1, 1: 1})
+        assert s.critical_words() == 8
+        assert s.critical_messages() == 1
+
+    def test_commlog_accumulates(self):
+        log = CommLog()
+        log.add(SuperstepRecord(sent={0: 5}, recv={1: 5}, msgs={0: 1, 1: 1}))
+        log.add(SuperstepRecord(sent={1: 7}, recv={0: 7}, msgs={0: 1, 1: 1}))
+        assert log.critical_words == 12
+        assert log.total_words == 12
+        assert log.n_supersteps == 2
+        assert log.per_rank_sent() == {0: 5, 1: 7}

@@ -1,0 +1,144 @@
+"""Tests for the CDAG data structure (repro.cdag.graph) and builder."""
+
+import numpy as np
+import pytest
+
+from repro.cdag.build import GraphBuilder
+from repro.cdag.graph import CDAG, VertexKind
+
+
+class TestConstruction:
+    def test_basic_counts(self, diamond_graph):
+        assert diamond_graph.n_vertices == 5
+        assert diamond_graph.n_edges == 6
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CDAG(2, np.array([0]), np.array([0]), np.zeros(2, dtype=np.int8))
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CDAG(2, np.array([0]), np.array([5]), np.zeros(2, dtype=np.int8))
+
+    def test_kinds_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one entry per vertex"):
+            CDAG(3, np.array([0]), np.array([1]), np.zeros(2, dtype=np.int8))
+
+    def test_builder_freeze_roundtrip(self):
+        b = GraphBuilder()
+        vs = b.add_vertices(3, VertexKind.INPUT)
+        w = b.add_vertex(VertexKind.OUTPUT)
+        b.add_edges(vs, [w, w, w])
+        g = b.freeze()
+        assert g.n_vertices == 4
+        assert g.in_degree[w] == 3
+
+    def test_builder_rejects_self_loop(self):
+        b = GraphBuilder()
+        v = b.add_vertex()
+        with pytest.raises(ValueError):
+            b.add_edge(v, v)
+
+    def test_builder_set_kind(self):
+        b = GraphBuilder()
+        v = b.add_vertex(VertexKind.ADD)
+        b.set_kind(v, VertexKind.OUTPUT)
+        assert b.freeze().kinds[v] == VertexKind.OUTPUT
+
+
+class TestDegrees:
+    def test_diamond_degrees(self, diamond_graph):
+        assert diamond_graph.in_degree.tolist() == [0, 0, 2, 2, 2]
+        assert diamond_graph.out_degree.tolist() == [2, 2, 1, 1, 0]
+        assert diamond_graph.max_degree == 3
+
+    def test_degree_counts_multiedges_once(self):
+        # duplicate directed edge: undirected simple degree counts it once
+        g = CDAG(2, np.array([0, 0]), np.array([1, 1]), np.zeros(2, dtype=np.int8))
+        assert g.degree.tolist() == [1, 1]
+
+    def test_inputs_outputs(self, diamond_graph):
+        assert set(diamond_graph.inputs.tolist()) == {0, 1}
+        assert set(diamond_graph.outputs.tolist()) == {4}
+
+    def test_count_kind(self, diamond_graph):
+        assert diamond_graph.count_kind(VertexKind.INPUT) == 2
+        assert diamond_graph.count_kind(VertexKind.ADD) == 2
+
+
+class TestBoundary:
+    def test_boundary_single_vertex(self, diamond_graph):
+        mask = np.zeros(5, dtype=bool)
+        mask[0] = True
+        assert diamond_graph.edge_boundary_size(mask) == 2
+
+    def test_boundary_complement_symmetric(self, diamond_graph, rng):
+        mask = rng.random(5) < 0.5
+        assert diamond_graph.edge_boundary_size(mask) == diamond_graph.edge_boundary_size(~mask)
+
+    def test_boundary_empty_and_full(self, diamond_graph):
+        assert diamond_graph.edge_boundary_size(np.zeros(5, dtype=bool)) == 0
+        assert diamond_graph.edge_boundary_size(np.ones(5, dtype=bool)) == 0
+
+    def test_boundary_wrong_shape_raises(self, diamond_graph):
+        with pytest.raises(ValueError):
+            diamond_graph.edge_boundary_size(np.zeros(3, dtype=bool))
+
+
+class TestTopology:
+    def test_topological_order_valid(self, diamond_graph):
+        order = diamond_graph.topological_order
+        pos = np.empty(5, dtype=int)
+        pos[order] = np.arange(5)
+        assert np.all(pos[diamond_graph.src] < pos[diamond_graph.dst])
+
+    def test_cycle_detected(self):
+        g = CDAG(
+            3,
+            np.array([0, 1, 2]),
+            np.array([1, 2, 0]),
+            np.zeros(3, dtype=np.int8),
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            _ = g.topological_order
+
+    def test_longest_path_level(self, path_graph):
+        assert path_graph.longest_path_level.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_longest_path_diamond(self, diamond_graph):
+        assert diamond_graph.longest_path_level.tolist() == [0, 0, 1, 1, 2]
+
+
+class TestDerived:
+    def test_subgraph_preserves_edges(self, diamond_graph):
+        sub, mapping = diamond_graph.subgraph(np.array([0, 1, 2]))
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 2  # both inputs into 'a'
+        assert mapping.tolist() == [0, 1, 2]
+
+    def test_reversed_swaps_degrees(self, diamond_graph):
+        r = diamond_graph.reversed()
+        assert np.array_equal(r.in_degree, diamond_graph.out_degree)
+
+    def test_as_networkx(self, diamond_graph):
+        g = diamond_graph.as_networkx()
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 6
+
+    def test_connectivity(self, diamond_graph):
+        assert diamond_graph.is_connected_undirected()
+        # two disjoint edges -> disconnected
+        g = CDAG(4, np.array([0, 2]), np.array([1, 3]), np.zeros(4, dtype=np.int8))
+        assert not g.is_connected_undirected()
+
+    def test_validate_binary_ops(self, diamond_graph):
+        assert diamond_graph.validate_binary_ops()
+        b = GraphBuilder()
+        vs = b.add_vertices(3, VertexKind.INPUT)
+        w = b.add_vertex()
+        b.add_edges(vs, [w] * 3)
+        assert not b.freeze().validate_binary_ops()
+
+    def test_adjacency_symmetric(self, diamond_graph):
+        A = diamond_graph.adjacency
+        assert (A != A.T).nnz == 0

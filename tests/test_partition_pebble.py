@@ -1,0 +1,190 @@
+"""Tests for the partition argument (§3.2) and the red–blue pebble game.
+
+The key cross-cutting invariant: for any graph, order, and M,
+
+    partition bound  ≤  optimal I/O  ≤  Belady schedule I/O  ≤  LRU I/O.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdag.classical_cdag import classical_matmul_cdag, matvec_cdag
+from repro.cdag.pebble import exhaustive_min_io, schedule_io
+from repro.cdag.schedule import (
+    bfs_topological_order,
+    dfs_topological_order,
+    is_topological,
+    random_topological_order,
+    topological_order,
+)
+from repro.cdag.strassen_cdag import h_graph
+from repro.core.partition import (
+    best_partition_bound,
+    expansion_io_bound,
+    partition_bound,
+    segment_stats,
+)
+
+
+class TestSegmentStats:
+    def test_single_segment_no_bound(self, diamond_graph):
+        order = topological_order(diamond_graph)
+        stats = segment_stats(diamond_graph, order, segment_size=10)
+        assert stats.n_segments == 1
+        # no cross-segment edges
+        assert stats.reads.sum() == 0
+        assert stats.writes.sum() == 0
+
+    def test_two_segments_counts(self, path_graph):
+        order = topological_order(path_graph)
+        stats = segment_stats(path_graph, order, segment_size=3)
+        # exactly one edge crosses the midpoint: 1 read, 1 write operand
+        assert stats.reads.tolist() == [0, 1]
+        assert stats.writes.tolist() == [1, 0]
+
+    def test_distinct_operand_counting(self):
+        # one producer feeding three consumers in the next segment counts
+        # once as a write operand and once as a read operand
+        from repro.cdag.build import GraphBuilder
+        from repro.cdag.graph import VertexKind
+
+        b = GraphBuilder()
+        src = b.add_vertex(VertexKind.INPUT)
+        sinks = [b.add_vertex(VertexKind.OUTPUT) for _ in range(3)]
+        for s in sinks:
+            b.add_edge(src, s)
+        g = b.freeze()
+        stats = segment_stats(g, np.arange(4), segment_size=1)
+        assert stats.writes[0] == 1
+        assert stats.reads.sum() == 3  # one per consuming segment
+
+    def test_bad_segment_size(self, diamond_graph):
+        with pytest.raises(ValueError):
+            segment_stats(diamond_graph, topological_order(diamond_graph), 0)
+
+    def test_bound_clamping(self, path_graph):
+        order = topological_order(path_graph)
+        stats = segment_stats(path_graph, order, 2)
+        assert stats.bound(M=100) == 0  # huge memory, clamped at zero
+        assert stats.bound(M=100, clamp=False) < 0
+
+
+class TestSoundness:
+    """The partition bound never exceeds any achievable I/O."""
+
+    @pytest.mark.parametrize("maker,M", [
+        (lambda: classical_matmul_cdag(3), 6),
+        (lambda: classical_matmul_cdag(4), 8),
+        (lambda: matvec_cdag(4), 4),
+        (lambda: h_graph("strassen", 2).cdag, 8),
+    ])
+    def test_bound_below_schedule_io(self, maker, M):
+        g = maker()
+        for order_fn in (topological_order, dfs_topological_order, bfs_topological_order):
+            order = order_fn(g)
+            measured = schedule_io(g, order, M=M, policy="belady").total
+            bound, _ = best_partition_bound(g, order, M)
+            assert bound <= measured
+
+    def test_bound_below_true_optimum(self):
+        g = matvec_cdag(2)
+        M = 4
+        opt = exhaustive_min_io(g, M)
+        order = dfs_topological_order(g)
+        bound, _ = best_partition_bound(g, order, M)
+        assert bound <= opt
+
+    def test_random_orders_sound(self, rng):
+        g = classical_matmul_cdag(3)
+        for seed in range(5):
+            order = random_topological_order(g, seed=seed)
+            assert is_topological(g, order)
+            measured = schedule_io(g, order, M=8, policy="belady").total
+            bound, _ = best_partition_bound(g, order, 8)
+            assert bound <= measured
+
+
+class TestScheduleIO:
+    def test_belady_never_worse_than_lru(self):
+        g = classical_matmul_cdag(4)
+        for M in (6, 12, 24):
+            order = dfs_topological_order(g)
+            lru = schedule_io(g, order, M=M, policy="lru").total
+            bel = schedule_io(g, order, M=M, policy="belady").total
+            assert bel <= lru
+
+    def test_io_decreases_with_memory(self):
+        g = classical_matmul_cdag(4)
+        order = dfs_topological_order(g)
+        ios = [schedule_io(g, order, M=M, policy="belady").total for M in (4, 8, 16, 32)]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_huge_memory_floor(self):
+        # with M >= everything, I/O = read inputs + write outputs
+        g = classical_matmul_cdag(3)
+        r = schedule_io(g, M=10_000, policy="belady")
+        assert r.loads == len(g.inputs)
+        assert r.stores == len(g.outputs)
+
+    def test_peak_respects_m(self):
+        g = classical_matmul_cdag(3)
+        r = schedule_io(g, M=7, policy="lru")
+        assert r.peak_red <= 7
+
+    def test_too_small_memory_raises(self):
+        g = classical_matmul_cdag(2)
+        with pytest.raises(ValueError):
+            schedule_io(g, M=1)
+
+    def test_order_must_cover(self, diamond_graph):
+        with pytest.raises(ValueError):
+            schedule_io(diamond_graph, order=np.array([0, 1]), M=4)
+
+    def test_unknown_policy(self, diamond_graph):
+        with pytest.raises(ValueError, match="policy"):
+            schedule_io(diamond_graph, M=4, policy="fifo")
+
+    def test_dfs_beats_default_on_matmul(self):
+        # the schedule matters: DFS locality wins on the classical CDAG
+        g = classical_matmul_cdag(4)
+        M = 8
+        dfs = schedule_io(g, dfs_topological_order(g), M=M, policy="belady").total
+        bfs = schedule_io(g, bfs_topological_order(g), M=M, policy="belady").total
+        assert dfs < bfs
+
+
+class TestExhaustive:
+    def test_matches_known_floor(self):
+        # 2x2 matvec: 6 inputs, 2 outputs; opt must load/store each once
+        g = matvec_cdag(2)
+        opt = exhaustive_min_io(g, M=6)
+        assert opt >= len(g.inputs) + len(g.outputs)
+
+    def test_below_belady(self):
+        g = matvec_cdag(2)
+        for M in (3, 4, 6):
+            opt = exhaustive_min_io(g, M)
+            bel = schedule_io(g, M=M, policy="belady").total
+            assert opt <= bel
+
+    def test_monotone_in_memory(self):
+        g = matvec_cdag(2)
+        assert exhaustive_min_io(g, 6) <= exhaustive_min_io(g, 3)
+
+    def test_large_graph_rejected(self):
+        with pytest.raises(ValueError):
+            exhaustive_min_io(classical_matmul_cdag(4), M=8)
+
+
+class TestExpansionIOBound:
+    def test_premise_failure_returns_zero(self):
+        assert expansion_io_bound(1000, hs=0.001, s=10, M=100) == 0.0
+
+    def test_bound_formula(self):
+        # h_s * s / 2 = 300 >= 3M = 300 -> IO >= (alpha/2)(V/s)M
+        v = expansion_io_bound(10_000, hs=6.0, s=100, M=100, alpha=1.0)
+        assert v == pytest.approx(0.5 * 100 * 100)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expansion_io_bound(10, hs=1, s=0, M=1)

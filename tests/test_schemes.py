@@ -1,0 +1,156 @@
+"""Tests for the bilinear-scheme framework (repro.cdag.schemes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cdag.schemes import (
+    BilinearScheme,
+    available_schemes,
+    classical_scheme,
+    compose_schemes,
+    get_scheme,
+    strassen_scheme,
+    winograd_scheme,
+)
+from repro.util.matgen import integer_matrix
+
+
+class TestRegistry:
+    def test_available_schemes_nonempty(self):
+        assert "strassen" in available_schemes()
+        assert "classical2" in available_schemes()
+
+    def test_get_scheme_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            get_scheme("does-not-exist")
+
+    def test_get_scheme_caches(self):
+        assert get_scheme("strassen") is get_scheme("strassen")
+
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_every_registered_scheme_is_brent_exact(self, name):
+        assert get_scheme(name).brent_residual() == 0.0
+
+
+class TestParameters:
+    def test_strassen_counts(self):
+        s = strassen_scheme()
+        assert (s.n0, s.m0) == (2, 7)
+        assert math.isclose(s.omega0, math.log2(7))
+
+    def test_winograd_flat_addition_count(self):
+        # Winograd's celebrated 15 additions need common-subexpression
+        # reuse; the flat (no-CSE) evaluation the CDAG uses has 24.
+        assert winograd_scheme().n_additions == 24
+
+    def test_strassen_addition_count_is_18(self):
+        # Strassen's classic 18-addition count is already CSE-free.
+        assert strassen_scheme().n_additions == 18
+
+    def test_classical_m0_is_cubed(self):
+        for n0 in (2, 3):
+            s = classical_scheme(n0)
+            assert s.m0 == n0**3
+            assert s.omega0 == pytest.approx(3.0)
+
+    def test_omega_bounds(self, any_scheme):
+        assert 2.0 < any_scheme.omega0 <= 3.0
+
+
+class TestValidation:
+    def test_wrong_shape_u_rejected(self):
+        s = strassen_scheme()
+        with pytest.raises(ValueError, match="U must be"):
+            BilinearScheme("bad", 2, s.U[:, :3], s.V, s.W)
+
+    def test_wrong_shape_w_rejected(self):
+        s = strassen_scheme()
+        with pytest.raises(ValueError, match="W must be"):
+            BilinearScheme("bad", 2, s.U, s.V, s.W.T)
+
+    def test_corrupted_coefficient_rejected(self):
+        s = strassen_scheme()
+        U = s.U.copy()
+        U[0, 0] = -1.0
+        with pytest.raises(ValueError, match="Brent"):
+            BilinearScheme("bad", 2, U, s.V, s.W)
+
+    def test_validate_false_allows_invalid(self):
+        s = strassen_scheme()
+        U = s.U.copy()
+        U[0, 0] = -1.0
+        b = BilinearScheme("bad", 2, U, s.V, s.W, validate=False)
+        assert b.brent_residual() > 0
+
+
+class TestApply:
+    def test_apply_matches_numpy(self, any_scheme, rng):
+        n0 = any_scheme.n0
+        A = rng.integers(-3, 4, (n0, n0)).astype(float)
+        B = rng.integers(-3, 4, (n0, n0)).astype(float)
+        assert np.array_equal(any_scheme.apply(A, B), A @ B)
+
+    def test_apply_wrong_size_raises(self, any_scheme):
+        n0 = any_scheme.n0
+        with pytest.raises(ValueError, match="base case"):
+            any_scheme.apply(np.eye(n0 + 1), np.eye(n0 + 1))
+
+    def test_apply_blocked_matches_numpy(self, any_scheme):
+        n0 = any_scheme.n0
+        b = 3
+        A = integer_matrix(n0 * b, seed=5)
+        B = integer_matrix(n0 * b, seed=6)
+        Ablocks = [
+            A[i * b : (i + 1) * b, j * b : (j + 1) * b]
+            for i in range(n0)
+            for j in range(n0)
+        ]
+        Bblocks = [
+            B[i * b : (i + 1) * b, j * b : (j + 1) * b]
+            for i in range(n0)
+            for j in range(n0)
+        ]
+        Cblocks = any_scheme.apply_blocked(Ablocks, Bblocks, lambda x, y: x @ y)
+        C = np.vstack(
+            [np.hstack(Cblocks[i * n0 : (i + 1) * n0]) for i in range(n0)]
+        )
+        assert np.array_equal(C, A @ B)
+
+    def test_apply_identity(self, any_scheme):
+        n0 = any_scheme.n0
+        A = integer_matrix(n0, seed=3)
+        assert np.array_equal(any_scheme.apply(A, np.eye(n0)), A)
+
+
+class TestComposition:
+    def test_composed_dimensions(self):
+        s = compose_schemes(strassen_scheme(), classical_scheme(2))
+        assert s.n0 == 4
+        assert s.m0 == 7 * 8
+
+    def test_composed_is_valid(self):
+        s = compose_schemes(winograd_scheme(), strassen_scheme())
+        assert s.brent_residual() == 0.0
+
+    def test_composition_omega_mixes(self):
+        s = compose_schemes(strassen_scheme(), classical_scheme(2))
+        assert math.isclose(s.omega0, math.log(56) / math.log(4))
+
+    def test_composed_apply_correct(self):
+        s = compose_schemes(strassen_scheme(), strassen_scheme())
+        A = integer_matrix(4, seed=1)
+        B = integer_matrix(4, seed=2)
+        assert np.array_equal(s.apply(A, B), A @ B)
+
+    def test_composition_name_default(self):
+        s = compose_schemes(strassen_scheme(), strassen_scheme())
+        assert "strassen" in s.name
+
+    def test_triple_composition(self):
+        s2 = compose_schemes(strassen_scheme(), strassen_scheme())
+        s3 = compose_schemes(s2, classical_scheme(2), "triple")
+        assert s3.n0 == 8
+        assert s3.m0 == 49 * 8
+        assert s3.brent_residual() == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the executable paper claims (core.theory, cdag.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.cdag.analysis import (
+    check_claim_5_1,
+    check_dec1_connected,
+    check_fact_4_2,
+    check_fact_4_6,
+    degree_histogram,
+    layer_profile,
+    structure_report,
+)
+from repro.cdag.schemes import available_schemes, get_scheme
+from repro.cdag.strassen_cdag import dec_graph
+from repro.core.expansion import decode_cone_mask
+from repro.core.theory import (
+    check_claim_4_7,
+    check_claim_4_10,
+    check_corollary_4_4_constant,
+    check_fact_4_5,
+    check_fact_4_9,
+    lemma_4_3_lower_form,
+)
+
+
+class TestFacts:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_fact_4_2_strassen(self, k):
+        assert check_fact_4_2("strassen", k) <= 6
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_fact_4_6_all_small_schemes(self, small_scheme, k):
+        res = check_fact_4_6(small_scheme, k)
+        assert res["lower"] <= res["top_ratio"] <= res["upper"]
+
+    def test_fact_4_6_strassen_three_sevenths(self):
+        res = check_fact_4_6("strassen", 4)
+        assert res["lower"] == pytest.approx(3 / 7)
+
+    def test_dec1_connectivity_dichotomy(self):
+        connected = {name: check_dec1_connected(name) for name in available_schemes()}
+        assert connected["strassen"] and connected["winograd"]
+        assert not connected["classical2"] and not connected["classical3"]
+
+    def test_claim_5_1_all_schemes(self, any_scheme):
+        assert check_claim_5_1(any_scheme)
+
+    def test_degree_histogram_sums(self):
+        g = dec_graph("strassen", 2)
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == g.n_vertices
+
+    def test_layer_profile_rejects_skipping(self, diamond_graph):
+        with pytest.raises(ValueError):
+            layer_profile(diamond_graph)  # levels unset (-1)
+
+    def test_structure_report_complete(self):
+        rep = structure_report("strassen", 3)
+        assert rep["deck"]["V"] == 715
+        assert rep["hk"]["dec_fraction"] >= 1 / 3
+        assert rep["dec1"]["connected"]
+
+
+class TestProofClaims:
+    """The counting claims inside the proof of Lemma 4.3, on many masks."""
+
+    def _masks(self, g, seed=0):
+        rng = np.random.default_rng(seed)
+        yield decode_cone_mask("strassen", 3, branch=6)
+        yield decode_cone_mask("strassen", 3, branch=0, depth=2)
+        for density in (0.1, 0.3, 0.5):
+            yield rng.random(g.n_vertices) < density
+        one = np.zeros(g.n_vertices, dtype=bool)
+        one[0] = True
+        yield one
+
+    def test_fact_4_5_many_masks(self):
+        g = dec_graph("strassen", 3)
+        for mask in self._masks(g):
+            if mask.any():
+                check_fact_4_5(g, mask)
+
+    def test_claim_4_7_many_masks(self):
+        g = dec_graph("strassen", 3)
+        for mask in self._masks(g):
+            if mask.any():
+                check_claim_4_7("strassen", 3, mask)
+
+    def test_claim_4_10_many_masks(self):
+        g = dec_graph("strassen", 3)
+        for mask in self._masks(g):
+            if mask.any():
+                check_claim_4_10("strassen", 3, mask)
+
+    def test_fact_4_9_many_masks(self):
+        g = dec_graph("strassen", 3)
+        for mask in self._masks(g):
+            if mask.any():
+                check_fact_4_9("strassen", 3, mask)
+
+    def test_claims_generalize_to_winograd(self):
+        g = dec_graph("winograd", 2)
+        rng = np.random.default_rng(3)
+        mask = rng.random(g.n_vertices) < 0.3
+        check_fact_4_5(g, mask)
+        check_claim_4_7("winograd", 2, mask)
+        check_claim_4_10("winograd", 2, mask)
+
+
+class TestCorollary44:
+    def test_arithmetic_consistency(self):
+        res = check_corollary_4_4_constant(M=4096)
+        # needed h_s matches the lemma's (4/7)^k' / 3 form up to the
+        # explicit constants of the corollary
+        assert res["needed_h"] == pytest.approx(res["lemma_form"], rel=0.01)
+
+    def test_lemma_form(self):
+        assert lemma_4_3_lower_form(3) == pytest.approx((4 / 7) ** 3)
+        assert lemma_4_3_lower_form(2, c0=4, m0=8) == pytest.approx(0.25)
