@@ -16,6 +16,22 @@ def pytest_configure(config):
     pass
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_engine_cache(tmp_path_factory):
+    """Per-session temp default cache for the benchmarks.
+
+    Each benchmark's warmup round populates it, so the timed rounds still
+    measure the warm path — but a stale persistent cache can never leak old
+    artifacts into the measured tables.
+    """
+    from repro.engine.cache import EngineCache, set_default_cache
+
+    cache = EngineCache(tmp_path_factory.mktemp("engine-cache"))
+    previous = set_default_cache(cache)
+    yield
+    set_default_cache(previous)
+
+
 @pytest.fixture
 def emit():
     """Print a rendered experiment table under capture-friendly markers."""

@@ -55,6 +55,18 @@ from repro.core.partition import best_partition_bound, partition_bound, segment_
 from repro.algorithms.strassen import bilinear_multiply, count_flops, strassen_multiply
 from repro.algorithms.io_strassen import dfs_io, dfs_io_model
 from repro.algorithms.io_classical import blocked_io, naive_io, recursive_io
+from repro.engine import (
+    EngineCache,
+    GridPoint,
+    GridReport,
+    GridSpec,
+    cached_dec_graph,
+    cached_estimate,
+    cached_h_graph,
+    cached_spectrum,
+    default_cache,
+    run_grid,
+)
 from repro.machine.cache import FastMemory
 from repro.machine.distributed import Machine, Message
 from repro.parallel.cannon import ParallelResult, cannon_multiply
@@ -80,6 +92,9 @@ __all__ = [
     "bilinear_multiply", "count_flops", "strassen_multiply",
     "dfs_io", "dfs_io_model",
     "blocked_io", "naive_io", "recursive_io",
+    "EngineCache", "GridPoint", "GridReport", "GridSpec",
+    "cached_dec_graph", "cached_estimate", "cached_h_graph", "cached_spectrum",
+    "default_cache", "run_grid",
     "FastMemory", "Machine", "Message",
     "ParallelResult", "cannon_multiply", "summa_multiply",
     "threed_multiply", "two5d_multiply", "caps_multiply",

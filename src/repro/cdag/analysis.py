@@ -52,18 +52,26 @@ def layer_profile(g: CDAG) -> LayerProfile:
     return LayerProfile(level_sizes=sizes, cross_edges=cross, n_levels=n_levels)
 
 
-def check_fact_4_2(scheme: BilinearScheme | str, k: int) -> int:
+def check_fact_4_2(
+    scheme: BilinearScheme | str,
+    k: int,
+    g: CDAG | None = None,
+    g1: CDAG | None = None,
+) -> int:
     """Fact 4.2: all vertices of ``Dec_k C`` have degree at most a constant.
 
     For Strassen the constant is 6 (out-degree ≤ 4, in-degree ≤ 2).  Returns
     the measured max degree; raises if it exceeds the scheme's own bound
-    ``max_out + max_in`` derived from ``Dec₁C``.
+    ``max_out + max_in`` derived from ``Dec₁C``.  Prebuilt graphs may be
+    passed to avoid rebuilding (the engine's cached path).
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    g1 = dec_graph(scheme, 1)
+    if g1 is None:
+        g1 = dec_graph(scheme, 1)
     bound = int(g1.out_degree.max() + g1.in_degree.max())
-    g = dec_graph(scheme, k)
+    if g is None:
+        g = dec_graph(scheme, k)
     measured = g.max_degree
     assert measured <= bound, (
         f"Fact 4.2 violated: Dec_{k}C max degree {measured} exceeds "
@@ -72,19 +80,27 @@ def check_fact_4_2(scheme: BilinearScheme | str, k: int) -> int:
     return measured
 
 
-def check_fact_4_6(scheme: BilinearScheme | str, k: int) -> dict:
+def check_fact_4_6(
+    scheme: BilinearScheme | str,
+    k: int,
+    g: CDAG | None = None,
+    prof: LayerProfile | None = None,
+) -> dict:
     """Fact 4.6: level sizes and the 3/7-style mass ratios of ``Dec_k C``.
 
     Verifies ``|l_i| = c₀^(k−i+1) · m₀^(i−1)`` (in the paper's numbering) and
     the bounds on ``|l_{k+1}|/|V|`` and ``|l_1|/|V|``.  Returns the measured
     ratios.  The generic-scheme form replaces 4/7 with c₀/m₀ (§5.1.2).
+    A prebuilt graph and its profile may be passed to avoid rebuilding.
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
     c0 = scheme.n0 * scheme.n0
     m0 = scheme.m0
-    g = dec_graph(scheme, k)
-    prof = layer_profile(g)
+    if g is None:
+        g = dec_graph(scheme, k)
+    if prof is None:
+        prof = layer_profile(g)
     expected = dec_level_sizes(scheme, k)
     assert np.array_equal(prof.level_sizes, expected), (
         f"Fact 4.6 violated: level sizes {prof.level_sizes} != {expected}"
@@ -113,16 +129,18 @@ def check_fact_4_6(scheme: BilinearScheme | str, k: int) -> dict:
     }
 
 
-def check_dec1_connected(scheme: BilinearScheme | str) -> bool:
+def check_dec1_connected(scheme: BilinearScheme | str, g1: CDAG | None = None) -> bool:
     """The §5.1.1 critical technical assumption: is ``Dec₁C`` connected?
 
     Returns the measured connectivity (True/False) rather than asserting —
     classical schemes are *supposed* to fail this check.
     """
-    return dec_graph(scheme, 1).is_connected_undirected()
+    if g1 is None:
+        g1 = dec_graph(scheme, 1)
+    return g1.is_connected_undirected()
 
 
-def check_claim_5_1(scheme: BilinearScheme | str) -> bool:
+def check_claim_5_1(scheme: BilinearScheme | str, g: CDAG | None = None) -> bool:
     """Claim 5.1: input and output vertex sets of ``Dec₁C`` are disjoint.
 
     The paper proves this from irreducibility of the output bilinear forms;
@@ -132,7 +150,8 @@ def check_claim_5_1(scheme: BilinearScheme | str) -> bool:
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    g = dec_graph(scheme, 1)
+    if g is None:
+        g = dec_graph(scheme, 1)
     inputs = set(np.flatnonzero(g.levels == 0).tolist())
     outputs = set(np.flatnonzero(g.levels == 1).tolist())
     disjoint = not (inputs & outputs)
@@ -154,17 +173,24 @@ def degree_histogram(g: CDAG) -> dict[int, int]:
     return {int(v): int(c) for v, c in zip(vals, counts)}
 
 
-def structure_report(scheme_name: str, k: int) -> dict:
+def structure_report(scheme_name: str, k: int, build_dec=None, build_h=None) -> dict:
     """One-stop structural summary used by the Figure 2 benchmark (E4).
 
     Builds ``Dec₁C``, ``H₁``, ``Dec_k C``, ``H_k`` (the four panels of
     Fig. 2) and returns their vital statistics plus the paper checks.
+    ``build_dec`` / ``build_h`` override the graph constructors — the engine
+    passes its cached builders here; each graph is built exactly once.
     """
+    if build_dec is None:
+        build_dec = dec_graph
+    if build_h is None:
+        build_h = h_graph
     scheme = get_scheme(scheme_name)
-    dec1 = dec_graph(scheme, 1)
-    h1 = h_graph(scheme, 1)
-    deck = dec_graph(scheme, k)
-    hk = h_graph(scheme, k)
+    dec1 = build_dec(scheme, 1)
+    h1 = build_h(scheme, 1)
+    deck = build_dec(scheme, k)
+    hk = build_h(scheme, k)
+    deck_profile = layer_profile(deck)
     return {
         "scheme": scheme_name,
         "k": k,
@@ -174,9 +200,9 @@ def structure_report(scheme_name: str, k: int) -> dict:
         "deck": {
             "V": deck.n_vertices,
             "E": deck.n_edges,
-            "max_degree": check_fact_4_2(scheme, k),
-            "level_sizes": layer_profile(deck).level_sizes.tolist(),
-            "mass_ratios": check_fact_4_6(scheme, k),
+            "max_degree": check_fact_4_2(scheme, k, g=deck, g1=dec1),
+            "level_sizes": deck_profile.level_sizes.tolist(),
+            "mass_ratios": check_fact_4_6(scheme, k, g=deck, prof=deck_profile),
         },
         "hk": {
             "V": hk.cdag.n_vertices,

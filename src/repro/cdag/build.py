@@ -17,17 +17,21 @@ __all__ = ["GraphBuilder"]
 class GraphBuilder:
     """Append-only builder for :class:`CDAG`.
 
-    Vertices are dense integers in creation order.  Buffers grow in Python
-    lists (amortized O(1) appends) and are converted to numpy only once at
-    ``freeze`` time — per the optimization guide, avoid growing numpy arrays
-    element-wise.
+    Vertices are dense integers in creation order.  Scalar appends go to
+    Python lists (amortized O(1)); bulk edge batches are kept as the numpy
+    arrays they arrive as and only concatenated once at ``freeze`` time, so
+    large vectorized constructions never round-trip through Python lists.
     """
 
     def __init__(self) -> None:
         self._kinds: list[int] = []
         self._levels: list[int] = []
+        # Edge tape: scalar appends buffer in _src/_dst and are flushed into
+        # _edge_chunks before any bulk batch, preserving append order.
         self._src: list[int] = []
         self._dst: list[int] = []
+        self._edge_chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._n_edges = 0
 
     # ------------------------------------------------------------------ #
 
@@ -37,7 +41,7 @@ class GraphBuilder:
 
     @property
     def n_edges(self) -> int:
-        return len(self._src)
+        return self._n_edges
 
     def add_vertex(self, kind: int = VertexKind.ADD, level: int = -1) -> int:
         """Append one vertex; returns its index."""
@@ -58,6 +62,7 @@ class GraphBuilder:
             raise ValueError("self-loop")
         self._src.append(int(u))
         self._dst.append(int(v))
+        self._n_edges += 1
 
     def add_edges(self, us, vs) -> None:
         """Append many edges at once from two equal-length sequences."""
@@ -67,8 +72,20 @@ class GraphBuilder:
             raise ValueError("endpoint arrays must have equal length")
         if np.any(us == vs):
             raise ValueError("self-loop")
-        self._src.extend(us.tolist())
-        self._dst.extend(vs.tolist())
+        self._flush_scalars()
+        self._edge_chunks.append((us.copy(), vs.copy()))
+        self._n_edges += len(us)
+
+    def _flush_scalars(self) -> None:
+        if self._src:
+            self._edge_chunks.append(
+                (
+                    np.asarray(self._src, dtype=np.int64),
+                    np.asarray(self._dst, dtype=np.int64),
+                )
+            )
+            self._src = []
+            self._dst = []
 
     def set_kind(self, v: int, kind: int) -> None:
         """Re-tag a vertex (e.g. mark a decode sink as OUTPUT after wiring)."""
@@ -79,10 +96,17 @@ class GraphBuilder:
 
     def freeze(self) -> CDAG:
         """Build the immutable CDAG."""
+        self._flush_scalars()
+        if self._edge_chunks:
+            src = np.concatenate([c[0] for c in self._edge_chunks])
+            dst = np.concatenate([c[1] for c in self._edge_chunks])
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
         return CDAG(
             n_vertices=len(self._kinds),
-            src=np.asarray(self._src, dtype=np.int64),
-            dst=np.asarray(self._dst, dtype=np.int64),
+            src=src,
+            dst=dst,
             kinds=np.asarray(self._kinds, dtype=np.int8),
             levels=np.asarray(self._levels, dtype=np.int32),
         )

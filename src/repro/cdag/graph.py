@@ -29,6 +29,24 @@ import scipy.sparse as sp
 __all__ = ["VertexKind", "CDAG"]
 
 
+def _gather_ranges(values: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` for all ``i``.
+
+    The vectorized multi-slice gather used by the frontier-peeling loops:
+    builds the flat index ``starts[i] + j`` for every in-range ``j`` with
+    ``repeat``/``cumsum`` arithmetic instead of a Python loop over rows.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return values[:0]
+    rep_starts = np.repeat(starts, counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return values[rep_starts + within]
+
+
 class VertexKind:
     """Integer codes for vertex roles (stored in ``CDAG.kinds`` as int8)."""
 
@@ -190,51 +208,66 @@ class CDAG:
     # ------------------------------------------------------------------ #
 
     @cached_property
-    def topological_order(self) -> np.ndarray:
-        """A topological order (Kahn's algorithm, vectorized frontier peeling)."""
+    def _out_adjacency_flat(self) -> tuple[np.ndarray, np.ndarray]:
+        """Out-adjacency in CSR form: ``(indptr, successors)``.
+
+        Multi-edges are kept (one entry per directed edge) so that in-degree
+        decrements during frontier peeling stay exact.
+        """
+        counts = np.bincount(self.src, minlength=self.n_vertices)
+        indptr = np.zeros(self.n_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(self.src, kind="stable")
+        return indptr, self.dst[order]
+
+    @cached_property
+    def topological_generations(self) -> list[np.ndarray]:
+        """Vertices grouped by longest-path depth (vectorized Kahn peeling).
+
+        Generation ``t`` holds exactly the vertices whose longest path from a
+        source has ``t`` edges: a vertex's in-degree reaches zero in the round
+        after its last predecessor was peeled.  Raises on directed cycles.
+        """
+        indptr, successors = self._out_adjacency_flat
         indeg = self.in_degree.copy()
-        order = np.empty(self.n_vertices, dtype=np.int64)
-        # CSR out-adjacency for fast frontier expansion.
-        csr = sp.csr_matrix(
-            (np.ones(self.n_edges, dtype=np.int8), (self.src, self.dst)),
-            shape=(self.n_vertices, self.n_vertices),
-        )
         frontier = np.flatnonzero(indeg == 0)
-        pos = 0
-        while len(frontier):
-            order[pos : pos + len(frontier)] = frontier
-            pos += len(frontier)
-            # Decrement in-degrees of all successors of the frontier at once.
-            succ_counts = np.asarray(
-                csr[frontier].sum(axis=0)
-            ).ravel()
-            indeg = indeg - succ_counts.astype(indeg.dtype)
-            newly_zero = (indeg == 0) & (succ_counts > 0)
-            frontier = np.flatnonzero(newly_zero)
-        if pos != self.n_vertices:
+        generations: list[np.ndarray] = []
+        seen = 0
+        while frontier.size:
+            generations.append(frontier)
+            seen += frontier.size
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            succ = _gather_ranges(successors, starts, counts)
+            if succ.size == 0:
+                break
+            dec = np.bincount(succ, minlength=self.n_vertices)
+            indeg -= dec
+            frontier = np.flatnonzero((dec > 0) & (indeg == 0))
+        if seen != self.n_vertices:
             raise ValueError("graph has a directed cycle")
-        return order
+        return generations
+
+    @cached_property
+    def topological_order(self) -> np.ndarray:
+        """A topological order (concatenated topological generations)."""
+        if self.n_vertices == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self.topological_generations)
 
     @cached_property
     def longest_path_level(self) -> np.ndarray:
         """Longest-path depth of each vertex from the sources (0 for inputs)."""
         depth = np.zeros(self.n_vertices, dtype=np.int64)
-        order = self.topological_order
-        # Process edges grouped by source in topological order.
-        src_sorted = np.argsort(self.src, kind="stable") if self.n_edges else None
-        out_csr = sp.csr_matrix(
-            (np.arange(self.n_edges), (self.src, self.dst)),
-            shape=(self.n_vertices, self.n_vertices),
-        ) if self.n_edges else None
         if self.n_edges == 0:
             return depth
-        indptr = out_csr.indptr  # type: ignore[union-attr]
-        indices = out_csr.indices  # type: ignore[union-attr]
-        for v in order:
-            lo, hi = indptr[v], indptr[v + 1]
-            if lo != hi:
-                succ = indices[lo:hi]
-                np.maximum.at(depth, succ, depth[v] + 1)
+        indptr, successors = self._out_adjacency_flat
+        for gen in self.topological_generations:
+            starts = indptr[gen]
+            counts = indptr[gen + 1] - starts
+            succ = _gather_ranges(successors, starts, counts)
+            if succ.size:
+                np.maximum.at(depth, succ, np.repeat(depth[gen] + 1, counts))
         return depth
 
     # ------------------------------------------------------------------ #
@@ -248,6 +281,11 @@ class CDAG:
         of the subgraph's vertex ``i``.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
+        if len(np.unique(vertices)) != len(vertices):
+            raise ValueError(
+                "subgraph vertices contain duplicates; the old->new vertex "
+                "mapping would be corrupt"
+            )
         keep = np.zeros(self.n_vertices, dtype=bool)
         keep[vertices] = True
         new_index = np.full(self.n_vertices, -1, dtype=np.int64)

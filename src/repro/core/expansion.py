@@ -41,6 +41,7 @@ from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.cdag.strassen_cdag import dec_level_sizes
 
 __all__ = [
+    "EXACT_LIMIT",
     "ExpansionEstimate",
     "expansion_of_cut",
     "exact_edge_expansion",
@@ -53,7 +54,10 @@ __all__ = [
     "claim_2_1_small_set_bound",
 ]
 
-_EXACT_LIMIT = 22  # 2^22 subsets is the practical enumeration ceiling
+#: 2^22 subsets is the practical enumeration ceiling; public because the
+#: engine's policy selection and the experiments branch on it.
+EXACT_LIMIT = 22
+_EXACT_LIMIT = EXACT_LIMIT  # backwards-compatible alias
 
 
 @dataclass(frozen=True)
@@ -95,6 +99,8 @@ def expansion_of_cut(g: CDAG, mask: np.ndarray, degree: int | None = None) -> fl
 
 def _popcount(x: np.ndarray) -> np.ndarray:
     """Vectorized popcount for non-negative int64 arrays."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0: a single hardware-backed ufunc
+        return np.bitwise_count(x).astype(np.int64)
     x = x.copy()
     count = np.zeros_like(x)
     while np.any(x):
@@ -103,14 +109,19 @@ def _popcount(x: np.ndarray) -> np.ndarray:
     return count
 
 
+#: Subset-mask rows per boundary-evaluation chunk: bounds the (chunk, |V|)
+#: and (chunk, |E|) temporaries to a few MB while staying fully vectorized.
+_BOUNDARY_CHUNK = 1 << 15
+
+
 def exact_edge_expansion(g: CDAG, max_size: int | None = None) -> tuple[float, np.ndarray]:
     """Exact ``h(G)`` (or ``h_s`` when ``max_size`` given) by enumeration.
 
     Returns ``(h, best_mask)``.  Only feasible for ``|V| ≤ 22``.
     """
     n = g.n_vertices
-    if n > _EXACT_LIMIT:
-        raise ValueError(f"exact enumeration limited to {_EXACT_LIMIT} vertices; got {n}")
+    if n > EXACT_LIMIT:
+        raise ValueError(f"exact enumeration limited to {EXACT_LIMIT} vertices; got {n}")
     if n < 2:
         raise ValueError("expansion undefined for graphs with < 2 vertices")
     limit = n // 2 if max_size is None else min(max_size, n)
@@ -121,15 +132,17 @@ def exact_edge_expansion(g: CDAG, max_size: int | None = None) -> tuple[float, n
     masks = masks[ok]
     sizes = sizes[ok]
     u, v = g.undirected_edges
-    boundary = np.zeros(len(masks), dtype=np.int64)
-    for a, b in zip(u.tolist(), v.tolist()):
-        boundary += ((masks >> a) ^ (masks >> b)) & 1
+    shifts = np.arange(n, dtype=np.int64)
+    boundary = np.empty(len(masks), dtype=np.int64)
+    for lo in range(0, len(masks), _BOUNDARY_CHUNK):
+        chunk = masks[lo : lo + _BOUNDARY_CHUNK, None]
+        bits = ((chunk >> shifts) & 1).astype(bool)  # (chunk, n) membership
+        boundary[lo : lo + len(bits)] = np.count_nonzero(
+            bits[:, u] != bits[:, v], axis=1
+        )
     ratios = boundary / (d * sizes)
     best = int(np.argmin(ratios))
-    best_mask = np.zeros(n, dtype=bool)
-    for i in range(n):
-        if (int(masks[best]) >> i) & 1:
-            best_mask[i] = True
+    best_mask = ((int(masks[best]) >> shifts) & 1).astype(bool)
     return float(ratios[best]), best_mask
 
 
@@ -170,10 +183,16 @@ def _two_smallest_eigs(L: sp.csr_matrix) -> tuple[np.ndarray, np.ndarray]:
     if n <= 600:
         w, V = np.linalg.eigh(L.toarray())
         return w[:2], V[:, :2]
+    # Deterministic start vector: repeat runs (and the engine's parallel
+    # workers) must produce identical spectra for cache hits to be exact.
+    v0 = np.random.default_rng(0x5EED).standard_normal(n)
     try:
-        w, V = spla.eigsh(L, k=2, sigma=-1e-8, which="LM", maxiter=5000)
-    except Exception:
-        w, V = spla.eigsh(L, k=2, which="SA", maxiter=20000, tol=1e-10)
+        w, V = spla.eigsh(L, k=2, sigma=-1e-8, which="LM", maxiter=5000, v0=v0)
+    except (spla.ArpackNoConvergence, np.linalg.LinAlgError, RuntimeError):
+        # Shift-invert legitimately fails when the factorization is singular
+        # or Lanczos stalls; anything else (bad shapes, dtypes) is a real
+        # bug in the caller and must propagate.
+        w, V = spla.eigsh(L, k=2, which="SA", maxiter=20000, tol=1e-10, v0=v0)
     order = np.argsort(w)
     return w[order], V[:, order]
 
@@ -306,7 +325,7 @@ def estimate_expansion(
     describe the graph as a ``Dec_k C``).
     """
     d = g.max_degree
-    if g.n_vertices <= _EXACT_LIMIT:
+    if g.n_vertices <= EXACT_LIMIT:
         h, mask = exact_edge_expansion(g)
         return ExpansionEstimate(
             lower=h,

@@ -1,0 +1,54 @@
+"""The experiment engine: content-addressed caching + parallel grid sweeps.
+
+Layers (bottom up):
+
+* :mod:`repro.engine.cache` — two-level (memory + disk) content-addressed
+  artifact store keyed by scheme coefficients, depth, and build options;
+* :mod:`repro.engine.builders` — cache-backed constructors for ``Dec_k C`` /
+  ``H_k`` graphs, Laplacian spectra, and expansion estimates;
+* :mod:`repro.engine.grid` — the multiprocessing (scheme, k, M, policy)
+  sweep runner with aggregated cache accounting;
+* :mod:`repro.engine.cli` — the ``python -m repro`` command-line front end.
+"""
+
+from repro.engine.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    EngineCache,
+    cache_key,
+    default_cache,
+    default_cache_root,
+    scheme_fingerprint,
+    set_default_cache,
+)
+from repro.engine.builders import (
+    AUTO_SPECTRAL_LIMIT,
+    POLICIES,
+    cached_dec_graph,
+    cached_estimate,
+    cached_h_graph,
+    cached_spectrum,
+)
+from repro.engine.grid import GridPoint, GridReport, GridSpec, evaluate_point, run_grid
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "EngineCache",
+    "cache_key",
+    "default_cache",
+    "default_cache_root",
+    "scheme_fingerprint",
+    "set_default_cache",
+    "AUTO_SPECTRAL_LIMIT",
+    "POLICIES",
+    "cached_dec_graph",
+    "cached_estimate",
+    "cached_h_graph",
+    "cached_spectrum",
+    "GridPoint",
+    "GridReport",
+    "GridSpec",
+    "evaluate_point",
+    "run_grid",
+]

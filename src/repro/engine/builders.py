@@ -1,0 +1,267 @@
+"""Cache-backed constructors for the artifacts the experiments consume.
+
+Each builder checks the decoded-object layer, then the disk layer, and only
+then constructs from scratch (recording a *build* in the cache stats — a
+warm sweep reports zero builds).  Round-trips are bit-identical: the arrays
+are stored exactly as the constructors produced them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cdag.graph import CDAG
+from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.cdag.strassen_cdag import HGraph, dec_graph, h_graph
+from repro.core.expansion import (
+    EXACT_LIMIT,
+    ExpansionEstimate,
+    decode_cone_upper_bound,
+    exact_edge_expansion,
+    fiedler_sweep_cut,
+    spectral_lower_bound,
+)
+from repro.engine.cache import EngineCache, cache_key, default_cache
+
+__all__ = [
+    "AUTO_SPECTRAL_LIMIT",
+    "POLICIES",
+    "cached_dec_graph",
+    "cached_h_graph",
+    "cached_spectrum",
+    "cached_estimate",
+]
+
+#: Under the "auto" policy, graphs larger than this skip the eigensolve and
+#: fall back to the decode-cone upper bound (eigensolves are O(minutes) at
+#: Dec_5 scale; the cone witness is the quantity the decay fits use anyway).
+AUTO_SPECTRAL_LIMIT = 10_000
+
+#: Estimate policies understood by :func:`cached_estimate` and the grid.
+POLICIES = ("auto", "exact", "spectral", "cone")
+
+
+def _resolve(scheme: BilinearScheme | str) -> BilinearScheme:
+    return get_scheme(scheme) if isinstance(scheme, str) else scheme
+
+
+def cached_dec_graph(
+    scheme: BilinearScheme | str,
+    k: int,
+    expand_trees: bool = False,
+    cache: EngineCache | None = None,
+) -> CDAG:
+    """``Dec_k C`` through the cache (drop-in for :func:`dec_graph`)."""
+    scheme = _resolve(scheme)
+    cache = cache if cache is not None else default_cache()
+    key = cache_key("dec", scheme, k=k, expand_trees=expand_trees)
+    g = cache.get_object(key)
+    if g is not None:
+        return g
+    data = cache.get_arrays(key)
+    if data is not None:
+        g = CDAG(
+            n_vertices=int(data["n_vertices"]),
+            src=data["src"],
+            dst=data["dst"],
+            kinds=data["kinds"],
+            levels=data["levels"],
+        )
+    else:
+        cache.count_build()
+        g = dec_graph(scheme, k, expand_trees=expand_trees)
+        cache.put_arrays(
+            key,
+            {
+                "n_vertices": np.int64(g.n_vertices),
+                "src": g.src,
+                "dst": g.dst,
+                "kinds": g.kinds,
+                "levels": g.levels,
+            },
+        )
+    cache.put_object(key, g)
+    return g
+
+
+def cached_h_graph(
+    scheme: BilinearScheme | str,
+    k: int,
+    cache: EngineCache | None = None,
+) -> HGraph:
+    """``H_k`` (with its named vertex regions) through the cache."""
+    scheme = _resolve(scheme)
+    cache = cache if cache is not None else default_cache()
+    key = cache_key("h", scheme, k=k)
+    hg = cache.get_object(key)
+    if hg is not None:
+        return hg
+    data = cache.get_arrays(key)
+    if data is not None:
+        cdag = CDAG(
+            n_vertices=int(data["n_vertices"]),
+            src=data["src"],
+            dst=data["dst"],
+            kinds=data["kinds"],
+            levels=data["levels"],
+        )
+        hg = HGraph(
+            cdag=cdag,
+            a_inputs=data["a_inputs"],
+            b_inputs=data["b_inputs"],
+            mult_ids=data["mult_ids"],
+            output_ids=data["output_ids"],
+            dec_ids=data["dec_ids"],
+            k=k,
+            scheme_name=scheme.name,
+        )
+    else:
+        cache.count_build()
+        hg = h_graph(scheme, k)
+        cache.put_arrays(
+            key,
+            {
+                "n_vertices": np.int64(hg.cdag.n_vertices),
+                "src": hg.cdag.src,
+                "dst": hg.cdag.dst,
+                "kinds": hg.cdag.kinds,
+                "levels": hg.cdag.levels,
+                "a_inputs": hg.a_inputs,
+                "b_inputs": hg.b_inputs,
+                "mult_ids": hg.mult_ids,
+                "output_ids": hg.output_ids,
+                "dec_ids": hg.dec_ids,
+            },
+        )
+    cache.put_object(key, hg)
+    return hg
+
+
+def cached_spectrum(
+    scheme: BilinearScheme | str,
+    k: int,
+    cache: EngineCache | None = None,
+) -> tuple[float, np.ndarray]:
+    """Cheeger lower bound and Fiedler vector of ``Dec_k C``, cached.
+
+    The eigensolve is the single most expensive analysis kernel (shift-invert
+    on a Θ(m₀^k)-vertex Laplacian), so its result is cached independently of
+    the estimate that consumes it.
+    """
+    scheme = _resolve(scheme)
+    cache = cache if cache is not None else default_cache()
+    key = cache_key("spectrum", scheme, k=k)
+    cached = cache.get_object(key)
+    if cached is not None:
+        return cached
+    data = cache.get_arrays(key)
+    if data is not None:
+        result = (float(data["lower"]), data["fiedler"])
+    else:
+        cache.count_build()
+        g = cached_dec_graph(scheme, k, cache=cache)
+        lower, fiedler = spectral_lower_bound(g)
+        result = (lower, fiedler)
+        cache.put_arrays(key, {"lower": np.float64(lower), "fiedler": fiedler})
+    cache.put_object(key, result)
+    return result
+
+
+def _compute_estimate(
+    scheme: BilinearScheme, k: int, policy: str, cache: EngineCache
+) -> ExpansionEstimate:
+    g = cached_dec_graph(scheme, k, cache=cache)
+    n = g.n_vertices
+    d = g.max_degree
+    if policy == "exact" or (policy == "auto" and n <= EXACT_LIMIT):
+        h, mask = exact_edge_expansion(g)
+        return ExpansionEstimate(
+            lower=h,
+            upper=h,
+            witness_size=int(mask.sum()),
+            witness_boundary=g.edge_boundary_size(mask),
+            degree=d,
+            method="exact",
+        )
+    if policy == "spectral" or (policy == "auto" and n <= AUTO_SPECTRAL_LIMIT):
+        lower, fiedler = cached_spectrum(scheme, k, cache=cache)
+        upper, mask = fiedler_sweep_cut(g, fiedler)
+        method = "spectral+sweep"
+        try:
+            cone_ratio, cone_mask = decode_cone_upper_bound(g, scheme, k)
+        except ValueError:  # graph too small for a feasible cone
+            cone_ratio, cone_mask = math.inf, None
+        if cone_ratio < upper:
+            upper, mask = cone_ratio, cone_mask
+            method = "spectral+cone"
+        return ExpansionEstimate(
+            lower=lower,
+            upper=upper,
+            witness_size=int(mask.sum()),
+            witness_boundary=g.edge_boundary_size(mask),
+            degree=d,
+            method=method,
+        )
+    if policy in ("cone", "auto"):
+        upper, mask = decode_cone_upper_bound(g, scheme, k)
+        return ExpansionEstimate(
+            lower=float("nan"),
+            upper=upper,
+            witness_size=int(mask.sum()),
+            witness_boundary=g.edge_boundary_size(mask),
+            degree=d,
+            method="cone-only",
+        )
+    raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
+
+
+def cached_estimate(
+    scheme: BilinearScheme | str,
+    k: int,
+    policy: str = "auto",
+    cache: EngineCache | None = None,
+) -> ExpansionEstimate:
+    """Two-sided expansion estimate of ``Dec_k C``, cached by (scheme, k, policy).
+
+    Policies: ``exact`` (enumeration, tiny graphs only), ``spectral``
+    (Cheeger lower + best of Fiedler sweep / decode cone), ``cone``
+    (decode-cone upper bound only, NaN lower), and ``auto`` (exact below
+    the enumeration limit, spectral below :data:`AUTO_SPECTRAL_LIMIT`,
+    cone-only beyond).
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
+    scheme = _resolve(scheme)
+    cache = cache if cache is not None else default_cache()
+    key = cache_key("estimate", scheme, k=k, policy=policy)
+    est = cache.get_object(key)
+    if est is not None:
+        return est
+    data = cache.get_arrays(key)
+    if data is not None:
+        est = ExpansionEstimate(
+            lower=float(data["lower"]),
+            upper=float(data["upper"]),
+            witness_size=int(data["witness_size"]),
+            witness_boundary=int(data["witness_boundary"]),
+            degree=int(data["degree"]),
+            method=str(data["method"]),
+        )
+    else:
+        cache.count_build()
+        est = _compute_estimate(scheme, k, policy, cache)
+        cache.put_arrays(
+            key,
+            {
+                "lower": np.float64(est.lower),
+                "upper": np.float64(est.upper),
+                "witness_size": np.int64(est.witness_size),
+                "witness_boundary": np.int64(est.witness_boundary),
+                "degree": np.int64(est.degree),
+                "method": np.asarray(est.method),
+            },
+        )
+    cache.put_object(key, est)
+    return est

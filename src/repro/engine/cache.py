@@ -1,0 +1,254 @@
+"""Content-addressed on-disk cache for built CDAGs, spectra, and estimates.
+
+The experiments all analyze ``Dec_k C``-style graphs whose size grows as
+Θ(m₀^k); rebuilding them (and re-running eigensolves) for every sweep point
+dominated run time at the seed.  This module memoizes the three expensive
+artifact kinds across processes and runs:
+
+* **graphs** — the edge/kind/level arrays of a built :class:`CDAG`;
+* **spectra** — the two smallest eigenpairs of the regularized Laplacian;
+* **estimates** — :class:`~repro.core.expansion.ExpansionEstimate` plus its
+  witness mask.
+
+Keys are *content-addressed*: a SHA-256 over the scheme's actual coefficient
+matrices (not just its registry name), the recursion depth, the build
+options, and a format version.  Changing a scheme's U/V/W, any build flag,
+or ``CACHE_VERSION`` automatically misses the old entries — there is no
+manual invalidation protocol beyond ``clear()``.
+
+Layout: ``<root>/<key[:2]>/<key>.npz``, written atomically (tmp file +
+``os.replace``) so concurrent worker processes can share one cache
+directory without locks.  The root defaults to ``~/.cache/repro-engine``
+and is overridable with ``$REPRO_CACHE_DIR`` or per-instance.  A bounded
+in-memory layer holds the decoded objects so repeat lookups inside one
+process skip both the disk and array re-validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import zipfile
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cdag.schemes import BilinearScheme
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "EngineCache",
+    "cache_key",
+    "default_cache",
+    "default_cache_root",
+    "scheme_fingerprint",
+    "set_default_cache",
+]
+
+#: Bump to invalidate every existing cache entry (stored-format changes).
+CACHE_VERSION = 1
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (monotone within a process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    builds: int = 0  # full artifact constructions (cache could not help)
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counter increments since ``snapshot`` (an ``as_dict()`` result)."""
+        now = self.as_dict()
+        return {k: now[k] - snapshot.get(k, 0) for k in now}
+
+
+def scheme_fingerprint(scheme: BilinearScheme) -> str:
+    """Short content hash of a scheme's actual coefficients.
+
+    Two schemes with identical (n₀, U, V, W) share every cached artifact even
+    under different registry names; editing a coefficient invalidates them.
+    """
+    h = hashlib.sha256()
+    h.update(f"n0={scheme.n0}|m0={scheme.m0}".encode())
+    for mat in (scheme.U, scheme.V, scheme.W):
+        h.update(np.ascontiguousarray(mat, dtype=np.float64).tobytes())
+    return h.hexdigest()[:16]
+
+
+def cache_key(kind: str, scheme: BilinearScheme, **params: Any) -> str:
+    """Content-addressed key for one artifact of one scheme."""
+    parts = [f"v{CACHE_VERSION}", kind, scheme_fingerprint(scheme)]
+    parts.extend(f"{name}={params[name]!r}" for name in sorted(params))
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+class EngineCache:
+    """Two-level (memory + disk) content-addressed artifact cache.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-engine``.
+    disk:
+        When False, never touch the filesystem (memory-only cache).
+    memory_items:
+        Decoded-object LRU capacity (whole CDAGs can be large; keep small).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        disk: bool = True,
+        memory_items: int = 32,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+        self._disk = disk
+        self._memory_items = memory_items
+        self._objects: OrderedDict[str, Any] = OrderedDict()
+
+    @property
+    def disk_enabled(self) -> bool:
+        return self._disk
+
+    # ------------------------------------------------------------------ #
+    # decoded-object layer                                                #
+    # ------------------------------------------------------------------ #
+
+    def get_object(self, key: str) -> Any | None:
+        """In-process decoded object for ``key`` (counts a hit when present)."""
+        if key in self._objects:
+            self._objects.move_to_end(key)
+            self.stats.hits += 1
+            return self._objects[key]
+        return None
+
+    def put_object(self, key: str, obj: Any) -> None:
+        self._objects[key] = obj
+        self._objects.move_to_end(key)
+        while len(self._objects) > self._memory_items:
+            self._objects.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # array (disk) layer                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load the stored array bundle for ``key``, or None on a miss."""
+        if not self._disk:
+            self.stats.misses += 1
+            return None
+        try:
+            with np.load(self._path(key), allow_pickle=False) as z:
+                data = {name: z[name] for name in z.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+            # Missing file, unreadable directory, or a truncated/corrupt
+            # entry: all are misses — the artifact is simply rebuilt.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return data
+
+    def put_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Atomically persist an array bundle (best-effort: disk errors
+        degrade the cache to memory-only rather than failing the build)."""
+        self.stats.stores += 1
+        if not self._disk:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    np.savez(f, **arrays)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            self._disk = False
+
+    def count_build(self) -> None:
+        """Record one full artifact construction (called by the builders)."""
+        self.stats.builds += 1
+
+    # ------------------------------------------------------------------ #
+    # maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> int:
+        """Drop the memory layer and delete all on-disk entries; returns the
+        number of files removed."""
+        self._objects.clear()
+        removed = 0
+        if self._disk and self.root.is_dir():
+            for path in self.root.glob("*/*.npz"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> dict[str, Any]:
+        """Root, entry count, total bytes, and this process's counters."""
+        n_files = 0
+        n_bytes = 0
+        if self._disk and self.root.is_dir():
+            for path in self.root.glob("*/*.npz"):
+                try:
+                    n_bytes += path.stat().st_size
+                    n_files += 1
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "disk_enabled": self._disk,
+            "entries": n_files,
+            "bytes": n_bytes,
+            "stats": self.stats.as_dict(),
+        }
+
+
+_DEFAULT: EngineCache | None = None
+
+
+def default_cache() -> EngineCache:
+    """The process-wide cache used when callers pass ``cache=None``."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = EngineCache()
+    return _DEFAULT
+
+
+def set_default_cache(cache: EngineCache | None) -> EngineCache | None:
+    """Swap the process-wide default cache; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = cache
+    return previous

@@ -1,0 +1,221 @@
+"""``python -m repro`` — the sweeps the example/benchmark scripts do by hand.
+
+Subcommands:
+
+* ``sweep``     — cached (scheme × k × M × policy) grid, optionally parallel
+* ``expansion`` — one ``h(Dec_k C)`` estimate through the cache
+* ``structure`` — the Figure 2 structural report for one (scheme, k)
+* ``schemes``   — the validated scheme registry
+* ``cache``     — inspect or clear the on-disk artifact cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.engine.builders import POLICIES, cached_estimate
+from repro.engine.cache import EngineCache, default_cache
+from repro.engine.grid import GridSpec, run_grid
+
+__all__ = ["main", "build_parser"]
+
+_SWEEP_COLUMNS = [
+    "scheme",
+    "k",
+    "M",
+    "V",
+    "E",
+    "h_lower",
+    "h_upper",
+    "method",
+    "io_lower_bound",
+    "measured_words",
+    "measured/lower",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Cached, parallel experiment engine for the graph-expansion "
+            "reproduction (Ballard, Demmel, Holtz & Schwartz, SPAA 2011)."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-engine)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk cache (memory-only)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (scheme x k x M x policy) grid through the cache"
+    )
+    sweep.add_argument(
+        "--schemes", nargs="+", default=["strassen", "winograd"], metavar="NAME"
+    )
+    sweep.add_argument("--k-min", type=int, default=1)
+    sweep.add_argument("--k-max", type=int, default=5)
+    sweep.add_argument(
+        "--memories", nargs="+", type=int, default=[48, 192, 768, 3072], metavar="M"
+    )
+    sweep.add_argument("--policies", nargs="+", default=["auto"], choices=POLICIES)
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument("--json", action="store_true", help="emit the full report as JSON")
+
+    expansion = sub.add_parser("expansion", help="estimate h(Dec_k C) for one point")
+    expansion.add_argument("--scheme", default="strassen")
+    expansion.add_argument("--k", type=int, default=4)
+    expansion.add_argument("--policy", default="auto", choices=POLICIES)
+
+    structure = sub.add_parser(
+        "structure", help="Figure 2 structural report for one (scheme, k)"
+    )
+    structure.add_argument("--scheme", default="strassen")
+    structure.add_argument("--k", type=int, default=5)
+
+    sub.add_parser("schemes", help="list the validated scheme registry")
+
+    cache_cmd = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cache_cmd.add_argument("action", choices=["info", "clear"])
+
+    return parser
+
+
+def _make_cache(args: argparse.Namespace) -> EngineCache:
+    if args.no_cache:
+        return EngineCache(disk=False)
+    if args.cache_dir is not None:
+        return EngineCache(args.cache_dir)
+    return default_cache()
+
+
+def _cmd_sweep(args: argparse.Namespace, cache: EngineCache, out) -> int:
+    from repro.experiments.report import render_table
+
+    spec = GridSpec.from_ranges(
+        schemes=args.schemes,
+        k_min=args.k_min,
+        k_max=args.k_max,
+        memories=args.memories,
+        policies=args.policies,
+    )
+    report = run_grid(spec, workers=args.workers, cache=cache)
+    if args.json:
+        print(report.to_json(indent=2), file=out)
+    else:
+        print(
+            render_table(
+                report.rows,
+                columns=_SWEEP_COLUMNS,
+                title=f"[engine] sweep over {len(report.rows)} grid points",
+            ),
+            file=out,
+        )
+        s = report.stats
+        print(
+            f"wall {report.wall_time:.3f}s  workers={report.workers}  "
+            f"builds={s['builds']}  hits={s['hits']}  misses={s['misses']}  "
+            f"(warm cache => builds=0)",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out) -> int:
+    est = cached_estimate(args.scheme, args.k, policy=args.policy, cache=cache)
+    print(
+        json.dumps(
+            {
+                "scheme": args.scheme,
+                "k": args.k,
+                "policy": args.policy,
+                "lower": est.lower,
+                "upper": est.upper,
+                "witness_size": est.witness_size,
+                "witness_boundary": est.witness_boundary,
+                "degree": est.degree,
+                "method": est.method,
+            },
+            indent=2,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_structure(args: argparse.Namespace, cache: EngineCache, out) -> int:
+    from repro.experiments.structure_exp import figure2_report
+
+    print(json.dumps(figure2_report(args.scheme, args.k, cache=cache), indent=2), file=out)
+    return 0
+
+
+def _cmd_schemes(out) -> int:
+    from repro.cdag.schemes import available_schemes, get_scheme
+    from repro.experiments.report import render_table
+
+    rows = []
+    for name in available_schemes():
+        s = get_scheme(name)
+        rows.append(
+            {
+                "scheme": name,
+                "n0": s.n0,
+                "m0": s.m0,
+                "omega0": s.omega0,
+                "flat_additions": s.n_additions,
+            }
+        )
+    print(render_table(rows, title="registered bilinear schemes"), file=out)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, cache: EngineCache, out) -> int:
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifacts from {cache.root}", file=out)
+    else:
+        print(json.dumps(cache.info(), indent=2), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = _make_cache(args)
+    out = sys.stdout
+    try:
+        if args.command == "sweep":
+            return _cmd_sweep(args, cache, out)
+        if args.command == "expansion":
+            return _cmd_expansion(args, cache, out)
+        if args.command == "structure":
+            return _cmd_structure(args, cache, out)
+        if args.command == "schemes":
+            return _cmd_schemes(out)
+        if args.command == "cache":
+            return _cmd_cache(args, cache, out)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, and point
+        # stdout at devnull so interpreter shutdown doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (KeyError, ValueError) as exc:
+        # Domain errors (unknown scheme, infeasible policy/graph size) get a
+        # one-line message instead of a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")

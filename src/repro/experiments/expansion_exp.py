@@ -3,6 +3,10 @@
 For each depth k we sandwich the edge expansion between the certified
 spectral lower bound and the best constructive cut (Fiedler sweep / decode
 cone), and check both sides decay geometrically with ratio ≈ c₀/m₀.
+
+Graphs, spectra, and estimates all flow through the engine cache, so repeat
+runs (and the other experiments analyzing the same ``Dec_k C``) skip the
+builds and eigensolves entirely.
 """
 
 from __future__ import annotations
@@ -10,59 +14,53 @@ from __future__ import annotations
 import math
 
 from repro.cdag.schemes import get_scheme
-from repro.cdag.strassen_cdag import dec_graph
-from repro.core.expansion import (
-    decode_cone_upper_bound,
-    estimate_expansion,
-    exact_edge_expansion,
-)
+from repro.core.expansion import EXACT_LIMIT
+from repro.engine.builders import cached_dec_graph, cached_estimate
+from repro.engine.cache import EngineCache
 from repro.util.numutil import fit_power_law
 
 __all__ = ["expansion_decay", "small_set_profile"]
 
 
-def expansion_decay(scheme: str = "strassen", k_max: int = 5, spectral_upto: int = 5) -> dict:
+def expansion_decay(
+    scheme: str = "strassen",
+    k_max: int = 5,
+    spectral_upto: int = 5,
+    cache: EngineCache | None = None,
+) -> dict:
     """Two-sided h(Dec_k C) estimates for k = 1..k_max plus decay fits.
 
-    ``spectral_upto`` caps the eigen-solves (they dominate run time); deeper
-    graphs get the decode-cone upper bound only, which is the quantity the
-    decay fit uses throughout.
+    ``spectral_upto`` caps the eigen-solves (they dominate cold run time);
+    deeper graphs get the decode-cone upper bound only, which is the quantity
+    the decay fit uses throughout.  ``cache`` overrides the process default.
     """
     s = get_scheme(scheme)
     ratio = (s.n0 * s.n0) / s.m0
     rows = []
     ks, uppers = [], []
     for k in range(1, k_max + 1):
-        g = dec_graph(s, k)
-        if g.n_vertices <= 22:
-            h, mask = exact_edge_expansion(g)
-            lower = upper = h
-            method = "exact"
-            witness = int(mask.sum())
+        g = cached_dec_graph(s, k, cache=cache)
+        if g.n_vertices <= EXACT_LIMIT:
+            policy = "exact"
         elif k <= spectral_upto:
-            est = estimate_expansion(g, s, k)
-            lower, upper = est.lower, est.upper
-            method = est.method
-            witness = est.witness_size
+            policy = "spectral"
         else:
-            upper, mask = decode_cone_upper_bound(g, s, k)
-            lower = float("nan")
-            method = "cone-only"
-            witness = int(mask.sum())
+            policy = "cone"
+        est = cached_estimate(s, k, policy=policy, cache=cache)
         rows.append(
             {
                 "k": k,
                 "V": g.n_vertices,
-                "lower": lower,
-                "upper": upper,
+                "lower": est.lower,
+                "upper": est.upper,
                 "(c0/m0)^k": ratio**k,
-                "upper/(c0/m0)^k": upper / ratio**k,
-                "method": method,
-                "witness_size": witness,
+                "upper/(c0/m0)^k": est.upper / ratio**k,
+                "method": est.method,
+                "witness_size": est.witness_size,
             }
         )
         ks.append(k)
-        uppers.append(upper)
+        uppers.append(est.upper)
     # geometric-decay fit: upper ≈ C · r^k  →  log-linear in k
     if len(ks) >= 2:
         e, _ = fit_power_law([math.e**k for k in ks], uppers)  # slope in log-k space
@@ -77,34 +75,72 @@ def expansion_decay(scheme: str = "strassen", k_max: int = 5, spectral_upto: int
     }
 
 
-def small_set_profile(scheme: str = "strassen", k: int = 5) -> dict:
+def small_set_profile(
+    scheme: str = "strassen", k: int = 5, cache: EngineCache | None = None
+) -> dict:
     """h_s behaviour: decode cones of increasing depth inside one Dec_k C.
 
     Depth-j cones are the size-Θ(m₀^j) witnesses whose expansion ≈
-    (c₀/m₀)^j — the small-set structure Corollary 4.4 exploits.
+    (c₀/m₀)^j — the small-set structure Corollary 4.4 exploits.  The whole
+    profile is a deterministic artifact of (scheme, k), so it is cached like
+    the graphs and spectra it derives from.
     """
     from repro.core.expansion import decode_cone_mask, expansion_of_cut
+    from repro.engine.cache import cache_key, default_cache
 
     s = get_scheme(scheme)
-    g = dec_graph(s, k)
     ratio = (s.n0 * s.n0) / s.m0
-    # pick the branch whose W column is sparsest (cheapest cone boundary)
-    col_nnz = (s.W != 0).sum(axis=0)
-    branch = int(col_nnz.argmin())
-    rows = []
-    for depth in range(1, k + 1):
-        mask = decode_cone_mask(s, k, branch=branch, depth=depth)
-        size = int(mask.sum())
-        if size > g.n_vertices // 2 or size == 0:
-            continue
-        h = expansion_of_cut(g, mask)
-        rows.append(
+    cache = cache if cache is not None else default_cache()
+    key = cache_key("small_set_profile", s, k=k)
+    result = cache.get_object(key)
+    if result is not None:
+        return result
+    data = cache.get_arrays(key)
+    if data is not None:
+        branch = int(data["branch"])
+        rows = [
             {
-                "cone_depth": depth,
-                "set_size": size,
-                "h_of_cut": h,
-                "(c0/m0)^depth": ratio**depth,
-                "ratio": h / ratio**depth,
+                "cone_depth": int(depth),
+                "set_size": int(size),
+                "h_of_cut": float(h),
+                "(c0/m0)^depth": ratio ** int(depth),
+                "ratio": float(h) / ratio ** int(depth),
             }
+            for depth, size, h in zip(data["depths"], data["sizes"], data["hs"])
+        ]
+    else:
+        cache.count_build()
+        g = cached_dec_graph(s, k, cache=cache)
+        # pick the branch whose W column is sparsest (cheapest cone boundary)
+        col_nnz = (s.W != 0).sum(axis=0)
+        branch = int(col_nnz.argmin())
+        rows = []
+        for depth in range(1, k + 1):
+            mask = decode_cone_mask(s, k, branch=branch, depth=depth)
+            size = int(mask.sum())
+            if size > g.n_vertices // 2 or size == 0:
+                continue
+            h = expansion_of_cut(g, mask)
+            rows.append(
+                {
+                    "cone_depth": depth,
+                    "set_size": size,
+                    "h_of_cut": h,
+                    "(c0/m0)^depth": ratio**depth,
+                    "ratio": h / ratio**depth,
+                }
+            )
+        import numpy as np
+
+        cache.put_arrays(
+            key,
+            {
+                "branch": np.int64(branch),
+                "depths": np.array([r["cone_depth"] for r in rows], dtype=np.int64),
+                "sizes": np.array([r["set_size"] for r in rows], dtype=np.int64),
+                "hs": np.array([r["h_of_cut"] for r in rows], dtype=np.float64),
+            },
         )
-    return {"rows": rows, "scheme": scheme, "k": k, "branch": branch}
+    result = {"rows": rows, "scheme": scheme, "k": k, "branch": branch}
+    cache.put_object(key, result)
+    return result

@@ -4,6 +4,10 @@ The paper's figures are schematics of graph objects; reproducing them means
 building the objects and verifying every labeled property: sizes, degrees,
 level profiles, connectivity, the recursion tree, and the §5.1.1
 connectivity dichotomy across schemes.
+
+All graph construction routes through the engine cache: each (scheme, k)
+object is built at most once per cache lifetime, no matter how many reports
+ask for it.
 """
 
 from __future__ import annotations
@@ -13,27 +17,36 @@ import numpy as np
 from repro.cdag.analysis import (
     check_claim_5_1,
     check_dec1_connected,
-    check_fact_4_2,
-    check_fact_4_6,
     structure_report,
 )
 from repro.cdag.schemes import available_schemes, get_scheme
-from repro.cdag.strassen_cdag import dec_graph, recursion_tree_partition
+from repro.cdag.strassen_cdag import recursion_tree_partition
+from repro.engine.builders import cached_dec_graph, cached_h_graph
+from repro.engine.cache import EngineCache
 
 __all__ = ["figure2_report", "figure3_tree_report", "dec1_connectivity_table"]
 
 
-def figure2_report(scheme: str = "strassen", k: int = 4) -> dict:
-    """The four panels of Figure 2 as measured statistics."""
-    return structure_report(scheme, k)
+def figure2_report(
+    scheme: str = "strassen", k: int = 4, cache: EngineCache | None = None
+) -> dict:
+    """The four panels of Figure 2 as measured statistics (cached builds)."""
+    return structure_report(
+        scheme,
+        k,
+        build_dec=lambda s, kk: cached_dec_graph(s, kk, cache=cache),
+        build_h=lambda s, kk: cached_h_graph(s, kk, cache=cache),
+    )
 
 
-def figure3_tree_report(scheme: str = "strassen", k: int = 4) -> dict:
+def figure3_tree_report(
+    scheme: str = "strassen", k: int = 4, cache: EngineCache | None = None
+) -> dict:
     """Figure 3's recursion tree T_k: level-by-level structure checks."""
     s = get_scheme(scheme)
     c0, m0 = s.n0 * s.n0, s.m0
     tree = recursion_tree_partition(s, k)
-    g = dec_graph(s, k)
+    g = cached_dec_graph(s, k, cache=cache)
     rows = []
     total = 0
     for i, level in enumerate(tree, start=1):
@@ -49,23 +62,29 @@ def figure3_tree_report(scheme: str = "strassen", k: int = 4) -> dict:
         )
         total += level.size
     all_ids = np.concatenate([lvl.ravel() for lvl in tree])
+    # Partition <=> every vertex id covered exactly once: a bincount presence
+    # check is O(V) (np.unique's hash/sort was the report's hot spot).
+    counts = np.bincount(all_ids, minlength=g.n_vertices)
     return {
         "rows": rows,
         "partition_ok": bool(
-            total == g.n_vertices and len(np.unique(all_ids)) == total
+            total == g.n_vertices
+            and counts.size == g.n_vertices
+            and counts.max() == 1
         ),
         "scheme": scheme,
         "k": k,
     }
 
 
-def dec1_connectivity_table() -> list[dict]:
+def dec1_connectivity_table(cache: EngineCache | None = None) -> list[dict]:
     """§5.1.1: Dec₁C connected for fast schemes, disconnected for classical."""
     rows = []
     for name in available_schemes():
         s = get_scheme(name)
-        connected = check_dec1_connected(s)
-        check_claim_5_1(s)  # raises on violation
+        g1 = cached_dec_graph(s, 1, cache=cache)
+        connected = check_dec1_connected(s, g1=g1)
+        check_claim_5_1(s, g=g1)  # raises on violation
         rows.append(
             {
                 "scheme": name,

@@ -8,6 +8,20 @@ import pytest
 from repro.cdag.build import GraphBuilder
 from repro.cdag.graph import CDAG, VertexKind
 from repro.cdag.schemes import available_schemes, get_scheme
+from repro.engine.cache import EngineCache, set_default_cache
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_engine_cache(tmp_path_factory):
+    """Point the process-default engine cache at a per-session temp dir.
+
+    Tests must never read stale artifacts from (or leak megabytes into) the
+    user's persistent ~/.cache/repro-engine.
+    """
+    cache = EngineCache(tmp_path_factory.mktemp("engine-cache"))
+    previous = set_default_cache(cache)
+    yield
+    set_default_cache(previous)
 
 FAST_SCHEMES = ["strassen", "winograd"]
 ALL_SCHEMES = available_schemes()

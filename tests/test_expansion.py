@@ -19,6 +19,34 @@ from repro.core.expansion import (
 )
 
 
+def _exact_edge_expansion_reference(g: CDAG, max_size: int | None = None):
+    """The seed implementation (per-edge / per-bit Python loops) — kept as
+    the ground truth the vectorized kernel must reproduce exactly."""
+    n = g.n_vertices
+    limit = n // 2 if max_size is None else min(max_size, n)
+    d = g.max_degree
+    masks = np.arange(1, 2**n, dtype=np.int64)
+    sizes = np.zeros_like(masks)
+    work = masks.copy()
+    while np.any(work):
+        sizes += work & 1
+        work >>= 1
+    ok = (sizes >= 1) & (sizes <= limit)
+    masks = masks[ok]
+    sizes = sizes[ok]
+    u, v = g.undirected_edges
+    boundary = np.zeros(len(masks), dtype=np.int64)
+    for a, b in zip(u.tolist(), v.tolist()):
+        boundary += ((masks >> a) ^ (masks >> b)) & 1
+    ratios = boundary / (d * sizes)
+    best = int(np.argmin(ratios))
+    best_mask = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if (int(masks[best]) >> i) & 1:
+            best_mask[i] = True
+    return float(ratios[best]), best_mask
+
+
 def _cycle(n: int) -> CDAG:
     b = GraphBuilder()
     vs = b.add_vertices(n, VertexKind.ADD)
@@ -56,6 +84,99 @@ class TestExact:
         h, mask = exact_edge_expansion(dec_graph("strassen", 1))
         assert 0 < h < 0.5714
         assert 1 <= mask.sum() <= 5
+
+
+class TestVectorizedExact:
+    """The vectorized enumeration must match the seed's loop implementation
+    bit-for-bit (same h, same argmin witness) on every small graph."""
+
+    def test_matches_reference_on_fixtures(self, path_graph, diamond_graph):
+        for g in (path_graph, diamond_graph):
+            h_new, mask_new = exact_edge_expansion(g)
+            h_ref, mask_ref = _exact_edge_expansion_reference(g)
+            assert h_new == h_ref
+            assert np.array_equal(mask_new, mask_ref)
+
+    @pytest.mark.parametrize("scheme", ["strassen", "winograd"])
+    def test_matches_reference_on_dec1(self, scheme):
+        g = dec_graph(scheme, 1)
+        h_new, mask_new = exact_edge_expansion(g)
+        h_ref, mask_ref = _exact_edge_expansion_reference(g)
+        assert h_new == h_ref
+        assert np.array_equal(mask_new, mask_ref)
+
+    def test_matches_reference_on_random_graphs(self, rng):
+        for _ in range(5):
+            n = int(rng.integers(4, 13))
+            src, dst = [], []
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.3:
+                        src.append(i)
+                        dst.append(j)
+            if not src:
+                continue
+            g = CDAG(n, np.array(src), np.array(dst), np.zeros(n, dtype=np.int8))
+            h_new, mask_new = exact_edge_expansion(g)
+            h_ref, mask_ref = _exact_edge_expansion_reference(g)
+            assert h_new == h_ref
+            assert np.array_equal(mask_new, mask_ref)
+
+    def test_matches_reference_with_max_size(self, path_graph):
+        for s in (1, 2, 3):
+            h_new, _ = exact_edge_expansion(path_graph, max_size=s)
+            h_ref, _ = _exact_edge_expansion_reference(path_graph, max_size=s)
+            assert h_new == h_ref
+
+    def test_popcount_vectorized(self):
+        from repro.core.expansion import _popcount
+
+        values = np.array([0, 1, 2, 3, 7, 255, 2**22 - 1, 2**40 + 5], dtype=np.int64)
+        expected = [bin(int(v)).count("1") for v in values]
+        assert _popcount(values).tolist() == expected
+
+
+class TestEigsExceptionHandling:
+    """_two_smallest_eigs must fall back only on solver failures; real bugs
+    (bad shapes, dtypes) propagate instead of being silently swallowed."""
+
+    def _big_laplacian(self):
+        # anything > 600 vertices takes the sparse path
+        g = dec_graph("strassen", 3)
+        from repro.core.expansion import _regularized_laplacian
+
+        L, _ = _regularized_laplacian(g)
+        return L
+
+    def test_programming_errors_propagate(self, monkeypatch):
+        import scipy.sparse.linalg as spla
+        from repro.core.expansion import _two_smallest_eigs
+
+        def boom(*args, **kwargs):
+            raise ValueError("bad input shape")
+
+        monkeypatch.setattr(spla, "eigsh", boom)
+        with pytest.raises(ValueError, match="bad input shape"):
+            _two_smallest_eigs(self._big_laplacian())
+
+    def test_solver_failure_falls_back(self, monkeypatch):
+        import scipy.sparse.linalg as spla
+        from repro.core.expansion import _two_smallest_eigs
+
+        real_eigsh = spla.eigsh
+        calls = []
+
+        def flaky(L, *args, **kwargs):
+            calls.append(kwargs)
+            if "sigma" in kwargs:
+                raise RuntimeError("Factor is exactly singular")
+            return real_eigsh(L, *args, **kwargs)
+
+        monkeypatch.setattr(spla, "eigsh", flaky)
+        w, V = _two_smallest_eigs(self._big_laplacian())
+        assert len(calls) == 2  # shift-invert failed, plain Lanczos ran
+        assert w[0] <= w[1]
+        assert V.shape[1] == 2
 
 
 class TestCutEvaluation:

@@ -108,6 +108,48 @@ class TestTopology:
     def test_longest_path_diamond(self, diamond_graph):
         assert diamond_graph.longest_path_level.tolist() == [0, 0, 1, 1, 2]
 
+    def test_generations_partition_vertices(self, diamond_graph):
+        gens = diamond_graph.topological_generations
+        flat = np.concatenate(gens)
+        assert sorted(flat.tolist()) == list(range(5))
+        assert [g.tolist() for g in gens] == [[0, 1], [2, 3], [4]]
+
+    def test_generations_are_longest_path_levels(self, diamond_graph):
+        depth = diamond_graph.longest_path_level
+        for level, gen in enumerate(diamond_graph.topological_generations):
+            assert np.all(depth[gen] == level)
+
+    def test_longest_path_random_dags_vs_reference(self, rng):
+        # vectorized generation peeling vs an edge-by-edge relaxation
+        for _ in range(10):
+            n = int(rng.integers(2, 40))
+            src, dst = [], []
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.15:
+                        src.append(i)
+                        dst.append(j)
+            g = CDAG(n, np.array(src, dtype=np.int64),
+                     np.array(dst, dtype=np.int64), np.zeros(n, dtype=np.int8))
+            ref = [0] * n
+            for v in g.topological_order.tolist():
+                for s, d in zip(src, dst):
+                    if s == v:
+                        ref[d] = max(ref[d], ref[v] + 1)
+            assert g.longest_path_level.tolist() == ref
+
+    def test_longest_path_with_multi_edges(self):
+        # duplicate directed edges must not break the in-degree accounting
+        g = CDAG(3, np.array([0, 0, 1]), np.array([1, 1, 2]),
+                 np.zeros(3, dtype=np.int8))
+        assert g.longest_path_level.tolist() == [0, 1, 2]
+
+    def test_edgeless_graph(self):
+        g = CDAG(4, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                 np.zeros(4, dtype=np.int8))
+        assert g.longest_path_level.tolist() == [0, 0, 0, 0]
+        assert sorted(g.topological_order.tolist()) == [0, 1, 2, 3]
+
 
 class TestDerived:
     def test_subgraph_preserves_edges(self, diamond_graph):
@@ -115,6 +157,12 @@ class TestDerived:
         assert sub.n_vertices == 3
         assert sub.n_edges == 2  # both inputs into 'a'
         assert mapping.tolist() == [0, 1, 2]
+
+    def test_subgraph_duplicate_vertices_rejected(self, diamond_graph):
+        # regression: duplicates used to silently corrupt the vertex mapping
+        # (the later occurrence overwrote new_index for the earlier one)
+        with pytest.raises(ValueError, match="duplicates"):
+            diamond_graph.subgraph(np.array([0, 1, 1, 2]))
 
     def test_reversed_swaps_degrees(self, diamond_graph):
         r = diamond_graph.reversed()
