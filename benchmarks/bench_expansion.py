@@ -33,7 +33,7 @@ def test_e3_expansion_decay_strassen(benchmark, emit):
     benchmark.extra_info["last_decay_ratio"] = last_ratio
     assert abs(last_ratio - result["expected_decay"]) < 0.1
     # the normalized constant upper/(4/7)^k settles into a band
-    consts = [r["upper/(c0/m0)^k"] for r in rows[1:]]
+    consts = [r["upper/(c0/t0)^k"] for r in rows[1:]]
     assert max(consts) / min(consts) < 1.5
     # lower bounds never exceed uppers
     for r in rows:

@@ -26,7 +26,7 @@ def main() -> None:
         result = expansion_decay(scheme, k_max=5, spectral_upto=4)
         print(render_table(result["rows"], title=f"h(Dec_k C) for {scheme}"))
         print(f"  decay/level (fit): {result['fitted_decay_per_level']:.4f}  "
-              f"expected c0/m0 = {result['expected_decay']:.4f}\n")
+              f"expected c0/t0 = {result['expected_decay']:.4f}\n")
 
     # Anatomy of the witness: the decode cone of branch M7 (whose W-column
     # has a single nonzero) — everything Strassen computes exclusively from

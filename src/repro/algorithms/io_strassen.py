@@ -35,7 +35,13 @@ from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.machine.cache import FastMemory
 from repro.machine.counters import IOCounter
 
-__all__ = ["dfs_io", "dfs_io_model", "StrassenIOReport", "canonical_base_size"]
+__all__ = [
+    "dfs_io",
+    "dfs_io_model",
+    "rect_dfs_io_model",
+    "StrassenIOReport",
+    "canonical_base_size",
+]
 
 _uid = count()
 
@@ -54,6 +60,8 @@ class StrassenIOReport:
     counter: IOCounter
     base_size: int
     n_base_multiplies: int
+    #: problem shape (m, n, p); equals (n, n, n) for square runs.
+    shape: tuple[int, int, int] | None = None
 
     @property
     def words(self) -> int:
@@ -68,10 +76,32 @@ def _nnz_rows(mat) -> list[int]:
     return [int((row != 0).sum()) for row in mat]
 
 
+def _stream_counts(size_words: int, n_reads: int, free_words: int) -> tuple[int, int, int, int]:
+    """(words_read, msgs_read, words_written, msgs_written) of one stream —
+    mirrors FastMemory.stream with chunk = free // (n_reads + 1).  Shared by
+    the square and rectangular I/O models so their accounting cannot drift.
+    """
+    chunk = max(free_words // (n_reads + 1), 1)
+    full, rem = divmod(size_words, chunk)
+    msgs_per_stream = full + (1 if rem else 0)
+    return (
+        size_words * n_reads,
+        msgs_per_stream * n_reads,
+        size_words,
+        msgs_per_stream,
+    )
+
+
 def canonical_base_size(n: int, M: int, n0: int) -> int:
     """Largest recursion size whose 3 blocks fit in M, reached from n by /n₀."""
     size = n
     while 3 * size * size > M:
+        if n0 < 2:
+            # a ⟨1,1,1⟩-style scheme cannot shrink the problem at all
+            raise ValueError(
+                f"n={n} does not fit (3·{size}² > M={M}) and n0={n0} cannot "
+                f"recurse it smaller"
+            )
         if size % n0 != 0:
             raise ValueError(
                 f"n={n} cannot recurse below size {size} (not divisible by "
@@ -113,6 +143,11 @@ def dfs_io(
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
+    if not scheme.is_square:
+        raise ValueError(
+            "dfs_io runs the square recursion; use rect_dfs_io_model for "
+            f"rectangular scheme {scheme.name!r}"
+        )
     base = _check_base(n, M, scheme.n0, base)
     fm = FastMemory(M)
     u_nnz = _nnz_rows(scheme.U)
@@ -121,7 +156,7 @@ def dfs_io(
     n_base = _dfs(fm, n, scheme, base, u_nnz, v_nnz, w_nnz)
     return StrassenIOReport(
         n=n, M=M, scheme=scheme.name, counter=fm.counter,
-        base_size=base, n_base_multiplies=n_base,
+        base_size=base, n_base_multiplies=n_base, shape=(n, n, n),
     )
 
 
@@ -143,12 +178,12 @@ def _dfs(fm, size, scheme, base, u_nnz, v_nnz, w_nnz) -> int:
     sub = size // scheme.n0
     sub_words = sub * sub
     total = 0
-    for r in range(scheme.m0):
+    for r in range(scheme.t0):
         # S_r = Σ U[r,i]·A_i  and  T_r = Σ V[r,j]·B_j, streamed to slow.
         fm.stream(read_sizes=[sub_words] * u_nnz[r], write_sizes=[sub_words])
         fm.stream(read_sizes=[sub_words] * v_nnz[r], write_sizes=[sub_words])
         total += _dfs(fm, sub, scheme, base, u_nnz, v_nnz, w_nnz)
-    for q in range(scheme.n0 * scheme.n0):
+    for q in range(scheme.c_blocks):
         # C_q = Σ W[q,r]·Q_r, streamed.
         fm.stream(read_sizes=[sub_words] * w_nnz[q], write_sizes=[sub_words])
     return total
@@ -169,23 +204,15 @@ def dfs_io_model(
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
+    if not scheme.is_square:
+        raise ValueError(
+            "dfs_io_model runs the square recursion; use rect_dfs_io_model "
+            f"for rectangular scheme {scheme.name!r}"
+        )
     base = _check_base(n, M, scheme.n0, base)
     u_nnz = _nnz_rows(scheme.U)
     v_nnz = _nnz_rows(scheme.V)
     w_nnz = _nnz_rows(scheme.W)
-
-    def stream_counts(size_words: int, n_reads: int, free_words: int) -> tuple[int, int, int, int]:
-        """(words_read, msgs_read, words_written, msgs_written) of one stream
-        — mirrors FastMemory.stream with chunk = free // (n_reads + 1)."""
-        chunk = max(free_words // (n_reads + 1), 1)
-        full, rem = divmod(size_words, chunk)
-        msgs_per_stream = full + (1 if rem else 0)
-        return (
-            size_words * n_reads,
-            msgs_per_stream * n_reads,
-            size_words,
-            msgs_per_stream,
-        )
 
     cache: dict[int, tuple[int, int, int, int, int]] = {}
 
@@ -201,9 +228,9 @@ def dfs_io_model(
         sw = sub * sub
         wr = mr = ww = mw = mults = 0
         sub_res = go(sub)
-        for r in range(scheme.m0):
+        for r in range(scheme.t0):
             for nnz in (u_nnz[r], v_nnz[r]):
-                a, b, c, d = stream_counts(sw, nnz, M)
+                a, b, c, d = _stream_counts(sw, nnz, M)
                 wr += a
                 mr += b
                 ww += c
@@ -213,8 +240,8 @@ def dfs_io_model(
             ww += sub_res[2]
             mw += sub_res[3]
             mults += sub_res[4]
-        for q in range(scheme.n0 * scheme.n0):
-            a, b, c, d = stream_counts(sw, w_nnz[q], M)
+        for q in range(scheme.c_blocks):
+            a, b, c, d = _stream_counts(sw, w_nnz[q], M)
             wr += a
             mr += b
             ww += c
@@ -229,5 +256,94 @@ def dfs_io_model(
     )
     return StrassenIOReport(
         n=n, M=M, scheme=scheme.name, counter=counter,
-        base_size=base, n_base_multiplies=mults,
+        base_size=base, n_base_multiplies=mults, shape=(n, n, n),
+    )
+
+
+def rect_dfs_io_model(
+    m: int,
+    n: int,
+    p: int,
+    M: int,
+    scheme: BilinearScheme | str = "strassen122",
+) -> StrassenIOReport:
+    """Exact depth-first I/O counts for a rectangular ⟨m₀,n₀,p₀;t₀⟩ recursion.
+
+    The shape ``(m, n, p)`` shrinks componentwise by the scheme shape until
+    the three blocks fit in fast memory (``mn + np + mp ≤ M``); above the
+    base every linear form streams its operand blocks exactly as in
+    :func:`dfs_io_model`, with the A/B/C block sizes now differing.  Applied
+    to a square scheme and shape this reproduces ``dfs_io_model``'s counts
+    word-for-word (the tests pin this).  Raises when a dimension stops being
+    divisible before the blocks fit — no silent padding.
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    u_nnz = _nnz_rows(scheme.U)
+    v_nnz = _nnz_rows(scheme.V)
+    w_nnz = _nnz_rows(scheme.W)
+
+    cache: dict[tuple[int, int, int], tuple[int, int, int, int, int]] = {}
+    base_shape: list[tuple[int, int, int]] = []
+
+    def go(mm: int, nn: int, pp: int) -> tuple[int, int, int, int, int]:
+        key = (mm, nn, pp)
+        if key in cache:
+            return cache[key]
+        if mm * nn + nn * pp + mm * pp <= M:
+            # Read the A and B blocks, multiply in-core, write the C block.
+            if not base_shape:
+                base_shape.append(key)
+            res = (mm * nn + nn * pp, 2, mm * pp, 1, 1)
+            cache[key] = res
+            return res
+        if mm % scheme.m0 or nn % scheme.n0 or pp % scheme.p0:
+            raise ValueError(
+                f"shape ({mm},{nn},{pp}) not divisible by scheme shape "
+                f"{scheme.shape} yet its blocks exceed M={M}"
+            )
+        sm, sn, sp = mm // scheme.m0, nn // scheme.n0, pp // scheme.p0
+        if (sm, sn, sp) == (mm, nn, pp):
+            # degenerate ⟨1,1,1⟩ scheme: the recursion makes no progress
+            raise ValueError(
+                f"shape ({mm},{nn},{pp}) exceeds M={M} but scheme shape "
+                f"{scheme.shape} cannot shrink it"
+            )
+        aw, bw, cw = sm * sn, sn * sp, sm * sp
+        wr = mr = ww = mw = mults = 0
+        sub_res = go(sm, sn, sp)
+        for r in range(scheme.t0):
+            for nnz, words in ((u_nnz[r], aw), (v_nnz[r], bw)):
+                a, b, c, d = _stream_counts(words, nnz, M)
+                wr += a
+                mr += b
+                ww += c
+                mw += d
+            wr += sub_res[0]
+            mr += sub_res[1]
+            ww += sub_res[2]
+            mw += sub_res[3]
+            mults += sub_res[4]
+        for q in range(scheme.c_blocks):
+            a, b, c, d = _stream_counts(cw, w_nnz[q], M)
+            wr += a
+            mr += b
+            ww += c
+            mw += d
+        res = (wr, mr, ww, mw, mults)
+        cache[key] = res
+        return res
+
+    wr, mr, ww, mw, mults = go(m, n, p)
+    counter = IOCounter(
+        words_read=wr, words_written=ww, messages_read=mr, messages_written=mw
+    )
+    return StrassenIOReport(
+        n=max(m, n, p),
+        M=M,
+        scheme=scheme.name,
+        counter=counter,
+        base_size=max(base_shape[0]) if base_shape else -1,
+        n_base_multiplies=mults,
+        shape=(m, n, p),
     )

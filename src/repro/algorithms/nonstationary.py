@@ -14,7 +14,7 @@ exponent interpolates between the constituent ω₀'s.
 
 The I/O recurrence for a level list ``[s₁, s₂, …]`` is
 
-    IO(n, [s₁, rest…]) = m₀(s₁)·IO(n/n₀(s₁), rest) + Θ((n/n₀(s₁))²)
+    IO(n, [s₁, rest…]) = t₀(s₁)·IO(n/n₀(s₁), rest) + Θ((n/n₀(s₁))²)
 
 bottoming out in the 3-blocks-resident base case when the subproblem fits.
 """
@@ -37,7 +37,14 @@ __all__ = [
 
 
 def _resolve(schemes) -> list[BilinearScheme]:
-    return [get_scheme(s) if isinstance(s, str) else s for s in schemes]
+    resolved = [get_scheme(s) if isinstance(s, str) else s for s in schemes]
+    for s in resolved:
+        if not s.is_square:
+            raise ValueError(
+                f"non-stationary recursion splits square blocks; scheme "
+                f"{s.name!r} has shape {s.shape}"
+            )
+    return resolved
 
 
 def nonstationary_multiply(A: np.ndarray, B: np.ndarray, schemes) -> np.ndarray:
@@ -128,11 +135,11 @@ def nonstationary_io(n: int, M: int, schemes) -> StrassenIOReport:
         sw = sub * sub
         u_nnz, v_nnz, w_nnz = nnz[level]
         total = 0
-        for r in range(s.m0):
+        for r in range(s.t0):
             fm.stream(read_sizes=[sw] * u_nnz[r], write_sizes=[sw])
             fm.stream(read_sizes=[sw] * v_nnz[r], write_sizes=[sw])
             total += go(sub, level + 1)
-        for q in range(s.n0 * s.n0):
+        for q in range(s.c_blocks):
             fm.stream(read_sizes=[sw] * w_nnz[q], write_sizes=[sw])
         return total
 
@@ -162,7 +169,7 @@ def nonstationary_flops(n: int, schemes) -> int:
             return 2 * size**3 - size * size
         s = schemes[level]
         sub = size // s.n0
-        return s.m0 * go(sub, level + 1) + s.n_additions * sub * sub
+        return s.t0 * go(sub, level + 1) + s.n_additions * sub * sub
 
     return go(n, 0)
 

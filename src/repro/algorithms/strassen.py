@@ -1,14 +1,15 @@
 """In-core Strassen-like matrix multiplication (numerics + arithmetic counts).
 
-The recursion of §5.1: split into n₀² blocks, take the scheme's linear
-combinations, recurse on the m₀ products, recombine.  Below the cutoff the
-classical algorithm runs (the standard practical optimization, and a member
-of the paper's "uniform non-stationary" class §5.2 — switching schemes
-between levels).
+The recursion of §5.1, generalized to rectangular ⟨m₀,n₀,p₀; t₀⟩ schemes:
+split A into an m₀×n₀ grid and B into an n₀×p₀ grid, take the scheme's
+linear combinations, recurse on the t₀ products, recombine into the m₀×p₀
+grid of C.  Below the cutoff the classical algorithm runs (the standard
+practical optimization, and a member of the paper's "uniform
+non-stationary" class §5.2 — switching schemes between levels).
 
 Numerics are served by numpy throughout; ``count_flops`` reproduces the
-arithmetic-cost recurrence ``T(n) = m₀·T(n/n₀) + Θ(n²)`` so tests can pin
-``T(n) = Θ(n^ω₀)`` (the quantity ω₀ is defined by).
+arithmetic-cost recurrence ``T = t₀·T(sub) + Θ(blocks)`` so tests can pin
+``T = Θ(n^ω₀)`` (the quantity ω₀ is defined by).
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.cdag.schemes import BilinearScheme, _grid_blocks, get_scheme
 
 __all__ = ["strassen_multiply", "bilinear_multiply", "count_flops", "FlopCount"]
 
@@ -34,60 +35,59 @@ class FlopCount:
         return self.multiplications + self.additions
 
 
-def _split_blocks(X: np.ndarray, n0: int) -> list[np.ndarray]:
-    """The n₀² sub-blocks of X in row-major order (views, not copies)."""
-    n = X.shape[0]
-    b = n // n0
-    return [
-        X[i * b : (i + 1) * b, j * b : (j + 1) * b]
-        for i in range(n0)
-        for j in range(n0)
-    ]
-
-
 def bilinear_multiply(
     A: np.ndarray,
     B: np.ndarray,
     scheme: BilinearScheme | str = "strassen",
     cutoff: int = 32,
 ) -> np.ndarray:
-    """Multiply square matrices with a bilinear scheme's recursion.
+    """Multiply conformable matrices with a bilinear scheme's recursion.
 
-    ``n`` must be ``n₀^t · c`` with ``c ≤ cutoff`` reachable by the
-    recursion; in practice: a multiple of a power of n₀ with the residual
-    handled by the classical base case.  Raises for shapes the pure
-    recursion cannot split evenly (no padding is silently applied — padding
-    changes communication counts, so callers opt in explicitly).
+    ``A`` is ``m × n`` and ``B`` is ``n × p``; each dimension must be the
+    corresponding scheme dimension to some power times a residual handled by
+    the classical base case once every dimension is at or below ``cutoff``.
+    Raises for shapes the pure recursion cannot split evenly (no padding is
+    silently applied — padding changes communication counts, so callers opt
+    in explicitly).
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
     A = np.asarray(A, dtype=np.float64)
     B = np.asarray(B, dtype=np.float64)
-    if A.ndim != 2 or A.shape[0] != A.shape[1] or A.shape != B.shape:
-        raise ValueError("bilinear_multiply requires equal square matrices")
-    return _recurse(A, B, scheme, max(cutoff, scheme.n0))
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError("bilinear_multiply requires conformable 2-d matrices")
+    return _recurse(A, B, scheme, max(cutoff, scheme.m0, scheme.n0, scheme.p0))
 
 
 def _recurse(A: np.ndarray, B: np.ndarray, scheme: BilinearScheme, cutoff: int) -> np.ndarray:
-    n = A.shape[0]
-    n0 = scheme.n0
-    if n <= cutoff or n % n0 != 0:
-        if n > cutoff and n % n0 != 0:
+    m, n = A.shape
+    p = B.shape[1]
+    divisible = m % scheme.m0 == 0 and n % scheme.n0 == 0 and p % scheme.p0 == 0
+    # Only dimensions the scheme actually splits count against the cutoff:
+    # a unit scheme dimension (e.g. n₀ = 1 in classical<2,1,2>) never shrinks.
+    split_dims = [
+        d for d, s0 in ((m, scheme.m0), (n, scheme.n0), (p, scheme.p0)) if s0 > 1
+    ]
+    above_cutoff = bool(split_dims) and max(split_dims) > cutoff
+    if not above_cutoff or not divisible:
+        if above_cutoff and not divisible:
             raise ValueError(
-                f"matrix size {n} not divisible by n0={n0} above the cutoff; "
-                f"choose n = n0^t * c with c <= cutoff"
+                f"shape ({m},{n},{p}) not divisible by scheme shape "
+                f"{scheme.shape} above the cutoff; choose dims = scheme "
+                f"dims^t * c with c <= cutoff"
             )
         return A @ B
-    Ablocks = _split_blocks(A, n0)
-    Bblocks = _split_blocks(B, n0)
+    Ablocks = _grid_blocks(A, scheme.m0, scheme.n0)
+    Bblocks = _grid_blocks(B, scheme.n0, scheme.p0)
     Cblocks = scheme.apply_blocked(
         Ablocks, Bblocks, lambda X, Y: _recurse(X, Y, scheme, cutoff)
     )
-    b = n // n0
-    C = np.empty_like(A)
-    for i in range(n0):
-        for j in range(n0):
-            C[i * b : (i + 1) * b, j * b : (j + 1) * b] = Cblocks[i * n0 + j]
+    bm = m // scheme.m0
+    bp = p // scheme.p0
+    C = np.empty((m, p), dtype=np.result_type(A, B))
+    for i in range(scheme.m0):
+        for j in range(scheme.p0):
+            C[i * bm : (i + 1) * bm, j * bp : (j + 1) * bp] = Cblocks[i * scheme.p0 + j]
     return C
 
 
@@ -98,23 +98,40 @@ def strassen_multiply(A: np.ndarray, B: np.ndarray, cutoff: int = 32, variant: s
     return bilinear_multiply(A, B, variant, cutoff)
 
 
-def count_flops(n: int, scheme: BilinearScheme | str = "strassen", cutoff: int = 1) -> FlopCount:
+def count_flops(
+    n: int | tuple[int, int, int],
+    scheme: BilinearScheme | str = "strassen",
+    cutoff: int = 1,
+) -> FlopCount:
     """Exact arithmetic counts of the recursion (without running it).
 
     Mirrors ``_recurse``: above the cutoff, one level costs the scheme's
-    linear-stage additions on (n/n₀)²-sized blocks plus m₀ recursive calls;
-    at the base, the classical count n³ mults and n²(n−1) adds.
+    linear-stage additions on the sub-block sizes plus t₀ recursive calls;
+    at the base, the classical count mnp mults and mp(n−1) adds.  ``n`` may
+    be an int (the square problem) or an ``(m, n, p)`` shape tuple.
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    n0 = scheme.n0
+    m, n, p = (n, n, n) if isinstance(n, int) else n
     cutoff = max(cutoff, 1)
-    if n <= cutoff or n % n0 != 0:
-        return FlopCount(multiplications=n**3, additions=n * n * (n - 1))
-    b = n // n0
-    sub = count_flops(b, scheme, cutoff)
-    adds_here = scheme.n_additions * b * b
+    divisible = m % scheme.m0 == 0 and n % scheme.n0 == 0 and p % scheme.p0 == 0
+    split_dims = [
+        d for d, s0 in ((m, scheme.m0), (n, scheme.n0), (p, scheme.p0)) if s0 > 1
+    ]
+    if not split_dims or max(split_dims) <= cutoff or not divisible:
+        return FlopCount(multiplications=m * n * p, additions=m * p * (n - 1))
+    bm, bn, bp = m // scheme.m0, n // scheme.n0, p // scheme.p0
+    sub = count_flops((bm, bn, bp), scheme, cutoff)
+    # Flat linear-stage additions, per block size: U rows combine bm*bn
+    # blocks, V rows bn*bp, W rows bm*bp.
+    def _adds(mat, words):
+        nnz = (mat != 0).sum(axis=1)
+        return int(np.maximum(nnz - 1, 0).sum()) * words
+
+    adds_here = (
+        _adds(scheme.U, bm * bn) + _adds(scheme.V, bn * bp) + _adds(scheme.W, bm * bp)
+    )
     return FlopCount(
-        multiplications=scheme.m0 * sub.multiplications,
-        additions=scheme.m0 * sub.additions + adds_here,
+        multiplications=scheme.t0 * sub.multiplications,
+        additions=scheme.t0 * sub.additions + adds_here,
     )

@@ -88,15 +88,16 @@ def check_fact_4_6(
 ) -> dict:
     """Fact 4.6: level sizes and the 3/7-style mass ratios of ``Dec_k C``.
 
-    Verifies ``|l_i| = c₀^(k−i+1) · m₀^(i−1)`` (in the paper's numbering) and
+    Verifies ``|l_i| = c₀^(k−i+1) · t₀^(i−1)`` (in the paper's numbering) and
     the bounds on ``|l_{k+1}|/|V|`` and ``|l_1|/|V|``.  Returns the measured
-    ratios.  The generic-scheme form replaces 4/7 with c₀/m₀ (§5.1.2).
-    A prebuilt graph and its profile may be passed to avoid rebuilding.
+    ratios.  The generic-scheme form replaces 4/7 with c₀/t₀ (§5.1.2), with
+    ``c₀ = m₀·p₀`` for rectangular schemes.  A prebuilt graph and its
+    profile may be passed to avoid rebuilding.
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    c0 = scheme.n0 * scheme.n0
-    m0 = scheme.m0
+    c0 = scheme.c_blocks
+    t0 = scheme.t0
     if g is None:
         g = dec_graph(scheme, k)
     if prof is None:
@@ -106,19 +107,26 @@ def check_fact_4_6(
         f"Fact 4.6 violated: level sizes {prof.level_sizes} != {expected}"
     )
     V = g.n_vertices
-    rho = c0 / m0
-    top_ratio = m0**k / V                       # |l_{k+1}| / |V|
+    rho = c0 / t0
+    top_ratio = t0**k / V                       # |l_{k+1}| / |V|
     bottom_ratio = c0**k / V                    # |l_1| / |V|
-    lo = (1 - rho) / 1.0                        # = 3/7 for Strassen
-    # Exact identity: |V| = m0^k (1 - rho^{k+1}) / (1 - rho), so the mass
-    # ratio is (1 - rho)/(1 - rho^{k+1}).  (The paper's display writes the
-    # correction with exponent k+2 — a harmless slip in a Θ-level fact; the
-    # geometric sum over k+1 levels gives k+1.)
-    exact = (1 - rho) / (1 - rho ** (k + 1))
+    if c0 == t0:
+        # Degenerate rank-= -output schemes (e.g. classical<2,1,2>): every
+        # level has the same size, so each holds exactly 1/(k+1) of the mass.
+        exact = 1.0 / (k + 1)
+        lo = exact
+        correction = 1.0
+    else:
+        lo = (1 - rho) / 1.0                    # = 3/7 for Strassen
+        # Exact identity: |V| = t0^k (1 - rho^{k+1}) / (1 - rho), so the mass
+        # ratio is (1 - rho)/(1 - rho^{k+1}).  (The paper's display writes the
+        # correction with exponent k+2 — a harmless slip in a Θ-level fact;
+        # the geometric sum over k+1 levels gives k+1.)
+        exact = (1 - rho) / (1 - rho ** (k + 1))
+        correction = 1.0 / (1.0 - rho ** (k + 1))
     assert abs(top_ratio - exact) < 1e-9, (
         f"Fact 4.6 violated: top mass ratio {top_ratio} != exact {exact}"
     )
-    correction = 1.0 / (1.0 - rho ** (k + 1))
     assert lo * (1 - 1e-12) <= top_ratio <= lo * correction * (1 + 1e-12)
     assert abs(bottom_ratio - exact * rho**k) < 1e-9
     return {

@@ -1,46 +1,65 @@
 """Bilinear matrix-multiplication base cases ("Strassen-like" schemes, §5.1).
 
-A scheme ⟨n₀, m₀⟩ multiplies two ``n₀ × n₀`` matrices with ``m₀`` scalar
-multiplications.  It is encoded by three coefficient matrices
+A *rectangular* scheme ⟨m₀, n₀, p₀; t₀⟩ multiplies an ``m₀ × n₀`` matrix by
+an ``n₀ × p₀`` matrix with ``t₀`` scalar multiplications (the generality of
+Ballard–Demmel–Holtz–Lipshitz–Schwartz, arXiv:1209.2184).  It is encoded by
+three coefficient matrices
 
-* ``U`` (m₀ × n₀²): row ``r`` gives the left linear form
+* ``U`` (t₀ × m₀n₀): row ``r`` gives the left linear form
   ``L_r = Σ U[r, i] · vec(A)_i``,
-* ``V`` (m₀ × n₀²): row ``r`` gives the right linear form
+* ``V`` (t₀ × n₀p₀): row ``r`` gives the right linear form
   ``R_r = Σ V[r, j] · vec(B)_j``,
-* ``W`` (n₀² × m₀): ``vec(C)_k = Σ W[k, r] · (L_r · R_r)``,
+* ``W`` (m₀p₀ × t₀): ``vec(C)_k = Σ W[k, r] · (L_r · R_r)``,
 
-with row-major ``vec``.  Recursive application multiplies ``n × n`` matrices
-in ``Θ(n^ω₀)`` operations with ``ω₀ = log_{n₀} m₀`` (§5.1).
+with row-major ``vec``.  Recursive application multiplies
+``m₀^k × n₀^k`` by ``n₀^k × p₀^k`` matrices in ``Θ(t₀^k)`` multiplications;
+the arithmetic exponent is ``ω₀ = 3·log_{m₀n₀p₀} t₀`` (for square schemes
+``m₀ = n₀ = p₀`` this reduces to the paper's ``log_{n₀} t₀``, §5.1).
 
 The registry carries the schemes used throughout the paper and our
 experiments:
 
-=================  =====  =====  ==========  =============================
-name               n₀     m₀     ω₀          role
-=================  =====  =====  ==========  =============================
-``strassen``       2      7      lg 7        the paper's main subject
-``winograd``       2      7      lg 7        15-addition variant (§1.4.2)
-``classical2``     2      8      3           cubic recursion, disconnected
-                                             Dec₁C (§5.1.1 contrast)
-``classical3``     3      27     3           cubic with 3×3 base
-``strassen2x``     4      49     lg 7        Strassen ⊗ Strassen
-``hybrid4``        4      56     log₄ 56     Strassen ⊗ classical2 — a
-                                             genuinely different ω₀ ≈ 2.904
-=================  =====  =====  ==========  =============================
+=================  ===========  =====  ==========  ==========================
+name               ⟨m₀,n₀,p₀⟩   t₀     ω₀          role
+=================  ===========  =====  ==========  ==========================
+``strassen``       ⟨2,2,2⟩      7      lg 7        the paper's main subject
+``winograd``       ⟨2,2,2⟩      7      lg 7        15-addition variant
+                                                   (§1.4.2)
+``classical2``     ⟨2,2,2⟩      8      3           cubic recursion,
+                                                   disconnected Dec₁C
+                                                   (§5.1.1 contrast)
+``classical3``     ⟨3,3,3⟩      27     3           cubic with 3×3 base
+``strassen2x``     ⟨4,4,4⟩      49     lg 7        Strassen ⊗ Strassen
+``hybrid4``        ⟨4,4,4⟩      56     log₄ 56     Strassen ⊗ classical2,
+                                                   ω₀ ≈ 2.904
+``classical122``   ⟨1,2,2⟩      4      3           outer-product row panel
+``classical212``   ⟨2,1,2⟩      4      3           rank-1 update panel
+``classical221``   ⟨2,2,1⟩      4      3           matrix–vector panel
+``strassen122``    ⟨2,4,4⟩      28     ≈2.885      Strassen ⊗
+                                                   classical⟨1,2,2⟩ — the
+                                                   composed rectangular
+                                                   pipeline exemplar
+=================  ===========  =====  ==========  ==========================
 
-Every scheme is validated against the Brent equations (exactly, on basis
-matrices) when constructed, so a wrong coefficient cannot survive import.
+Beyond the static registry, :func:`get_scheme` understands dynamic names of
+the form ``classical<m>x<n>x<p>`` (e.g. ``classical1x3x2``) and builds the
+corresponding classical rectangular scheme on demand.
+
+Every scheme is validated against the rectangular Brent equations (exactly,
+on basis matrices) when constructed, so a wrong coefficient cannot survive
+import.
 
 A 3×3/23-multiplication (Laderman) scheme is deliberately *not* shipped:
 its coefficient tables cannot be re-derived from first principles here, and
 we only include schemes whose correctness the library itself can prove.
-The composed schemes (``hybrid4`` in particular) already provide a
-genuinely different ω₀ for the Theorem 1.3 exponent sweeps.
+The composed schemes (``hybrid4``/``strassen122`` in particular) already
+provide genuinely different ω₀ and shapes for the exponent sweeps.
 """
 
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -51,6 +70,7 @@ __all__ = [
     "strassen_scheme",
     "winograd_scheme",
     "classical_scheme",
+    "classical_rect_scheme",
     "compose_schemes",
     "get_scheme",
     "available_schemes",
@@ -59,29 +79,38 @@ __all__ = [
 
 @dataclass(frozen=True)
 class BilinearScheme:
-    """A validated ⟨n₀, m₀⟩ bilinear matrix-multiplication base case."""
+    """A validated ⟨m₀, n₀, p₀; t₀⟩ bilinear matrix-multiplication base case.
+
+    ``m₀ × n₀`` times ``n₀ × p₀`` in ``t₀`` scalar multiplications; the
+    square schemes of the paper are the ``m₀ = n₀ = p₀`` special case.
+    """
 
     name: str
+    m0: int
     n0: int
+    p0: int
     U: np.ndarray
     V: np.ndarray
     W: np.ndarray
     validate: bool = field(default=True, repr=False)
 
     def __post_init__(self):
-        n0sq = self.n0 * self.n0
+        for dim, label in ((self.m0, "m0"), (self.n0, "n0"), (self.p0, "p0")):
+            if not (isinstance(dim, (int, np.integer)) and dim >= 1):
+                raise ValueError(f"{label} must be a positive integer; got {dim!r}")
         U = np.asarray(self.U, dtype=np.float64)
         V = np.asarray(self.V, dtype=np.float64)
         W = np.asarray(self.W, dtype=np.float64)
         object.__setattr__(self, "U", U)
         object.__setattr__(self, "V", V)
         object.__setattr__(self, "W", W)
-        if U.shape != (self.m0, n0sq):
-            raise ValueError(f"U must be (m0, n0^2); got {U.shape}")
-        if V.shape != (self.m0, n0sq):
-            raise ValueError(f"V must be (m0, n0^2); got {V.shape}")
-        if W.shape != (n0sq, self.m0):
-            raise ValueError(f"W must be (n0^2, m0); got {W.shape}")
+        if U.ndim != 2 or U.shape[1] != self.m0 * self.n0:
+            raise ValueError(f"U must be (t0, m0*n0); got {U.shape}")
+        t0 = U.shape[0]
+        if V.shape != (t0, self.n0 * self.p0):
+            raise ValueError(f"V must be (t0, n0*p0); got {V.shape}")
+        if W.shape != (self.m0 * self.p0, t0):
+            raise ValueError(f"W must be (m0*p0, t0); got {W.shape}")
         if self.validate and not self.brent_residual() == 0.0:
             raise ValueError(
                 f"scheme {self.name!r} does not satisfy the Brent equations "
@@ -91,14 +120,48 @@ class BilinearScheme:
     # ------------------------------------------------------------------ #
 
     @property
-    def m0(self) -> int:
-        """Number of scalar multiplications of the base case."""
+    def t0(self) -> int:
+        """Number of scalar multiplications (the scheme's bilinear rank)."""
         return self.U.shape[0]
 
     @property
+    def shape(self) -> tuple[int, int, int]:
+        """The base-case problem shape ``(m₀, n₀, p₀)``."""
+        return (self.m0, self.n0, self.p0)
+
+    @property
+    def is_square(self) -> bool:
+        """True for the paper's square case ``m₀ = n₀ = p₀``."""
+        return self.m0 == self.n0 == self.p0
+
+    @property
+    def a_blocks(self) -> int:
+        """Number of A operand blocks, ``m₀·n₀`` (= columns of U)."""
+        return self.m0 * self.n0
+
+    @property
+    def b_blocks(self) -> int:
+        """Number of B operand blocks, ``n₀·p₀`` (= columns of V)."""
+        return self.n0 * self.p0
+
+    @property
+    def c_blocks(self) -> int:
+        """Number of C output blocks, ``m₀·p₀`` (= rows of W)."""
+        return self.m0 * self.p0
+
+    @property
     def omega0(self) -> float:
-        """The arithmetic exponent ``ω₀ = log_{n₀} m₀`` (§5.1)."""
-        return math.log(self.m0) / math.log(self.n0)
+        """The arithmetic exponent ``ω₀ = 3·log_{m₀n₀p₀} t₀``.
+
+        Equals the paper's ``log_{n₀} t₀`` when the scheme is square.  The
+        degenerate ⟨1,1,1;1⟩ scheme is assigned ω₀ = 3 by convention.
+        """
+        volume = self.m0 * self.n0 * self.p0
+        if volume == 1 or self.t0 == volume:
+            # classical rank: exactly 3 (avoid float slop like 3.0000000004,
+            # which would trip the omega0 ∈ [2, 3] bound checks downstream)
+            return 3.0
+        return 3.0 * math.log(self.t0) / math.log(volume)
 
     @property
     def n_additions(self) -> int:
@@ -122,56 +185,98 @@ class BilinearScheme:
     # ------------------------------------------------------------------ #
 
     def brent_residual(self) -> float:
-        """Max abs deviation from the Brent equations.
+        """Max abs deviation from the rectangular Brent equations.
 
-        Checked exactly on all basis pairs: for ``A = E_{ij}``, ``B = E_{kl}``
-        the product is ``δ_{jk} E_{il}``.  All our schemes have small-integer
-        coefficients, so the float computation is exact and a correct scheme
-        returns exactly 0.0.
+        Checked exactly on all basis pairs: for ``A = E_{ij}`` (m₀×n₀) and
+        ``B = E_{kl}`` (n₀×p₀) the product is ``δ_{jk} E_{il}`` (m₀×p₀).
+        All our schemes have small-integer coefficients, so the float
+        computation is exact and a correct scheme returns exactly 0.0.
         """
-        n0 = self.n0
-        n0sq = n0 * n0
+        m0, n0, p0 = self.m0, self.n0, self.p0
         # L[r, a] * R[r, b] summed with W gives the bilinear map on basis
         # vectors:   C_vec[k; a, b] = sum_r W[k, r] U[r, a] V[r, b].
         # Compare against the exact matrix-multiplication tensor.
         T = np.einsum("kr,ra,rb->kab", self.W, self.U, self.V)
-        T_true = np.zeros((n0sq, n0sq, n0sq))
-        for i in range(n0):
+        T_true = np.zeros((m0 * p0, m0 * n0, n0 * p0))
+        for i in range(m0):
             for j in range(n0):
-                for k in range(n0):
-                    for l in range(n0):
-                        if j == k:
-                            T_true[i * n0 + l, i * n0 + j, k * n0 + l] = 1.0
+                for l in range(p0):
+                    T_true[i * p0 + l, i * n0 + j, j * p0 + l] = 1.0
         return float(np.max(np.abs(T - T_true)))
 
     def apply(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        """One non-recursive application to ``n₀ × n₀`` numeric matrices."""
-        n0 = self.n0
-        if A.shape != (n0, n0) or B.shape != (n0, n0):
-            raise ValueError("apply() is the base case: matrices must be n0 x n0")
+        """One non-recursive application to ``m₀×n₀`` and ``n₀×p₀`` matrices."""
+        if A.shape != (self.m0, self.n0) or B.shape != (self.n0, self.p0):
+            raise ValueError(
+                "apply() is the base case: A must be m0 x n0 and B must be n0 x p0"
+            )
         a = A.reshape(-1)
         b = B.reshape(-1)
         products = (self.U @ a) * (self.V @ b)
-        return (self.W @ products).reshape(n0, n0)
+        return (self.W @ products).reshape(self.m0, self.p0)
 
     def apply_blocked(self, Ablocks: list, Bblocks: list, multiply) -> list:
-        """One blocked application: ``Ablocks``/``Bblocks`` are the n₀² blocks
-        in row-major order; ``multiply(X, Y)`` is the recursive product.
+        """One blocked application: ``Ablocks`` are the m₀n₀ blocks of A and
+        ``Bblocks`` the n₀p₀ blocks of B, each in row-major order;
+        ``multiply(X, Y)`` is the recursive product.
 
-        Returns the n₀² blocks of C.  This is *the* recursion step of every
+        Returns the m₀p₀ blocks of C.  This is *the* recursion step of every
         Strassen-like algorithm (sequential, I/O-explicit, and parallel code
         paths all funnel through it), so it is written once here.
         """
-        left = [_linear_combination(self.U[r], Ablocks) for r in range(self.m0)]
-        right = [_linear_combination(self.V[r], Bblocks) for r in range(self.m0)]
-        prods = [multiply(left[r], right[r]) for r in range(self.m0)]
-        return [_linear_combination(self.W[k], prods) for k in range(self.n0 * self.n0)]
+        if len(Ablocks) != self.a_blocks or len(Bblocks) != self.b_blocks:
+            raise ValueError(
+                f"apply_blocked needs {self.a_blocks} A blocks and "
+                f"{self.b_blocks} B blocks; got {len(Ablocks)}/{len(Bblocks)}"
+            )
+        left = [_linear_combination(self.U[r], Ablocks) for r in range(self.t0)]
+        right = [_linear_combination(self.V[r], Bblocks) for r in range(self.t0)]
+        prods = [multiply(left[r], right[r]) for r in range(self.t0)]
+        return [_linear_combination(self.W[k], prods) for k in range(self.c_blocks)]
+
+    def apply_recursive(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Full recursive application: splits by ⟨m₀,n₀,p₀⟩ while the shapes
+        divide evenly, and finishes with the plain product at the base.
+
+        ``A`` must be ``m × n`` and ``B`` ``n × p``; the recursion depth is
+        however many times ``(m, n, p)`` divides componentwise by the scheme
+        shape.  Exact on integer inputs with the registry's coefficients.
+        """
+        A = np.asarray(A, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
+        if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+            raise ValueError("apply_recursive needs conformable 2-d matrices")
+        m, n = A.shape
+        p = B.shape[1]
+        divisible = m % self.m0 == 0 and n % self.n0 == 0 and p % self.p0 == 0
+        at_base = (m, n, p) == (1, 1, 1) or self.shape == (1, 1, 1)
+        if not divisible or at_base:
+            return A @ B
+        Ablocks = _grid_blocks(A, self.m0, self.n0)
+        Bblocks = _grid_blocks(B, self.n0, self.p0)
+        Cblocks = self.apply_blocked(Ablocks, Bblocks, self.apply_recursive)
+        rows = [
+            np.hstack(Cblocks[i * self.p0 : (i + 1) * self.p0])
+            for i in range(self.m0)
+        ]
+        return np.vstack(rows)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"BilinearScheme({self.name!r}, n0={self.n0}, m0={self.m0}, "
+            f"BilinearScheme({self.name!r}, shape={self.shape}, t0={self.t0}, "
             f"omega0={self.omega0:.4f})"
         )
+
+
+def _grid_blocks(X: np.ndarray, rows: int, cols: int) -> list[np.ndarray]:
+    """The ``rows × cols`` sub-blocks of X in row-major order (views)."""
+    br = X.shape[0] // rows
+    bc = X.shape[1] // cols
+    return [
+        X[i * br : (i + 1) * br, j * bc : (j + 1) * bc]
+        for i in range(rows)
+        for j in range(cols)
+    ]
 
 
 def _linear_combination(coeffs: np.ndarray, blocks: list):
@@ -228,7 +333,7 @@ def strassen_scheme() -> BilinearScheme:
         ],
         dtype=np.float64,
     )
-    return BilinearScheme("strassen", 2, U, V, W)
+    return BilinearScheme("strassen", 2, 2, 2, U, V, W)
 
 
 def winograd_scheme() -> BilinearScheme:
@@ -270,58 +375,91 @@ def winograd_scheme() -> BilinearScheme:
         ],
         dtype=np.float64,
     )
-    return BilinearScheme("winograd", 2, U, V, W)
+    return BilinearScheme("winograd", 2, 2, 2, U, V, W)
+
+
+def _classical_uvw(m0: int, n0: int, p0: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coefficients of the classical ⟨m₀,n₀,p₀; m₀n₀p₀⟩ scheme."""
+    t0 = m0 * n0 * p0
+    U = np.zeros((t0, m0 * n0))
+    V = np.zeros((t0, n0 * p0))
+    W = np.zeros((m0 * p0, t0))
+    r = 0
+    for i in range(m0):
+        for l in range(p0):
+            for j in range(n0):
+                # multiplication r computes A[i, j] * B[j, l]
+                U[r, i * n0 + j] = 1.0
+                V[r, j * p0 + l] = 1.0
+                W[i * p0 + l, r] = 1.0
+                r += 1
+    return U, V, W
 
 
 def classical_scheme(n0: int) -> BilinearScheme:
-    """The classical ⟨n₀, n₀³⟩ scheme: one multiplication per (i, j, k) triple.
+    """The classical square ⟨n₀,n₀,n₀; n₀³⟩ scheme: one multiplication per
+    (i, j, k) triple.
 
     Its ``Dec₁C`` decomposes into n₀² disconnected stars — the paper's §5.1.1
     example of an algorithm *outside* the Strassen-like class.
     """
-    n0sq = n0 * n0
-    m0 = n0 ** 3
-    U = np.zeros((m0, n0sq))
-    V = np.zeros((m0, n0sq))
-    W = np.zeros((n0sq, m0))
-    r = 0
-    for i in range(n0):
-        for j in range(n0):
-            for k in range(n0):
-                # multiplication r computes A[i, k] * B[k, j]
-                U[r, i * n0 + k] = 1.0
-                V[r, k * n0 + j] = 1.0
-                W[i * n0 + j, r] = 1.0
-                r += 1
-    return BilinearScheme(f"classical{n0}", n0, U, V, W)
+    U, V, W = _classical_uvw(n0, n0, n0)
+    return BilinearScheme(f"classical{n0}", n0, n0, n0, U, V, W)
+
+
+def classical_rect_scheme(m0: int, n0: int, p0: int, name: str | None = None) -> BilinearScheme:
+    """The classical rectangular ⟨m₀,n₀,p₀; m₀n₀p₀⟩ scheme.
+
+    One multiplication per (i, j, l) triple; ω₀ = 3 for every shape.  These
+    are the self-provable building blocks the composed rectangular schemes
+    are made from (e.g. strassen ⊗ classical⟨1,2,2⟩).  The default name is
+    the unambiguous ``classical<m>x<n>x<p>`` form, which round-trips through
+    :func:`get_scheme`.
+    """
+    U, V, W = _classical_uvw(m0, n0, p0)
+    return BilinearScheme(name or f"classical{m0}x{n0}x{p0}", m0, n0, p0, U, V, W)
+
+
+def _vec_interleave_perm(r1: int, c1: int, r2: int, c2: int) -> np.ndarray:
+    """``perm[rowmajor] = blockmajor`` for an (r₁r₂ × c₁c₂) matrix viewed as
+    an r₁×c₁ grid of r₂×c₂ blocks.
+
+    blockmajor index = (i1*c1 + j1) * (r2*c2) + (i2*c2 + j2)
+    rowmajor  index = (i1*r2 + i2) * (c1*c2) + (j1*c2 + j2)
+    """
+    perm = np.empty(r1 * r2 * c1 * c2, dtype=np.int64)
+    for i1 in range(r1):
+        for j1 in range(c1):
+            for i2 in range(r2):
+                for j2 in range(c2):
+                    bm = (i1 * c1 + j1) * (r2 * c2) + (i2 * c2 + j2)
+                    rm = (i1 * r2 + i2) * (c1 * c2) + (j1 * c2 + j2)
+                    perm[rm] = bm
+    return perm
 
 
 def compose_schemes(s1: BilinearScheme, s2: BilinearScheme, name: str | None = None) -> BilinearScheme:
-    """Tensor (Kronecker) composition: a ⟨n₁n₂, m₁m₂⟩ scheme from two schemes.
+    """Tensor (Kronecker) composition: ⟨m₁m₂, n₁n₂, p₁p₂; t₁t₂⟩ from two
+    schemes — shapes multiply componentwise.
 
-    Multiplying ``n₁n₂ × n₁n₂`` matrices by viewing them as ``n₁ × n₁`` blocks
-    of ``n₂ × n₂`` matrices and running ``s1`` with ``s2`` as the block
-    multiplier.  This is how the uniform recursive family of §5.1 composes,
-    and it manufactures *validated* schemes with new exponents, e.g.
-    strassen ⊗ classical2 has ``ω₀ = log₄ 56 ≈ 2.904``.
+    Multiplying ``m₁m₂ × n₁n₂`` by ``n₁n₂ × p₁p₂`` matrices by viewing them
+    as ``m₁ × n₁`` (resp. ``n₁ × p₁``) grids of blocks and running ``s1``
+    with ``s2`` as the block multiplier.  This is how the uniform recursive
+    family of §5.1 composes, and it manufactures *validated* schemes with
+    new exponents and shapes, e.g. strassen ⊗ classical2 has
+    ``ω₀ = log₄ 56 ≈ 2.904`` and strassen ⊗ classical⟨1,2,2⟩ is the
+    rectangular ⟨2,4,4; 28⟩ scheme.
     """
-    n1, n2 = s1.n0, s2.n0
-    n = n1 * n2
-    # Permutation from block-major (i1, j1, i2, j2) to row-major (i, j) vec.
-    # blockmajor index = (i1*n1 + j1) * n2^2 + (i2*n2 + j2)
-    # rowmajor  index = (i1*n2 + i2) * n + (j1*n2 + j2)
-    perm = np.empty(n * n, dtype=np.int64)  # perm[rowmajor] = blockmajor
-    for i1 in range(n1):
-        for j1 in range(n1):
-            for i2 in range(n2):
-                for j2 in range(n2):
-                    bm = (i1 * n1 + j1) * (n2 * n2) + (i2 * n2 + j2)
-                    rm = (i1 * n2 + i2) * n + (j1 * n2 + j2)
-                    perm[rm] = bm
-    U = np.kron(s1.U, s2.U)[:, perm]
-    V = np.kron(s1.V, s2.V)[:, perm]
-    W = np.kron(s1.W, s2.W)[perm, :]
-    return BilinearScheme(name or f"{s1.name}*{s2.name}", n, U, V, W)
+    m = s1.m0 * s2.m0
+    n = s1.n0 * s2.n0
+    p = s1.p0 * s2.p0
+    perm_a = _vec_interleave_perm(s1.m0, s1.n0, s2.m0, s2.n0)
+    perm_b = _vec_interleave_perm(s1.n0, s1.p0, s2.n0, s2.p0)
+    perm_c = _vec_interleave_perm(s1.m0, s1.p0, s2.m0, s2.p0)
+    U = np.kron(s1.U, s2.U)[:, perm_a]
+    V = np.kron(s1.V, s2.V)[:, perm_b]
+    W = np.kron(s1.W, s2.W)[perm_c, :]
+    return BilinearScheme(name or f"{s1.name}*{s2.name}", m, n, p, U, V, W)
 
 
 # ---------------------------------------------------------------------- #
@@ -335,21 +473,56 @@ _FACTORIES = {
     "classical3": lambda: classical_scheme(3),
     "strassen2x": lambda: compose_schemes(strassen_scheme(), strassen_scheme(), "strassen2x"),
     "hybrid4": lambda: compose_schemes(strassen_scheme(), classical_scheme(2), "hybrid4"),
+    "classical122": lambda: classical_rect_scheme(1, 2, 2, name="classical122"),
+    "classical212": lambda: classical_rect_scheme(2, 1, 2, name="classical212"),
+    "classical221": lambda: classical_rect_scheme(2, 2, 1, name="classical221"),
+    "strassen122": lambda: compose_schemes(
+        strassen_scheme(), classical_rect_scheme(1, 2, 2), "strassen122"
+    ),
 }
+
+#: Dynamic registry names: ``classical<m>x<n>x<p>`` builds the classical
+#: rectangular scheme for any shape on demand (e.g. ``classical1x3x2``).
+_CLASSICAL_RECT_RE = re.compile(r"classical(\d+)x(\d+)x(\d+)\Z")
+
+#: Largest m₀·n₀·p₀ accepted for dynamic names: Brent validation builds a
+#: dense (m₀p₀ × m₀n₀ × n₀p₀) tensor, cubic in the volume, and get_scheme's
+#: lru_cache pins every constructed scheme — so unbounded shapes would turn
+#: a typo'd CLI flag into an OOM instead of an error.
+_DYNAMIC_VOLUME_LIMIT = 1024
 
 
 @lru_cache(maxsize=None)
 def get_scheme(name: str) -> BilinearScheme:
-    """Fetch a validated scheme from the registry by name."""
+    """Fetch a validated scheme from the registry by name.
+
+    Accepts the static registry names plus dynamic classical rectangular
+    names of the form ``classical<m>x<n>x<p>``.
+    """
     try:
         factory = _FACTORIES[name]
     except KeyError:
+        m = _CLASSICAL_RECT_RE.match(name)
+        if m:
+            dims = tuple(int(d) for d in m.groups())
+            if min(dims) < 1:
+                raise ValueError(f"scheme {name!r} has a zero dimension") from None
+            volume = dims[0] * dims[1] * dims[2]
+            if volume > _DYNAMIC_VOLUME_LIMIT:
+                raise ValueError(
+                    f"scheme {name!r} has volume m*n*p = {volume} > "
+                    f"{_DYNAMIC_VOLUME_LIMIT}; validation of larger shapes is "
+                    f"cubic in the volume — construct via classical_rect_scheme "
+                    f"explicitly if you really need it"
+                ) from None
+            return classical_rect_scheme(*dims, name=name)
         raise KeyError(
-            f"unknown scheme {name!r}; available: {sorted(_FACTORIES)}"
+            f"unknown scheme {name!r}; available: {sorted(_FACTORIES)} "
+            f"(or classical<m>x<n>x<p>)"
         ) from None
     return factory()
 
 
 def available_schemes() -> list[str]:
-    """Names of all registered schemes."""
+    """Names of all statically registered schemes."""
     return sorted(_FACTORIES)

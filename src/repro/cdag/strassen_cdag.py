@@ -10,14 +10,16 @@ matrices) from three parts:
 connected by one multiplication vertex per product (§4, Fig. 2).  The
 construction below is the paper's top-down recursion (§4.1.1) implemented
 *iteratively over levels with vectorized index arithmetic*, generic over any
-:class:`~repro.cdag.schemes.BilinearScheme` ⟨n₀, m₀⟩ — the paper's ``4`` and
-``7`` become ``c₀ = n₀²`` and ``m₀`` (§5.1.2).
+:class:`~repro.cdag.schemes.BilinearScheme` ⟨m₀, n₀, p₀; t₀⟩ — the paper's
+``4`` and ``7`` become ``c₀ = m₀·p₀`` (the number of C blocks) and ``t₀``
+(the rank), so rectangular schemes flow through the same code (§5.1.2 and
+the rectangular generalization of arXiv:1209.2184).
 
 Vertex/level layout of ``Dec_k C`` (the graph of Lemma 4.3):
 
-* level ``t = 0`` holds the ``m₀^k`` product vertices (the paper's top level
+* level ``t = 0`` holds the ``t₀^k`` product vertices (the paper's top level
   ``l_{k+1}``),
-* level ``t`` holds ``c₀^t · m₀^(k−t)`` vertices (the paper's ``l_{k+1−t}``,
+* level ``t`` holds ``c₀^t · t₀^(k−t)`` vertices (the paper's ``l_{k+1−t}``,
   Fact 4.6),
 * level ``t = k`` holds the ``c₀^k`` output vertices (the paper's ``l_1``),
 * between consecutive levels sit edge-disjoint copies of ``Dec₁C`` — exactly
@@ -61,10 +63,10 @@ __all__ = [
 
 
 def dec_level_sizes(scheme: BilinearScheme, k: int) -> np.ndarray:
-    """Level sizes of ``Dec_k C``: ``size[t] = c₀^t · m₀^(k−t)`` (Fact 4.6)."""
-    c0 = scheme.n0 * scheme.n0
-    m0 = scheme.m0
-    return np.array([c0**t * m0 ** (k - t) for t in range(k + 1)], dtype=np.int64)
+    """Level sizes of ``Dec_k C``: ``size[t] = c₀^t · t₀^(k−t)`` (Fact 4.6)."""
+    c0 = scheme.c_blocks
+    t0 = scheme.t0
+    return np.array([c0**t * t0 ** (k - t) for t in range(k + 1)], dtype=np.int64)
 
 
 def dec_vertex_count(scheme: BilinearScheme, k: int) -> int:
@@ -75,25 +77,25 @@ def dec_vertex_count(scheme: BilinearScheme, k: int) -> int:
 def _dec_edges(scheme: BilinearScheme, k: int):
     """Vectorized edge arrays of Dec_k C plus level offsets.
 
-    A level-``t`` vertex is ``off[t] + ρ·c₀^t + s`` where ``ρ ∈ [m₀^(k−t)]``
+    A level-``t`` vertex is ``off[t] + ρ·c₀^t + s`` where ``ρ ∈ [t₀^(k−t)]``
     is the not-yet-decoded product prefix and ``s ∈ [c₀^t]`` the decoded
     output suffix.  One decode step consumes the *last* digit ``r`` of ``ρ``
     and produces digit ``q`` of the suffix for every nonzero ``W[q, r]`` —
     one ``Dec₁C`` copy per ``(prefix, suffix)`` pair.
     """
-    c0 = scheme.n0 * scheme.n0
-    m0 = scheme.m0
+    c0 = scheme.c_blocks
+    t0 = scheme.t0
     sizes = dec_level_sizes(scheme, k)
     off = np.concatenate([[0], np.cumsum(sizes)])[:-1]
     qs, rs = np.nonzero(scheme.W)
     src_parts: list[np.ndarray] = []
     dst_parts: list[np.ndarray] = []
     for t in range(k):
-        n_prefix = m0 ** (k - t - 1)
+        n_prefix = t0 ** (k - t - 1)
         n_suffix = c0**t
         P = np.arange(n_prefix, dtype=np.int64)[:, None]
         S = np.arange(n_suffix, dtype=np.int64)[None, :]
-        base_src = off[t] + (P * m0) * n_suffix + S          # + r * n_suffix
+        base_src = off[t] + (P * t0) * n_suffix + S          # + r * n_suffix
         base_dst = off[t + 1] + P * (n_suffix * c0) + S      # + q * n_suffix
         for q, r in zip(qs, rs):
             src_parts.append((base_src + int(r) * n_suffix).ravel())
@@ -115,7 +117,7 @@ def dec_graph(
     scheme:
         A :class:`BilinearScheme` or registry name.
     k:
-        Recursion depth; the graph has ``Θ(m₀^k)`` vertices.
+        Recursion depth; the graph has ``Θ(t₀^k)`` vertices.
     expand_trees:
         If True, apply Comment 4.1: vertices of in-degree > 2 are replaced by
         binary addition trees, restoring the in-degree ≤ 2 invariant of real
@@ -221,7 +223,7 @@ class _EncPart:
     """Intermediate result of building one encoder inside a larger graph."""
 
     input_ids: np.ndarray     # c0^k input vertex ids
-    form_ids: np.ndarray      # m0^k final linear-form vertex ids (may alias inputs)
+    form_ids: np.ndarray      # t0^k final linear-form vertex ids (may alias inputs)
     n_vertices: int           # total ids consumed (incl. the caller's base offset)
     src: np.ndarray
     dst: np.ndarray
@@ -229,15 +231,17 @@ class _EncPart:
     levels: np.ndarray
 
 
-def _build_enc(M: np.ndarray, n0: int, k: int, base: int) -> _EncPart:
+def _build_enc(M: np.ndarray, k: int, base: int) -> _EncPart:
     """Build ``Enc_k`` for linear-form matrix ``M`` (U or V), ids from ``base``.
 
-    Level ``t`` nominal slots are pairs ``(ρ ∈ [m₀^t], e ∈ [c₀^(k−t)])``
+    Level ``t`` nominal slots are pairs ``(ρ ∈ [t₀^t], e ∈ [c₀^(k−t)])``
     holding the value of form ``ρ`` applied at sub-position ``e``; the slot
-    array maps to actual vertex ids, with identity rows aliased.
+    array maps to actual vertex ids, with identity rows aliased.  The
+    per-operand vec shape ``c₀`` is the number of operand blocks — ``m₀n₀``
+    for U (the A side), ``n₀p₀`` for V (the B side) — read off the matrix
+    itself, so rectangular schemes need no special casing.
     """
-    c0 = n0 * n0
-    m0 = M.shape[0]
+    t0, c0 = M.shape
     ident = _identity_rows(M)
     kinds: list[np.ndarray] = []
     levels: list[np.ndarray] = []
@@ -251,13 +255,13 @@ def _build_enc(M: np.ndarray, n0: int, k: int, base: int) -> _EncPart:
     kinds.append(np.full(n_inputs, VertexKind.INPUT, dtype=np.int8))
     levels.append(np.zeros(n_inputs, dtype=np.int32))
 
-    vid = input_ids  # level-t slot -> vertex id, shape (m0^t * c0^(k-t),)
+    vid = input_ids  # level-t slot -> vertex id, shape (t0^t * c0^(k-t),)
     for t in range(1, k + 1):
-        n_rho = m0 ** (t - 1)
+        n_rho = t0 ** (t - 1)
         n_pos = c0 ** (k - t)          # positions after consuming one digit
         prev = vid.reshape(n_rho, c0 * n_pos)
-        new_vid = np.empty((n_rho, m0, n_pos), dtype=np.int64)
-        for r in range(m0):
+        new_vid = np.empty((n_rho, t0, n_pos), dtype=np.int64)
+        for r in range(t0):
             if r in ident:
                 i = ident[r]
                 new_vid[:, r, :] = prev[:, i * n_pos : (i + 1) * n_pos]
@@ -291,7 +295,7 @@ def enc_graph(scheme: BilinearScheme | str = "strassen", k: int = 1, side: str =
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
     M = scheme.U if side.upper() == "A" else scheme.V
-    part = _build_enc(M, scheme.n0, k, base=0)
+    part = _build_enc(M, k, base=0)
     return CDAG(
         n_vertices=part.n_vertices,
         src=part.src,
@@ -315,11 +319,11 @@ class HGraph:
     cdag:
         The full graph.
     a_inputs, b_inputs:
-        Vertex ids of the entries of A and B (``c₀^k`` each).
+        Vertex ids of the entries of A (``(m₀n₀)^k``) and B (``(n₀p₀)^k``).
     mult_ids:
-        The ``m₀^k`` multiplication vertices (= level-0 vertices of Dec).
+        The ``t₀^k`` multiplication vertices (= level-0 vertices of Dec).
     output_ids:
-        The ``c₀^k`` entries of C.
+        The ``(m₀p₀)^k`` entries of C.
     dec_ids:
         All vertices of the embedded ``Dec_k C`` (including ``mult_ids``) —
         the subgraph ``G'`` used by Lemma 3.3 / Theorem 1.1.
@@ -356,18 +360,16 @@ def h_graph(scheme: BilinearScheme | str = "strassen", k: int = 1) -> HGraph:
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    c0 = scheme.n0 * scheme.n0
-    m0 = scheme.m0
 
-    enc_a = _build_enc(scheme.U, scheme.n0, k, base=0)
-    enc_b = _build_enc(scheme.V, scheme.n0, k, base=enc_a.n_vertices)
+    enc_a = _build_enc(scheme.U, k, base=0)
+    enc_b = _build_enc(scheme.V, k, base=enc_a.n_vertices)
 
-    n_mult = m0**k
+    n_mult = scheme.t0**k
     mult_base = enc_b.n_vertices
     mult_ids = np.arange(mult_base, mult_base + n_mult, dtype=np.int64)
 
     # Dec_k C: its level-0 vertices *are* the multiplication vertices, so we
-    # shift its internal ids by mult_base (level 0 occupies [0, m0^k) there).
+    # shift its internal ids by mult_base (level 0 occupies [0, t0^k) there).
     dsrc, ddst, doff, dsizes = _dec_edges(scheme, k)
     dec_total = int(dsizes.sum())
     dec_kinds = np.full(dec_total, VertexKind.ADD, dtype=np.int8)
@@ -425,27 +427,27 @@ def recursion_tree_partition(scheme: BilinearScheme | str, k: int) -> list[np.nd
     ``l_{k+1}`` of ``Dec_k C`` and whose depth-``i`` nodes correspond to the
     largest levels of the sub-``Dec`` graphs after peeling ``i`` levels.
     Returns a list of tree levels ``t_1 .. t_{k+1}`` (bottom-up like the
-    paper): element ``i`` is an array of shape ``(c₀^(k+1−i), m₀^(i−1))``
+    paper): element ``i`` is an array of shape ``(c₀^(k+1−i), t₀^(i−1))``
     whose row ``u`` holds the ``Dec_k C`` vertex ids of ``V_u``.
 
-    Together the ``V_u`` partition ``V(Dec_k C)``, ``|V_u| = m₀^(i−1)`` for
+    Together the ``V_u`` partition ``V(Dec_k C)``, ``|V_u| = t₀^(i−1)`` for
     ``u ∈ t_i``, and each internal node has ``c₀`` children — every claim is
     exercised by the tests and by Fact 4.9's leaf statement.
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    c0 = scheme.n0 * scheme.n0
-    m0 = scheme.m0
+    c0 = scheme.c_blocks
+    t0 = scheme.t0
     sizes = dec_level_sizes(scheme, k)
     off = np.concatenate([[0], np.cumsum(sizes)])[:-1]
     levels_out: list[np.ndarray] = []
     # Tree level t_i (i = 1 bottom) collects, for each suffix s ∈ [c0^(k-i+1)],
     # the graph level t = k-i+1 vertices sharing that suffix: ids
-    # off[t] + rho * c0^t + s for rho ∈ [m0^(k-t)] — |V_u| = m0^(i-1).
+    # off[t] + rho * c0^t + s for rho ∈ [t0^(k-t)] — |V_u| = t0^(i-1).
     for i in range(1, k + 2):
         t = k - i + 1
         n_suffix = c0**t
-        n_rho = m0 ** (k - t)
+        n_rho = t0 ** (k - t)
         S = np.arange(n_suffix, dtype=np.int64)[:, None]
         R = np.arange(n_rho, dtype=np.int64)[None, :]
         ids = off[t] + R * n_suffix + S

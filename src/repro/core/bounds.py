@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 __all__ = [
     "LG7",
+    "rect_omega0",
+    "rect_sequential_io_bound",
     "sequential_io_bound",
     "sequential_io_upper",
     "parallel_io_bound",
@@ -36,6 +38,45 @@ __all__ = [
 
 #: lg 7 — Strassen's exponent, the paper's headline ω₀.
 LG7 = math.log2(7.0)
+
+
+def rect_omega0(m0: int, n0: int, p0: int, t0: int) -> float:
+    """The rectangular exponent ``ω₀ = 3·log_{m₀n₀p₀} t₀``.
+
+    For a recursive ⟨m₀,n₀,p₀; t₀⟩ algorithm (Ballard–Demmel–Holtz–
+    Lipshitz–Schwartz, arXiv:1209.2184) the multiplication count after k
+    levels is ``t₀^k = ((m₀n₀p₀)^{k/3})^{ω₀}`` — the geometric-mean
+    dimension raised to ω₀, reducing to ``log_{n₀} t₀`` in the square case.
+    The degenerate ⟨1,1,1;1⟩ shape is assigned 3 by convention.
+    """
+    volume = m0 * n0 * p0
+    if volume < 1 or t0 < 1:
+        raise ValueError("scheme dimensions and rank must be >= 1")
+    if volume == 1 or t0 == volume:
+        return 3.0  # classical rank: exactly 3, no float slop
+    return 3.0 * math.log(t0) / math.log(volume)
+
+
+def rect_sequential_io_bound(m: float, n: float, p: float, M: float, omega0: float = LG7) -> float:
+    """Rectangular Theorem 1.3: ``IO = Ω(((mnp)^{1/3}/√M)^ω₀ · M)``.
+
+    The expansion argument on the rectangular ``Dec_k C`` gives the same
+    form as the square bound with the matrix dimension replaced by the
+    geometric mean ``(mnp)^{1/3}`` — for ``m = m₀^k`` etc. the numerator is
+    exactly ``t₀^k``, the count of scalar multiplications.  Below the
+    memory-bound regime the trivial bound (read both inputs, write the
+    output once) applies; we return the max so sweeps behave sanely.
+    """
+    if m < 1 or n < 1 or p < 1:
+        raise ValueError("matrix dimensions must be >= 1")
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    if not (2.0 <= omega0 <= 3.0):
+        raise ValueError("omega0 must lie in [2, 3]")
+    n_eff = (m * n * p) ** (1.0 / 3.0)
+    expansion_term = (n_eff / math.sqrt(M)) ** omega0 * M
+    trivial = m * n + n * p + m * p
+    return max(expansion_term, trivial)
 
 
 def sequential_io_bound(n: float, M: float, omega0: float = LG7) -> float:
@@ -51,10 +92,10 @@ def sequential_io_bound(n: float, M: float, omega0: float = LG7) -> float:
     return max(expansion_term, trivial)
 
 
-def sequential_io_upper(n: float, M: float, omega0: float = LG7, n0: int = 2, m0: int = 7) -> float:
+def sequential_io_upper(n: float, M: float, omega0: float = LG7, n0: int = 2, t0: int = 7) -> float:
     """Eq. (1)'s recurrence solved with explicit constants.
 
-    ``IO(n) ≤ m₀·IO(n/n₀) + c·n²``, cut off when ``3·(n')² ≤ M``:  the
+    ``IO(n) ≤ t₀·IO(n/n₀) + c·n²``, cut off when ``3·(n')² ≤ M``:  the
     depth-first implementation reads two blocks and writes one at the base,
     and streams the additions above it.  Returns the closed-form value
     (used as the analytic reference curve next to *measured* DF I/O).
@@ -68,10 +109,10 @@ def sequential_io_upper(n: float, M: float, omega0: float = LG7, n0: int = 2, m0
     while 3 * size * size > M and size > n0:
         size /= n0
         t += 1
-    # additions cost: sum_{j<t} m0^j * c * (n/n0^j)^2, with c = the number of
+    # additions cost: sum_{j<t} t0^j * c * (n/n0^j)^2, with c = the number of
     # block reads/writes per level ~ (#linear forms)·3; keep c = 1 shape-wise.
-    add_cost = sum(m0**j * (n / n0**j) ** 2 for j in range(t))
-    base_cost = m0**t * 3.0 * size * size
+    add_cost = sum(t0**j * (n / n0**j) ** 2 for j in range(t))
+    base_cost = t0**t * 3.0 * size * size
     return add_cost + base_cost
 
 

@@ -251,20 +251,22 @@ def decode_cone_mask(scheme: BilinearScheme | str, k: int, branch: int = 0, dept
     ``S`` = all vertices whose pending product prefix starts with outermost
     digit ``branch`` — i.e. everything computed *exclusively* from the
     products of subproblem ``M_branch`` of the top-level recursion, before
-    the final combine.  ``|S| = (m₀^k − c₀^k)/(m₀ − c₀) ≈ |V|·(m₀−c₀)/ (m₀·?)``
-    and its out-boundary is only the ``(nnz of W column branch) · c₀^(k−1)``
-    edges that feed the top-level combine — the witness that Lemma 4.3 is
-    tight: ``h(Dec_k C) = O((c₀/m₀)^k)``.
+    the final combine.  Its out-boundary is only the
+    ``(nnz of W column branch) · c₀^(k−1)`` edges that feed the top-level
+    combine — the witness that Lemma 4.3 is tight:
+    ``h(Dec_k C) = O((c₀/t₀)^k)``.  Branches index the scheme's ``t₀``
+    products (7 for Strassen), and ``c₀ = m₀·p₀`` counts the output blocks,
+    so rectangular schemes get their cones from the same arithmetic.
 
     ``depth`` (default ``k``) restricts the cone to its first ``depth``
     levels, producing the smaller witnesses used for ``h_s`` studies.
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    c0 = scheme.n0 * scheme.n0
-    m0 = scheme.m0
-    if not (0 <= branch < m0):
-        raise ValueError(f"branch must be in [0, {m0})")
+    c0 = scheme.c_blocks
+    t0 = scheme.t0
+    if not (0 <= branch < t0):
+        raise ValueError(f"branch must be in [0, {t0})")
     if depth is None:
         depth = k
     if not (1 <= depth <= k):
@@ -272,12 +274,12 @@ def decode_cone_mask(scheme: BilinearScheme | str, k: int, branch: int = 0, dept
     sizes = dec_level_sizes(scheme, k)
     off = np.concatenate([[0], np.cumsum(sizes)])[:-1]
     mask = np.zeros(int(sizes.sum()), dtype=bool)
-    # Level t vertices: id = off[t] + rho * c0^t + s, rho in [m0^(k-t)].
+    # Level t vertices: id = off[t] + rho * c0^t + s, rho in [t0^(k-t)].
     # The outermost product digit is the most significant digit of rho, so
-    # the cone at level t is rho in [branch * m0^(k-t-1), (branch+1) * ...).
+    # the cone at level t is rho in [branch * t0^(k-t-1), (branch+1) * ...).
     for t in range(0, depth):
         n_suffix = c0**t
-        stride = m0 ** (k - t - 1)
+        stride = t0 ** (k - t - 1)
         lo = off[t] + branch * stride * n_suffix
         hi = off[t] + (branch + 1) * stride * n_suffix
         mask[lo:hi] = True
@@ -295,7 +297,7 @@ def decode_cone_upper_bound(g: CDAG, scheme: BilinearScheme | str, k: int) -> tu
     best_ratio = math.inf
     best_mask: np.ndarray | None = None
     half = g.n_vertices // 2
-    for branch in range(scheme.m0):
+    for branch in range(scheme.t0):
         mask = decode_cone_mask(scheme, k, branch)
         if not (1 <= mask.sum() <= half):
             continue

@@ -56,7 +56,7 @@ def check_claim_4_7(scheme: BilinearScheme | str, k: int, mask: np.ndarray) -> d
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    c0 = scheme.n0 * scheme.n0
+    c0 = scheme.c_blocks
     g = dec_graph(scheme, k)
     mask = np.asarray(mask, dtype=bool)
     fr = _level_fractions(g, mask)
@@ -90,7 +90,7 @@ def check_claim_4_10(scheme: BilinearScheme | str, k: int, mask: np.ndarray) -> 
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    c0 = scheme.n0 * scheme.n0
+    c0 = scheme.c_blocks
     g = dec_graph(scheme, k)
     mask = np.asarray(mask, dtype=bool)
     tree = recursion_tree_partition(scheme, k)

@@ -51,7 +51,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every existing cache entry (stored-format changes).
-CACHE_VERSION = 1
+#: v2: rectangular ⟨m₀,n₀,p₀;t₀⟩ schemes — the fingerprint now covers the
+#: full shape, so square-era entries must not be shared.
+CACHE_VERSION = 2
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -77,11 +79,14 @@ class CacheStats:
 def scheme_fingerprint(scheme: BilinearScheme) -> str:
     """Short content hash of a scheme's actual coefficients.
 
-    Two schemes with identical (n₀, U, V, W) share every cached artifact even
-    under different registry names; editing a coefficient invalidates them.
+    Two schemes with identical (m₀, n₀, p₀, U, V, W) share every cached
+    artifact even under different registry names; editing a coefficient or
+    reshaping invalidates them.
     """
     h = hashlib.sha256()
-    h.update(f"n0={scheme.n0}|m0={scheme.m0}".encode())
+    h.update(
+        f"m0={scheme.m0}|n0={scheme.n0}|p0={scheme.p0}|t0={scheme.t0}".encode()
+    )
     for mat in (scheme.U, scheme.V, scheme.W):
         h.update(np.ascontiguousarray(mat, dtype=np.float64).tobytes())
     return h.hexdigest()[:16]

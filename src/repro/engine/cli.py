@@ -24,6 +24,7 @@ __all__ = ["main", "build_parser"]
 
 _SWEEP_COLUMNS = [
     "scheme",
+    "shape",
     "k",
     "M",
     "V",
@@ -61,7 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a (scheme x k x M x policy) grid through the cache"
     )
     sweep.add_argument(
-        "--schemes", nargs="+", default=["strassen", "winograd"], metavar="NAME"
+        "--schemes",
+        nargs="+",
+        default=["strassen", "winograd"],
+        metavar="NAME",
+        help=(
+            "registry names, including rectangular entries (strassen122, "
+            "classical122, ...) and dynamic classical<m>x<n>x<p> shapes"
+        ),
     )
     sweep.add_argument("--k-min", type=int, default=1)
     sweep.add_argument("--k-max", type=int, default=5)
@@ -134,24 +142,26 @@ def _cmd_sweep(args: argparse.Namespace, cache: EngineCache, out) -> int:
 
 
 def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out) -> int:
+    import math
+
     est = cached_estimate(args.scheme, args.k, policy=args.policy, cache=cache)
-    print(
-        json.dumps(
-            {
-                "scheme": args.scheme,
-                "k": args.k,
-                "policy": args.policy,
-                "lower": est.lower,
-                "upper": est.upper,
-                "witness_size": est.witness_size,
-                "witness_boundary": est.witness_boundary,
-                "degree": est.degree,
-                "method": est.method,
-            },
-            indent=2,
-        ),
-        file=out,
-    )
+    # Strict-JSON invariant (same as the sweep report): NaN → null.
+    payload = {
+        "scheme": args.scheme,
+        "k": args.k,
+        "policy": args.policy,
+        "lower": est.lower,
+        "upper": est.upper,
+        "witness_size": est.witness_size,
+        "witness_boundary": est.witness_boundary,
+        "degree": est.degree,
+        "method": est.method,
+    }
+    payload = {
+        k: (None if isinstance(v, float) and not math.isfinite(v) else v)
+        for k, v in payload.items()
+    }
+    print(json.dumps(payload, indent=2, allow_nan=False), file=out)
     return 0
 
 
@@ -172,8 +182,11 @@ def _cmd_schemes(out) -> int:
         rows.append(
             {
                 "scheme": name,
-                "n0": s.n0,
                 "m0": s.m0,
+                "n0": s.n0,
+                "p0": s.p0,
+                "t0": s.t0,
+                "square": s.is_square,
                 "omega0": s.omega0,
                 "flat_additions": s.n_additions,
             }

@@ -23,8 +23,8 @@ import time
 from dataclasses import dataclass
 
 from repro.cdag.schemes import get_scheme
-from repro.core.bounds import sequential_io_bound
-from repro.algorithms.io_strassen import dfs_io_model
+from repro.core.bounds import rect_sequential_io_bound, sequential_io_bound
+from repro.algorithms.io_strassen import dfs_io_model, rect_dfs_io_model
 from repro.engine.builders import cached_dec_graph, cached_estimate
 from repro.engine.cache import CacheStats, EngineCache, default_cache
 
@@ -127,16 +127,19 @@ class GridReport:
 def evaluate_point(point: GridPoint, cache: EngineCache | None = None) -> dict:
     """One grid row: graph stats, expansion sandwich, and I/O vs bound.
 
-    ``n = n₀^k`` is the matrix dimension whose Strassen-like recursion tree
-    has depth exactly ``k`` — the natural pairing of a memory size with the
-    ``Dec_k C`` analysis.
+    The problem shape is ``(m₀^k, n₀^k, p₀^k)`` — the matrices whose
+    recursion tree has depth exactly ``k``, the natural pairing of a memory
+    size with the ``Dec_k C`` analysis.  For square schemes ``n = n₀^k`` and
+    the paper's Theorem 1.1/1.3 bound applies verbatim; rectangular schemes
+    use the geometric-mean form of the bound and the rectangular depth-first
+    I/O model.
     """
     cache = cache if cache is not None else default_cache()
     s = get_scheme(point.scheme)
     g = cached_dec_graph(s, point.k, cache=cache)
     est = cached_estimate(s, point.k, policy=point.policy, cache=cache)
-    n = s.n0**point.k
-    ratio = (s.n0 * s.n0) / s.m0
+    m_dim, n_dim, p_dim = (s.m0**point.k, s.n0**point.k, s.p0**point.k)
+    ratio = s.c_blocks / s.t0
     row = {
         "scheme": point.scheme,
         "k": point.k,
@@ -147,14 +150,22 @@ def evaluate_point(point: GridPoint, cache: EngineCache | None = None) -> dict:
         "max_degree": g.max_degree,
         "h_lower": est.lower,
         "h_upper": est.upper,
-        "h_upper/(c0/m0)^k": est.upper / ratio**point.k,
+        "h_upper/(c0/t0)^k": est.upper / ratio**point.k,
         "witness_size": est.witness_size,
         "method": est.method,
-        "n": n,
-        "io_lower_bound": sequential_io_bound(n, point.M, s.omega0),
+        "shape": f"{m_dim}x{n_dim}x{p_dim}",
+        "n": n_dim,
+        "io_lower_bound": (
+            sequential_io_bound(n_dim, point.M, s.omega0)
+            if s.is_square
+            else rect_sequential_io_bound(m_dim, n_dim, p_dim, point.M, s.omega0)
+        ),
     }
     if point.M >= 3:  # dfs recursion can always cut to 1x1 blocks
-        words = dfs_io_model(n, point.M, s).words
+        if s.is_square:
+            words = dfs_io_model(n_dim, point.M, s).words
+        else:
+            words = rect_dfs_io_model(m_dim, n_dim, p_dim, point.M, s).words
         row["measured_words"] = words
         row["measured/lower"] = words / row["io_lower_bound"]
     else:

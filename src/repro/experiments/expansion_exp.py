@@ -1,4 +1,4 @@
-"""E3 — the Main Lemma experiment: ``h(Dec_k C) = Θ((c₀/m₀)^k)`` (Lemma 4.3).
+"""E3 — the Main Lemma experiment: ``h(Dec_k C) = Θ((c₀/t₀)^k)`` (Lemma 4.3).
 
 For each depth k we sandwich the edge expansion between the certified
 spectral lower bound and the best constructive cut (Fiedler sweep / decode
@@ -35,7 +35,7 @@ def expansion_decay(
     the decay fit uses throughout.  ``cache`` overrides the process default.
     """
     s = get_scheme(scheme)
-    ratio = (s.n0 * s.n0) / s.m0
+    ratio = s.c_blocks / s.t0
     rows = []
     ks, uppers = [], []
     for k in range(1, k_max + 1):
@@ -53,8 +53,8 @@ def expansion_decay(
                 "V": g.n_vertices,
                 "lower": est.lower,
                 "upper": est.upper,
-                "(c0/m0)^k": ratio**k,
-                "upper/(c0/m0)^k": est.upper / ratio**k,
+                "(c0/t0)^k": ratio**k,
+                "upper/(c0/t0)^k": est.upper / ratio**k,
                 "method": est.method,
                 "witness_size": est.witness_size,
             }
@@ -80,8 +80,8 @@ def small_set_profile(
 ) -> dict:
     """h_s behaviour: decode cones of increasing depth inside one Dec_k C.
 
-    Depth-j cones are the size-Θ(m₀^j) witnesses whose expansion ≈
-    (c₀/m₀)^j — the small-set structure Corollary 4.4 exploits.  The whole
+    Depth-j cones are the size-Θ(t₀^j) witnesses whose expansion ≈
+    (c₀/t₀)^j — the small-set structure Corollary 4.4 exploits.  The whole
     profile is a deterministic artifact of (scheme, k), so it is cached like
     the graphs and spectra it derives from.
     """
@@ -89,7 +89,7 @@ def small_set_profile(
     from repro.engine.cache import cache_key, default_cache
 
     s = get_scheme(scheme)
-    ratio = (s.n0 * s.n0) / s.m0
+    ratio = s.c_blocks / s.t0
     cache = cache if cache is not None else default_cache()
     key = cache_key("small_set_profile", s, k=k)
     result = cache.get_object(key)
@@ -103,7 +103,7 @@ def small_set_profile(
                 "cone_depth": int(depth),
                 "set_size": int(size),
                 "h_of_cut": float(h),
-                "(c0/m0)^depth": ratio ** int(depth),
+                "(c0/t0)^depth": ratio ** int(depth),
                 "ratio": float(h) / ratio ** int(depth),
             }
             for depth, size, h in zip(data["depths"], data["sizes"], data["hs"])
@@ -126,7 +126,7 @@ def small_set_profile(
                     "cone_depth": depth,
                     "set_size": size,
                     "h_of_cut": h,
-                    "(c0/m0)^depth": ratio**depth,
+                    "(c0/t0)^depth": ratio**depth,
                     "ratio": h / ratio**depth,
                 }
             )

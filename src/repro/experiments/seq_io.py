@@ -32,7 +32,7 @@ def n_sweep(scheme: str = "strassen", M: int = 192, t_range=range(4, 10), simula
         runner = dfs_io if n <= simulate_upto else dfs_io_model
         rep = runner(n, M, s)
         bound = sequential_io_bound(n, M, s.omega0)
-        upper = sequential_io_upper(n, M, s.omega0, s.n0, s.m0)
+        upper = sequential_io_upper(n, M, s.omega0, s.n0, s.t0)
         rows.append(
             {
                 "n": n,
@@ -98,7 +98,7 @@ def omega_sweep(M: int = 192, depth: int = 9) -> dict:
             {
                 "scheme": name,
                 "n0": s.n0,
-                "m0": s.m0,
+                "t0": s.t0,
                 "omega0": s.omega0,
                 "fit_exponent": e,
                 "error": abs(e - s.omega0),

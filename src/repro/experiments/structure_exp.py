@@ -44,7 +44,7 @@ def figure3_tree_report(
 ) -> dict:
     """Figure 3's recursion tree T_k: level-by-level structure checks."""
     s = get_scheme(scheme)
-    c0, m0 = s.n0 * s.n0, s.m0
+    c0, t0 = s.c_blocks, s.t0
     tree = recursion_tree_partition(s, k)
     g = cached_dec_graph(s, k, cache=cache)
     rows = []
@@ -57,7 +57,7 @@ def figure3_tree_report(
                 "n_nodes": n_nodes,
                 "expected_nodes": c0 ** (k - i + 1),
                 "|V_u|": node_size,
-                "expected_size": m0 ** (i - 1),
+                "expected_size": t0 ** (i - 1),
             }
         )
         total += level.size

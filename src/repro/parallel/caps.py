@@ -43,59 +43,78 @@ from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.machine.distributed import Machine, Message
 from repro.parallel.cannon import ParallelResult
 
-__all__ = ["caps_multiply", "quadtree_permutation", "validate_caps_geometry"]
+__all__ = [
+    "caps_multiply",
+    "block_permutation",
+    "quadtree_permutation",
+    "validate_caps_geometry",
+]
 
 
-def quadtree_permutation(n: int, depth: int) -> np.ndarray:
+def block_permutation(n: int, depth: int, n0: int = 2) -> np.ndarray:
     """π with ``flat[t] = M.ravel()[π[t]]``: block-recursive flattening.
 
-    ``depth`` levels of quadrant splitting; leaf cells of size
-    ``(n/2^depth)²`` are stored row-major.
+    ``depth`` levels of n₀×n₀ block splitting; leaf cells of size
+    ``(n/n₀^depth)²`` are stored row-major.  ``n0=2`` is the classic
+    quadtree order of CAPS; any square scheme's n₀ gives the analogous
+    layout for its own recursion.
     """
-    if n % (1 << depth) != 0:
-        raise ValueError(f"n={n} not divisible by 2^{depth}")
+    if n % (n0**depth) != 0:
+        raise ValueError(f"n={n} not divisible by {n0}^{depth}")
     idx = np.arange(n * n, dtype=np.int64).reshape(n, n)
 
     def rec(block: np.ndarray, d: int) -> np.ndarray:
         if d == 0:
             return block.ravel()
-        h = block.shape[0] // 2
+        h = block.shape[0] // n0
         return np.concatenate(
             [
-                rec(block[:h, :h], d - 1),
-                rec(block[:h, h:], d - 1),
-                rec(block[h:, :h], d - 1),
-                rec(block[h:, h:], d - 1),
+                rec(block[i * h : (i + 1) * h, j * h : (j + 1) * h], d - 1)
+                for i in range(n0)
+                for j in range(n0)
             ]
         )
 
     return rec(idx, depth)
 
 
-def validate_caps_geometry(n: int, p: int, schedule: str) -> None:
-    """Check the divisibility the cyclic-over-quadtree layout needs.
+def quadtree_permutation(n: int, depth: int) -> np.ndarray:
+    """The n₀ = 2 (quadtree) special case of :func:`block_permutation`."""
+    return block_permutation(n, depth, 2)
+
+
+def validate_caps_geometry(
+    n: int, p: int, schedule: str, scheme: BilinearScheme | str = "strassen"
+) -> None:
+    """Check the divisibility the cyclic-over-block-tree layout needs.
 
     At each step the current group of g processors must satisfy
-    ``g | (s/2)²`` (quadrant chunks align), and the final leaf must be a
-    whole matrix on one processor.
+    ``g | (s/n₀)²`` (block chunks align), and the final leaf must be a
+    whole matrix on one processor.  The scheme supplies n₀ (block split)
+    and t₀ (BFS fan-out); Strassen's 2 and 7 are the defaults.
     """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    n0, t0 = scheme.n0, scheme.t0
     ell = schedule.count("B")
-    if 7**ell != p:
-        raise ValueError(f"schedule {schedule!r} has {ell} BFS steps; needs 7^{ell} == p={p}")
+    if t0**ell != p:
+        raise ValueError(
+            f"schedule {schedule!r} has {ell} BFS steps; needs {t0}^{ell} == p={p}"
+        )
     g = p
     s = n
     for i, step in enumerate(schedule):
-        if s % 2 != 0:
-            raise ValueError(f"step {i}: size {s} not divisible by 2")
-        quarter = (s // 2) * (s // 2)
-        if quarter % g != 0:
+        if s % n0 != 0:
+            raise ValueError(f"step {i}: size {s} not divisible by {n0}")
+        block = (s // n0) * (s // n0)
+        if block % g != 0:
             raise ValueError(
-                f"step {i}: group size {g} does not divide (s/2)²={quarter} "
-                f"(choose n as a multiple of 2^depth · 7^⌈ℓ/2⌉)"
+                f"step {i}: group size {g} does not divide (s/{n0})²={block} "
+                f"(choose n as a multiple of {n0}^depth · {t0}^⌈ℓ/2⌉)"
             )
-        s //= 2
+        s //= n0
         if step == "B":
-            g //= 7
+            g //= t0
         elif step != "D":
             raise ValueError(f"schedule may contain only 'B'/'D', got {step!r}")
     if g != 1:
@@ -110,29 +129,33 @@ def caps_multiply(
     memory_limit: int | None = None,
     scheme: BilinearScheme | str = "strassen",
 ) -> ParallelResult:
-    """Run CAPS on ``p = m₀^ℓ`` simulated processors.
+    """Run CAPS on ``p = t₀^ℓ`` simulated processors.
 
     ``schedule`` defaults to all-BFS (``"B"·ℓ`` — unlimited-memory CAPS);
     any interleaving with exactly ℓ B's is accepted, e.g. ``"DDBB"`` for a
-    memory-constrained run.  The scheme defaults to Strassen; any 2×2
-    scheme works (Winograd gives the practical variant).
+    memory-constrained run.  The scheme defaults to Strassen; any *square*
+    scheme works (Winograd gives the practical variant; classical2 gives a
+    cubic baseline on the same layout) — the recursion step, group fan-out,
+    and block tree are all driven by the scheme's (n₀, t₀).
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    if scheme.n0 != 2:
-        raise ValueError("CAPS layout implemented for 2x2 schemes (n0=2)")
-    m0 = scheme.m0
-    p = m0**ell
+    if not scheme.is_square:
+        raise ValueError(
+            "the cyclic-over-block-tree CAPS layout needs a square scheme; "
+            f"{scheme.name!r} has shape {scheme.shape}"
+        )
+    p = scheme.t0**ell
     if schedule is None:
         schedule = "B" * ell
     n = A.shape[0]
     if A.shape != B.shape or A.shape != (n, n):
         raise ValueError("A and B must be equal square matrices")
-    validate_caps_geometry(n, p, schedule)
+    validate_caps_geometry(n, p, schedule, scheme)
     depth = len(schedule)
 
     m = Machine(p, memory_limit=memory_limit)
-    perm = quadtree_permutation(n, depth)
+    perm = block_permutation(n, depth, scheme.n0)
     a_flat = A.ravel()[perm]
     b_flat = B.ravel()[perm]
     for r in range(p):
@@ -179,23 +202,25 @@ def _caps(m, group, key_a, key_b, key_c, s, schedule, si, scheme) -> None:
         m.flop(rank, 2 * s * s * s - s * s)
         m.put(rank, key_c, c.ravel())
         return
-    m0 = scheme.m0
-    seg = (s // 2) * (s // 2) // g        # per-rank words of one quadrant
+    t0 = scheme.t0
+    n0 = scheme.n0
+    c0 = scheme.c_blocks                  # blocks per matrix (n0² square)
+    seg = (s // n0) * (s // n0) // g      # per-rank words of one block
     step = schedule[si]
 
     if step == "D":
-        # All processors walk the m0 subproblems together; zero communication.
+        # All processors walk the t0 subproblems together; zero communication.
         q_keys = []
-        for r in range(m0):
+        for r in range(t0):
             ka, kb, kq = f"{key_a}.s{r}", f"{key_b}.t{r}", f"{key_c}.q{r}"
             for rank in group:
                 a_chunk = m.get(rank, key_a)
                 b_chunk = m.get(rank, key_b)
-                a_segs = [a_chunk[q * seg : (q + 1) * seg] for q in range(4)]
-                b_segs = [b_chunk[q * seg : (q + 1) * seg] for q in range(4)]
+                a_segs = [a_chunk[q * seg : (q + 1) * seg] for q in range(c0)]
+                b_segs = [b_chunk[q * seg : (q + 1) * seg] for q in range(c0)]
                 m.put(rank, ka, _lin_combo(m, rank, scheme.U[r], a_segs))
                 m.put(rank, kb, _lin_combo(m, rank, scheme.V[r], b_segs))
-            _caps(m, group, ka, kb, kq, s // 2, schedule, si + 1, scheme)
+            _caps(m, group, ka, kb, kq, s // n0, schedule, si + 1, scheme)
             for rank in group:
                 m.delete(rank, ka)
                 m.delete(rank, kb)
@@ -203,7 +228,7 @@ def _caps(m, group, key_a, key_b, key_c, s, schedule, si, scheme) -> None:
         for rank in group:
             q_chunks = [m.get(rank, kq) for kq in q_keys]
             out = np.concatenate(
-                [_lin_combo(m, rank, scheme.W[q], q_chunks) for q in range(4)]
+                [_lin_combo(m, rank, scheme.W[q], q_chunks) for q in range(c0)]
             )
             m.put(rank, key_c, out)
         for rank in group:
@@ -212,81 +237,81 @@ def _caps(m, group, key_a, key_b, key_c, s, schedule, si, scheme) -> None:
         return
 
     # --- BFS step -------------------------------------------------------
-    g7 = g // m0
-    subgroups = [group[r * g7 : (r + 1) * g7] for r in range(m0)]
+    gsub = g // t0
+    subgroups = [group[r * gsub : (r + 1) * gsub] for r in range(t0)]
 
     # 1. Local encode: all S_r, T_r chunks.
     for rank in group:
         a_chunk = m.get(rank, key_a)
         b_chunk = m.get(rank, key_b)
-        a_segs = [a_chunk[q * seg : (q + 1) * seg] for q in range(4)]
-        b_segs = [b_chunk[q * seg : (q + 1) * seg] for q in range(4)]
-        for r in range(m0):
+        a_segs = [a_chunk[q * seg : (q + 1) * seg] for q in range(c0)]
+        b_segs = [b_chunk[q * seg : (q + 1) * seg] for q in range(c0)]
+        for r in range(t0):
             m.put(rank, f"__S{r}", _lin_combo(m, rank, scheme.U[r], a_segs))
             m.put(rank, f"__T{r}", _lin_combo(m, rank, scheme.V[r], b_segs))
 
-    # 2. Redistribute: S_r/T_r go from cyclic-mod-g to cyclic-mod-g7 on
+    # 2. Redistribute: S_r/T_r go from cyclic-mod-g to cyclic-mod-gsub on
     #    subgroup r.  Each source chunk lands on exactly one target.
     msgs = []
     for a_idx, rank in enumerate(group):
-        tgt_pos = a_idx % g7
-        for r in range(m0):
-            src_lane = a_idx // g7      # which of the 7 interleaved lanes
+        tgt_pos = a_idx % gsub
+        for r in range(t0):
+            src_lane = a_idx // gsub    # which of the t0 interleaved lanes
             tgt = subgroups[r][tgt_pos]
             msgs.append(Message(rank, tgt, f"__Sin{r}.{src_lane}", m.get(rank, f"__S{r}")))
             msgs.append(Message(rank, tgt, f"__Tin{r}.{src_lane}", m.get(rank, f"__T{r}")))
     m.exchange(msgs, label=f"caps-bfs-fwd@{si}")
     for rank in group:
-        for r in range(m0):
+        for r in range(t0):
             m.delete(rank, f"__S{r}")
             m.delete(rank, f"__T{r}")
 
     # 3. Assemble subproblem inputs on each subgroup: element t of S_r sat
-    #    at parent position t mod g = b + lane·g7, so the child's chunk
-    #    (length (s/2)²/g7 = m0·seg) interleaves the m0 received lanes.
-    for r in range(m0):
+    #    at parent position t mod g = b + lane·gsub, so the child's chunk
+    #    (length (s/n0)²/gsub = t0·seg) interleaves the t0 received lanes.
+    for r in range(t0):
         for b_idx, rank in enumerate(subgroups[r]):
-            out_s = np.empty(m0 * seg)
-            out_t = np.empty(m0 * seg)
-            for lane in range(m0):
-                out_s[lane::m0] = m.pop(rank, f"__Sin{r}.{lane}")
-                out_t[lane::m0] = m.pop(rank, f"__Tin{r}.{lane}")
+            out_s = np.empty(t0 * seg)
+            out_t = np.empty(t0 * seg)
+            for lane in range(t0):
+                out_s[lane::t0] = m.pop(rank, f"__Sin{r}.{lane}")
+                out_t[lane::t0] = m.pop(rank, f"__Tin{r}.{lane}")
             m.put(rank, f"{key_a}.s{r}", out_s)
             m.put(rank, f"{key_b}.t{r}", out_t)
 
     # 4. Recurse on all subgroups *in parallel*.
     with m.parallel() as par:
-        for r in range(m0):
+        for r in range(t0):
             with par.branch():
                 _caps(
                     m, subgroups[r], f"{key_a}.s{r}", f"{key_b}.t{r}",
-                    f"{key_c}.q{r}", s // 2, schedule, si + 1, scheme,
+                    f"{key_c}.q{r}", s // n0, schedule, si + 1, scheme,
                 )
-    for r in range(m0):
+    for r in range(t0):
         for rank in subgroups[r]:
             m.delete(rank, f"{key_a}.s{r}")
             m.delete(rank, f"{key_b}.t{r}")
 
     # 5. Inverse redistribution: parent position a needs Q_r elements
-    #    t ≡ a (mod g): the slice [w::7] of child (a mod g7)'s chunk,
-    #    where w = a // g7.
+    #    t ≡ a (mod g): the slice [w::t0] of child (a mod gsub)'s chunk,
+    #    where w = a // gsub.
     msgs = []
-    for r in range(m0):
+    for r in range(t0):
         for b_idx, rank in enumerate(subgroups[r]):
             q_chunk = m.get(rank, f"{key_c}.q{r}")
-            for lane in range(m0):
-                parent = group[lane * g7 + b_idx]
-                msgs.append(Message(rank, parent, f"__Qin{r}", q_chunk[lane::m0]))
+            for lane in range(t0):
+                parent = group[lane * gsub + b_idx]
+                msgs.append(Message(rank, parent, f"__Qin{r}", q_chunk[lane::t0]))
     m.exchange(msgs, label=f"caps-bfs-bwd@{si}")
-    for r in range(m0):
+    for r in range(t0):
         for rank in subgroups[r]:
             m.delete(rank, f"{key_c}.q{r}")
 
     # 6. Local decode into C chunks (each parent got exactly one __Qin{r}
-    #    message per subproblem, from child position a mod g7 of group r).
+    #    message per subproblem, from child position a mod gsub of group r).
     for a_idx, rank in enumerate(group):
-        q_chunks = [m.pop(rank, f"__Qin{r}") for r in range(m0)]
+        q_chunks = [m.pop(rank, f"__Qin{r}") for r in range(t0)]
         out = np.concatenate(
-            [_lin_combo(m, rank, scheme.W[q], q_chunks) for q in range(4)]
+            [_lin_combo(m, rank, scheme.W[q], q_chunks) for q in range(c0)]
         )
         m.put(rank, key_c, out)

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.algorithms.io_classical import blocked_io, naive_io, recursive_io
-from repro.algorithms.io_strassen import canonical_base_size, dfs_io, dfs_io_model
+from repro.algorithms.io_strassen import (
+    canonical_base_size,
+    dfs_io,
+    dfs_io_model,
+    rect_dfs_io_model,
+)
 from repro.algorithms.strassen import bilinear_multiply, count_flops, strassen_multiply
 from repro.cdag.schemes import get_scheme
 from repro.util.matgen import hilbert_like, integer_matrix, random_matrix
@@ -27,10 +32,13 @@ class TestInCoreNumerics:
         assert np.array_equal(strassen_multiply(A, B, cutoff=4, variant=variant), A @ B)
 
     def test_all_schemes_multiply_correctly(self, any_scheme):
-        n = any_scheme.n0 ** 2 * 2
-        A = integer_matrix(n, seed=3)
-        B = integer_matrix(n, seed=4)
-        C = bilinear_multiply(A, B, any_scheme, cutoff=any_scheme.n0)
+        # two recursion levels of the scheme's own (possibly rectangular) shape
+        s = any_scheme
+        m, n, p = s.m0**2 * 2, s.n0**2 * 2, s.p0**2 * 2
+        rng = np.random.default_rng(34)
+        A = rng.integers(-4, 5, (m, n)).astype(float)
+        B = rng.integers(-4, 5, (n, p)).astype(float)
+        C = bilinear_multiply(A, B, s, cutoff=max(s.m0, s.n0, s.p0))
         assert np.array_equal(C, A @ B)
 
     def test_float_accuracy_reasonable(self):
@@ -118,7 +126,7 @@ class TestDfsIO:
         assert rep.n_base_multiplies == 49  # two recursion levels: 7^2
 
     def test_recurrence_structure(self):
-        # IO(n) = m0 IO(n/2) + streams: check the exact recurrence
+        # IO(n) = t0 IO(n/2) + streams: check the exact recurrence
         s = get_scheme("strassen")
         M = 768
         io_n = dfs_io_model(128, M, s).words
@@ -127,8 +135,8 @@ class TestDfsIO:
         u_nnz = int((s.U != 0).sum())
         v_nnz = int((s.V != 0).sum())
         w_nnz = int((s.W != 0).sum())
-        streams = (u_nnz + s.m0) + (v_nnz + s.m0) + (w_nnz + 4)
-        assert io_n == s.m0 * io_half + streams * sub_words
+        streams = (u_nnz + s.t0) + (v_nnz + s.t0) + (w_nnz + 4)
+        assert io_n == s.t0 * io_half + streams * sub_words
 
     def test_in_memory_case(self):
         # when 3n^2 <= M: just read inputs, write output
@@ -156,6 +164,63 @@ class TestDfsIO:
     def test_messages_bounded_by_words(self):
         rep = dfs_io_model(256, 768, "strassen")
         assert rep.messages <= rep.words
+
+
+class TestRectDfsIO:
+    def test_square_shapes_reproduce_square_model(self, small_scheme):
+        # the rectangular model on (n, n, n) must agree with dfs_io_model
+        # word-for-word — the two engines share one accounting
+        for n, M in ((64, 192), (128, 768), (256, 3072)):
+            sq = dfs_io_model(n, M, small_scheme)
+            rect = rect_dfs_io_model(n, n, n, M, small_scheme)
+            assert rect.words == sq.words
+            assert rect.messages == sq.messages
+            assert rect.n_base_multiplies == sq.n_base_multiplies
+
+    def test_rect_recurrence_structure(self):
+        # IO(m,n,p) = t0 IO(m/m0, n/n0, p/p0) + per-level streams
+        s = get_scheme("strassen122")
+        M = 768
+        m, n, p = 2**3, 4**3, 4**3
+        top = rect_dfs_io_model(m, n, p, M, s).words
+        sub = rect_dfs_io_model(m // 2, n // 4, p // 4, M, s).words
+        aw = (m // 2) * (n // 4)
+        bw = (n // 4) * (p // 4)
+        cw = (m // 2) * (p // 4)
+        u_nnz = int((s.U != 0).sum())
+        v_nnz = int((s.V != 0).sum())
+        w_nnz = int((s.W != 0).sum())
+        streams = (
+            (u_nnz + s.t0) * aw + (v_nnz + s.t0) * bw + (w_nnz + s.c_blocks) * cw
+        )
+        assert top == s.t0 * sub + streams
+
+    def test_rect_base_case_counts(self):
+        # blocks fit: read A and B, write C, one multiply
+        rep = rect_dfs_io_model(2, 8, 4, 1000, "strassen122")
+        assert rep.words == (2 * 8 + 8 * 4) + 2 * 4
+        assert rep.messages == 3
+        assert rep.n_base_multiplies == 1
+
+    def test_rect_indivisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            rect_dfs_io_model(3, 5, 7, 3, "strassen122")
+
+    def test_degenerate_unit_scheme_errors_instead_of_looping(self):
+        # ⟨1,1,1⟩ (mintable via the dynamic registry) cannot shrink anything:
+        # must be a clear error, not unbounded recursion / an infinite loop
+        with pytest.raises(ValueError, match="cannot shrink"):
+            rect_dfs_io_model(8, 8, 8, 3, "classical1x1x1")
+        with pytest.raises(ValueError, match="cannot recurse"):
+            dfs_io_model(8, 3, "classical1x1x1")
+        # but when the problem already fits, the degenerate scheme is fine
+        assert rect_dfs_io_model(2, 2, 2, 1000, "classical1x1x1").words == 12
+
+    def test_square_models_reject_rect_schemes(self):
+        with pytest.raises(ValueError, match="rect_dfs_io_model"):
+            dfs_io_model(64, 192, "strassen122")
+        with pytest.raises(ValueError, match="rect_dfs_io_model"):
+            dfs_io(64, 192, "classical122")
 
 
 class TestClassicalIO:

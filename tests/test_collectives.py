@@ -143,6 +143,111 @@ class TestShift:
             assert np.allclose(m.get(group[(i - 1) % g], "x"), float(i))
 
 
+def _total_words(m):
+    """Aggregate words moved over all supersteps (sender side)."""
+    return m.log.total_words
+
+
+def _total_messages(m):
+    """Aggregate point-to-point messages (each is counted at src and dst)."""
+    return sum(sum(s.msgs.values()) for s in m.log.steps) // 2
+
+
+@pytest.mark.parametrize("g", GROUP_SIZES)
+class TestCounterInvariants:
+    """Words/messages of each collective match its closed-form cost.
+
+    The costs are *derived* from the executed message pattern; these tests
+    pin them to the textbook formulas so a regression in the round structure
+    (an extra round, a duplicated send) cannot pass silently.
+    """
+
+    X = 12  # payload words; divisible by every group size's slab count
+
+    def test_broadcast_moves_g_minus_1_payloads(self, g, rng):
+        group = list(range(g))
+        m = Machine(g)
+        m.put(0, "x", rng.random(self.X))
+        broadcast(m, group, 0, "x")
+        # binomial tree: every non-root receives the payload exactly once
+        assert _total_words(m) == (g - 1) * self.X
+        assert _total_messages(m) == g - 1
+
+    def test_reduce_moves_g_minus_1_partials(self, g, rng):
+        group = list(range(g))
+        m = _machine_with(group, "x", [rng.random(self.X) for _ in range(g)])
+        reduce(m, group, 0, "x", "sum")
+        # mirror of broadcast: each non-root's partial travels exactly once
+        assert _total_words(m) == (g - 1) * self.X
+        assert _total_messages(m) == g - 1
+        assert int(m.flops.sum()) == (g - 1) * self.X
+
+    def test_allgather_volume_and_messages(self, g, rng):
+        group = list(range(g))
+        m = _machine_with(group, "x", [rng.random(self.X) for _ in range(g)])
+        allgather(m, group, "x", "all")
+        # every rank ends with (g-1) remote chunks: total g(g-1)x words,
+        # independent of the round structure (doubling and ring agree)
+        assert _total_words(m) == g * (g - 1) * self.X
+        if g & (g - 1) == 0:
+            # recursive doubling: g sends per round, lg g rounds
+            assert _total_messages(m) == g * int(math.log2(g))
+            assert m.log.n_supersteps == int(math.log2(g))
+        else:
+            # ring fallback: g sends per round, g-1 rounds
+            assert _total_messages(m) == g * (g - 1)
+            assert m.log.n_supersteps == g - 1
+
+    def test_reduce_scatter_volume_and_messages(self, g, rng):
+        group = list(range(g))
+        # slab sizes must be uniform for the closed form: pick x = g * w
+        w = 3
+        m = _machine_with(group, "x", [rng.random(g * w) for _ in range(g)])
+        reduce_scatter(m, group, "x", "part")
+        # pairwise exchange: per round every rank sends one w-word slab,
+        # g-1 rounds: (g-1) * w words per rank = the bandwidth-optimal volume
+        assert _total_words(m) == g * (g - 1) * w
+        assert _total_messages(m) == g * (g - 1)
+        assert m.log.n_supersteps == g - 1
+        assert int(m.flops.sum()) == (g - 1) * g * w
+
+    def test_words_sent_equal_words_received(self, g, rng):
+        group = list(range(g))
+        m = _machine_with(group, "x", [rng.random(self.X) for _ in range(g)])
+        allgather(m, group, "x", "all")
+        for s in m.log.steps:
+            assert sum(s.sent.values()) == sum(s.recv.values())
+
+
+class TestAssertDisjoint:
+    """Batched collectives must reject overlapping groups."""
+
+    def _machine(self, p=6):
+        m = Machine(p)
+        for r in range(p):
+            m.put(r, "x", np.zeros(2))
+        return m
+
+    def test_broadcast_many_rejects_overlap(self):
+        m = self._machine()
+        with pytest.raises(ValueError, match="disjoint"):
+            broadcast_many(m, [([0, 1, 2], 0), ([2, 3, 4], 2)], "x")
+
+    def test_reduce_many_rejects_overlap(self):
+        m = self._machine()
+        with pytest.raises(ValueError, match="disjoint"):
+            reduce_many(m, [([0, 1], 0), ([1, 2], 1)], "x")
+
+    def test_shift_many_rejects_duplicate_within_group(self):
+        m = self._machine()
+        with pytest.raises(ValueError, match="disjoint"):
+            shift_many(m, [[0, 1, 1]], "x", 1)
+
+    def test_disjoint_groups_accepted(self):
+        m = self._machine()
+        broadcast_many(m, [([0, 1, 2], 0), ([3, 4, 5], 3)], "x")  # no raise
+
+
 class TestBatchedVariants:
     def test_shift_many_single_superstep(self, rng):
         m = Machine(8)

@@ -65,7 +65,9 @@ class TestKeys:
         s = get_scheme("strassen")
         from repro.cdag.schemes import BilinearScheme
 
-        clone = BilinearScheme("renamed", s.n0, s.U.copy(), s.V.copy(), s.W.copy())
+        clone = BilinearScheme(
+            "renamed", s.m0, s.n0, s.p0, s.U.copy(), s.V.copy(), s.W.copy()
+        )
         assert scheme_fingerprint(clone) == scheme_fingerprint(s)
 
 

@@ -247,10 +247,17 @@ class TestCaps:
         # but run 7 times (once per DFS branch) = 14
         assert all("caps-bfs" in s.label for s in r_db.machine.log.steps)
 
-    def test_non_2x2_scheme_rejected(self):
+    def test_rectangular_scheme_rejected(self):
         A, B = _pair(16)
-        with pytest.raises(ValueError, match="n0=2"):
-            caps_multiply(A, B, 1, scheme="classical3")
+        with pytest.raises(ValueError, match="square scheme"):
+            caps_multiply(A, B, 1, scheme="strassen122")
+
+    def test_scheme_driven_3x3_recursion(self):
+        # the layout generalizes beyond 2x2: classical3 runs on 27 ranks
+        A, B = _pair(27)
+        r = caps_multiply(A, B, 1, scheme="classical3")
+        assert r.p == 27
+        assert np.allclose(r.C, A @ B)
 
     def test_memory_limit_enforcement(self):
         A, B = _pair(56)

@@ -1,0 +1,220 @@
+"""Property-based randomized tests for the rectangular scheme layer.
+
+Seeded RNG only (no new dependencies): for random shapes, random tensor
+compositions, and random *invertible base changes* (de Groote
+transformations by unimodular integer matrices — the symmetry group of the
+matrix-multiplication tensor), every generated scheme must
+
+* satisfy the Brent equations exactly (``brent_residual() == 0``), and
+* multiply exactly on integer matrices (``apply(A, B) == A @ B``),
+
+with square schemes exercised as the ⟨n,n,n⟩ special case — the regression
+guard for the rectangular refactor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdag.schemes import (
+    BilinearScheme,
+    classical_rect_scheme,
+    compose_schemes,
+    get_scheme,
+)
+
+SEED = 0xB11D
+
+
+def _rng():
+    return np.random.default_rng(SEED)
+
+
+# ---------------------------------------------------------------------- #
+# generators                                                              #
+# ---------------------------------------------------------------------- #
+
+
+def _unimodular(rng: np.random.Generator, n: int, n_ops: int = 4):
+    """A random integer matrix with det ±1, plus its exact integer inverse.
+
+    Built from elementary row operations (swap, negate, add c·row), each of
+    which has an exact integer inverse; applying the inverse ops in reverse
+    order gives the inverse matrix with no floating-point division.
+    """
+    M = np.eye(n, dtype=np.int64)
+    Minv = np.eye(n, dtype=np.int64)
+    for _ in range(n_ops):
+        kind = rng.integers(0, 3)
+        i, j = rng.integers(0, n, 2)
+        if kind == 0 and i != j:          # swap rows i, j
+            M[[i, j]] = M[[j, i]]
+            Minv[:, [i, j]] = Minv[:, [j, i]]
+        elif kind == 1:                   # negate row i
+            M[i] = -M[i]
+            Minv[:, i] = -Minv[:, i]
+        elif i != j:                      # row_i += c * row_j
+            c = int(rng.integers(-2, 3))
+            M[i] += c * M[j]
+            Minv[:, j] -= c * Minv[:, i]
+    assert np.array_equal(M @ Minv, np.eye(n, dtype=np.int64))
+    return M.astype(np.float64), Minv.astype(np.float64)
+
+
+def _row_major_kron(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """K with ``vec(A M Bᵀ) = K @ vec(M)`` under row-major vec: kron(A, B)."""
+    return np.kron(A, B)
+
+
+def _base_change(scheme: BilinearScheme, rng: np.random.Generator) -> BilinearScheme:
+    """A random de Groote transformation of ``scheme``.
+
+    With unimodular P (m₀×m₀), Q (n₀×n₀), R (p₀×p₀):
+
+        U' = U · (P ⊗ Qᵀ)      (forms evaluated on P A Q)
+        V' = V · (Q⁻¹ ⊗ Rᵀ)    (forms evaluated on Q⁻¹ B R)
+        W' = (P⁻¹ ⊗ (R⁻¹)ᵀ) · W  (undo C ↦ P C R)
+
+    The products compute the original scheme on (P A Q, Q⁻¹ B R), whose
+    matrix product is P (A B) R — so W' reconstructs A B exactly, and the
+    transformed triple is again a valid ⟨m₀,n₀,p₀;t₀⟩ scheme.
+    """
+    P, Pinv = _unimodular(rng, scheme.m0)
+    Q, Qinv = _unimodular(rng, scheme.n0)
+    R, Rinv = _unimodular(rng, scheme.p0)
+    U = scheme.U @ _row_major_kron(P, Q.T)
+    V = scheme.V @ _row_major_kron(Qinv, R.T)
+    W = _row_major_kron(Pinv, Rinv.T) @ scheme.W
+    return BilinearScheme(
+        f"{scheme.name}~basechange", scheme.m0, scheme.n0, scheme.p0, U, V, W
+    )
+
+
+def _product_permuted(scheme: BilinearScheme, rng: np.random.Generator) -> BilinearScheme:
+    """Permute the t₀ products (rows of U, V and columns of W together)."""
+    perm = rng.permutation(scheme.t0)
+    return BilinearScheme(
+        f"{scheme.name}~perm",
+        scheme.m0,
+        scheme.n0,
+        scheme.p0,
+        scheme.U[perm],
+        scheme.V[perm],
+        scheme.W[:, perm],
+    )
+
+
+def _dyadic_scaled(scheme: BilinearScheme, rng: np.random.Generator) -> BilinearScheme:
+    """Scale product r by (α_r, β_r, 1/(α_r β_r)) with dyadic α, β — exact
+    in binary floating point, so residual and apply stay exactly 0/equal."""
+    choices = np.array([1.0, -1.0, 2.0, -2.0])
+    alpha = rng.choice(choices, scheme.t0)
+    beta = rng.choice(choices, scheme.t0)
+    return BilinearScheme(
+        f"{scheme.name}~scaled",
+        scheme.m0,
+        scheme.n0,
+        scheme.p0,
+        scheme.U * alpha[:, None],
+        scheme.V * beta[:, None],
+        scheme.W / (alpha * beta)[None, :],
+    )
+
+
+def _random_shape(rng: np.random.Generator) -> tuple[int, int, int]:
+    return tuple(int(d) for d in rng.integers(1, 4, 3))
+
+
+def _assert_exact(scheme: BilinearScheme, rng: np.random.Generator, depth: int = 1):
+    assert scheme.brent_residual() == 0.0
+    for k in range(1, depth + 1):
+        A = rng.integers(-3, 4, (scheme.m0**k, scheme.n0**k)).astype(float)
+        B = rng.integers(-3, 4, (scheme.n0**k, scheme.p0**k)).astype(float)
+        got = scheme.apply(A, B) if k == 1 else scheme.apply_recursive(A, B)
+        assert np.array_equal(got, A @ B), f"{scheme.name} depth {k}"
+
+
+# ---------------------------------------------------------------------- #
+# properties                                                              #
+# ---------------------------------------------------------------------- #
+
+BASE_POOL = ["strassen", "winograd", "classical2", "classical122", "classical212", "classical221"]
+
+
+class TestRandomShapes:
+    def test_random_classical_rect_schemes_are_exact(self):
+        rng = _rng()
+        for trial in range(25):
+            m, n, p = _random_shape(rng)
+            s = classical_rect_scheme(m, n, p, name=f"rand{trial}")
+            assert s.t0 == m * n * p
+            _assert_exact(s, rng)
+
+    def test_square_special_case(self):
+        # ⟨n,n,n⟩ through the same generator: the refactor must not have
+        # perturbed the square path.
+        rng = _rng()
+        for n in (1, 2, 3):
+            s = classical_rect_scheme(n, n, n, name=f"sq{n}")
+            assert s.is_square
+            assert s.omega0 == pytest.approx(3.0)
+            _assert_exact(s, rng, depth=2)
+
+
+class TestRandomCompositions:
+    def test_random_pairwise_compositions_are_exact(self):
+        rng = _rng()
+        for _ in range(10):
+            s1 = get_scheme(str(rng.choice(BASE_POOL)))
+            s2 = get_scheme(str(rng.choice(BASE_POOL)))
+            s = compose_schemes(s1, s2)
+            assert s.shape == (s1.m0 * s2.m0, s1.n0 * s2.n0, s1.p0 * s2.p0)
+            assert s.t0 == s1.t0 * s2.t0
+            _assert_exact(s, rng)
+
+    def test_random_composition_with_random_rect_factor(self):
+        rng = _rng()
+        for _ in range(8):
+            shape = _random_shape(rng)
+            s1 = classical_rect_scheme(*shape, name="f")
+            s2 = get_scheme(str(rng.choice(["strassen", "classical122"])))
+            _assert_exact(compose_schemes(s1, s2), rng)
+
+
+class TestInvertibleBaseChanges:
+    @pytest.mark.parametrize("name", BASE_POOL)
+    def test_base_change_preserves_validity(self, name):
+        rng = _rng()
+        s = get_scheme(name)
+        for _ in range(6):
+            _assert_exact(_base_change(s, rng), rng)
+
+    @pytest.mark.parametrize("name", BASE_POOL)
+    def test_product_permutation_preserves_validity(self, name):
+        rng = _rng()
+        _assert_exact(_product_permuted(get_scheme(name), rng), rng)
+
+    @pytest.mark.parametrize("name", BASE_POOL)
+    def test_dyadic_scaling_preserves_validity(self, name):
+        rng = _rng()
+        _assert_exact(_dyadic_scaled(get_scheme(name), rng), rng)
+
+    def test_composed_base_changes(self):
+        # stacking transformations (the "compositions" of the group) keeps
+        # validity: scale ∘ permute ∘ base-change ∘ compose
+        rng = _rng()
+        s = compose_schemes(get_scheme("strassen"), get_scheme("classical122"))
+        s = _base_change(s, rng)
+        s = _product_permuted(s, rng)
+        s = _dyadic_scaled(s, rng)
+        _assert_exact(s, rng, depth=2)
+
+    def test_broken_base_change_is_rejected(self):
+        # sanity: a *wrong* transform (forgetting to undo Q) must not pass
+        rng = _rng()
+        s = get_scheme("strassen")
+        Q, _ = _unimodular(rng, s.n0, n_ops=6)
+        if np.array_equal(np.abs(Q), np.eye(s.n0)):  # degenerate draw
+            Q = np.array([[1.0, 1.0], [0.0, 1.0]])
+        U = s.U @ _row_major_kron(np.eye(s.m0), Q.T)
+        with pytest.raises(ValueError, match="Brent"):
+            BilinearScheme("broken", s.m0, s.n0, s.p0, U, s.V, s.W)

@@ -8,6 +8,7 @@ import pytest
 from repro.cdag.schemes import (
     BilinearScheme,
     available_schemes,
+    classical_rect_scheme,
     classical_scheme,
     compose_schemes,
     get_scheme,
@@ -29,6 +30,27 @@ class TestRegistry:
     def test_get_scheme_caches(self):
         assert get_scheme("strassen") is get_scheme("strassen")
 
+    def test_dynamic_classical_rect_names(self):
+        s = get_scheme("classical2x3x4")
+        assert s.shape == (2, 3, 4)
+        assert s.t0 == 24
+        assert get_scheme("classical2x3x4") is s
+
+    def test_rectangular_registry_entries(self):
+        for name in ("classical122", "classical212", "classical221", "strassen122"):
+            assert name in available_schemes()
+
+    def test_dynamic_name_volume_capped(self):
+        # Brent validation is cubic in m*n*p; huge dynamic names must be a
+        # clear error, not an OOM
+        with pytest.raises(ValueError, match="volume"):
+            get_scheme("classical40x40x40")
+
+    def test_default_rect_name_round_trips(self):
+        s = classical_rect_scheme(2, 12, 1)
+        assert s.name == "classical2x12x1"
+        assert get_scheme(s.name).shape == s.shape
+
     @pytest.mark.parametrize("name", available_schemes())
     def test_every_registered_scheme_is_brent_exact(self, name):
         assert get_scheme(name).brent_residual() == 0.0
@@ -37,7 +59,8 @@ class TestRegistry:
 class TestParameters:
     def test_strassen_counts(self):
         s = strassen_scheme()
-        assert (s.n0, s.m0) == (2, 7)
+        assert (s.shape, s.t0) == ((2, 2, 2), 7)
+        assert s.is_square
         assert math.isclose(s.omega0, math.log2(7))
 
     def test_winograd_flat_addition_count(self):
@@ -49,11 +72,22 @@ class TestParameters:
         # Strassen's classic 18-addition count is already CSE-free.
         assert strassen_scheme().n_additions == 18
 
-    def test_classical_m0_is_cubed(self):
+    def test_classical_rank_is_cubed(self):
         for n0 in (2, 3):
             s = classical_scheme(n0)
-            assert s.m0 == n0**3
+            assert s.t0 == n0**3
             assert s.omega0 == pytest.approx(3.0)
+
+    def test_rectangular_classical_rank_is_volume(self):
+        s = classical_rect_scheme(1, 2, 3)
+        assert (s.shape, s.t0) == ((1, 2, 3), 6)
+        assert not s.is_square
+        assert s.omega0 == pytest.approx(3.0)
+
+    def test_rectangular_block_counts(self):
+        s = get_scheme("strassen122")
+        assert s.shape == (2, 4, 4)
+        assert (s.a_blocks, s.b_blocks, s.c_blocks, s.t0) == (8, 16, 8, 28)
 
     def test_omega_bounds(self, any_scheme):
         assert 2.0 < any_scheme.omega0 <= 3.0
@@ -63,72 +97,81 @@ class TestValidation:
     def test_wrong_shape_u_rejected(self):
         s = strassen_scheme()
         with pytest.raises(ValueError, match="U must be"):
-            BilinearScheme("bad", 2, s.U[:, :3], s.V, s.W)
+            BilinearScheme("bad", 2, 2, 2, s.U[:, :3], s.V, s.W)
 
     def test_wrong_shape_w_rejected(self):
         s = strassen_scheme()
         with pytest.raises(ValueError, match="W must be"):
-            BilinearScheme("bad", 2, s.U, s.V, s.W.T)
+            BilinearScheme("bad", 2, 2, 2, s.U, s.V, s.W.T)
 
     def test_corrupted_coefficient_rejected(self):
         s = strassen_scheme()
         U = s.U.copy()
         U[0, 0] = -1.0
         with pytest.raises(ValueError, match="Brent"):
-            BilinearScheme("bad", 2, U, s.V, s.W)
+            BilinearScheme("bad", 2, 2, 2, U, s.V, s.W)
 
     def test_validate_false_allows_invalid(self):
         s = strassen_scheme()
         U = s.U.copy()
         U[0, 0] = -1.0
-        b = BilinearScheme("bad", 2, U, s.V, s.W, validate=False)
+        b = BilinearScheme("bad", 2, 2, 2, U, s.V, s.W, validate=False)
         assert b.brent_residual() > 0
 
 
 class TestApply:
     def test_apply_matches_numpy(self, any_scheme, rng):
-        n0 = any_scheme.n0
-        A = rng.integers(-3, 4, (n0, n0)).astype(float)
-        B = rng.integers(-3, 4, (n0, n0)).astype(float)
+        m0, n0, p0 = any_scheme.shape
+        A = rng.integers(-3, 4, (m0, n0)).astype(float)
+        B = rng.integers(-3, 4, (n0, p0)).astype(float)
         assert np.array_equal(any_scheme.apply(A, B), A @ B)
 
     def test_apply_wrong_size_raises(self, any_scheme):
-        n0 = any_scheme.n0
+        m0, n0, p0 = any_scheme.shape
         with pytest.raises(ValueError, match="base case"):
-            any_scheme.apply(np.eye(n0 + 1), np.eye(n0 + 1))
+            any_scheme.apply(np.zeros((m0 + 1, n0 + 1)), np.zeros((n0 + 1, p0 + 1)))
 
-    def test_apply_blocked_matches_numpy(self, any_scheme):
-        n0 = any_scheme.n0
+    def test_apply_blocked_matches_numpy(self, any_scheme, rng):
+        m0, n0, p0 = any_scheme.shape
         b = 3
-        A = integer_matrix(n0 * b, seed=5)
-        B = integer_matrix(n0 * b, seed=6)
+        A = rng.integers(-3, 4, (m0 * b, n0 * b)).astype(float)
+        B = rng.integers(-3, 4, (n0 * b, p0 * b)).astype(float)
         Ablocks = [
             A[i * b : (i + 1) * b, j * b : (j + 1) * b]
-            for i in range(n0)
+            for i in range(m0)
             for j in range(n0)
         ]
         Bblocks = [
             B[i * b : (i + 1) * b, j * b : (j + 1) * b]
             for i in range(n0)
-            for j in range(n0)
+            for j in range(p0)
         ]
         Cblocks = any_scheme.apply_blocked(Ablocks, Bblocks, lambda x, y: x @ y)
         C = np.vstack(
-            [np.hstack(Cblocks[i * n0 : (i + 1) * n0]) for i in range(n0)]
+            [np.hstack(Cblocks[i * p0 : (i + 1) * p0]) for i in range(m0)]
         )
         assert np.array_equal(C, A @ B)
 
     def test_apply_identity(self, any_scheme):
-        n0 = any_scheme.n0
-        A = integer_matrix(n0, seed=3)
-        assert np.array_equal(any_scheme.apply(A, np.eye(n0)), A)
+        # multiplying by I_{n0 x p0's conformable slice}: use B = [I | 0]
+        m0, n0, p0 = any_scheme.shape
+        A = np.arange(1, m0 * n0 + 1, dtype=float).reshape(m0, n0)
+        B = np.eye(n0, p0)
+        assert np.array_equal(any_scheme.apply(A, B), A @ B)
+
+    def test_apply_recursive_exact_on_integers(self, any_scheme, rng):
+        s = any_scheme
+        for k in (1, 2):
+            A = rng.integers(-3, 4, (s.m0**k, s.n0**k)).astype(float)
+            B = rng.integers(-3, 4, (s.n0**k, s.p0**k)).astype(float)
+            assert np.array_equal(s.apply_recursive(A, B), A @ B)
 
 
 class TestComposition:
     def test_composed_dimensions(self):
         s = compose_schemes(strassen_scheme(), classical_scheme(2))
-        assert s.n0 == 4
-        assert s.m0 == 7 * 8
+        assert s.shape == (4, 4, 4)
+        assert s.t0 == 7 * 8
 
     def test_composed_is_valid(self):
         s = compose_schemes(winograd_scheme(), strassen_scheme())
@@ -151,6 +194,18 @@ class TestComposition:
     def test_triple_composition(self):
         s2 = compose_schemes(strassen_scheme(), strassen_scheme())
         s3 = compose_schemes(s2, classical_scheme(2), "triple")
-        assert s3.n0 == 8
-        assert s3.m0 == 49 * 8
+        assert s3.shape == (8, 8, 8)
+        assert s3.t0 == 49 * 8
         assert s3.brent_residual() == 0.0
+
+    def test_rectangular_composition_shapes_multiply(self):
+        s = compose_schemes(classical_rect_scheme(1, 2, 2), classical_rect_scheme(2, 1, 2))
+        assert s.shape == (2, 2, 4)
+        assert s.t0 == 16
+        assert s.brent_residual() == 0.0
+
+    def test_rectangular_composition_apply(self, rng):
+        s = compose_schemes(strassen_scheme(), classical_rect_scheme(1, 2, 2))
+        A = rng.integers(-3, 4, (2, 4)).astype(float)
+        B = rng.integers(-3, 4, (4, 4)).astype(float)
+        assert np.array_equal(s.apply(A, B), A @ B)

@@ -37,8 +37,8 @@ class TestDecGraph:
         # between levels t, t+1 there are nnz(W) edges per Dec1C copy
         g = dec_graph(small_scheme, k)
         nnz = int((small_scheme.W != 0).sum())
-        c0, m0 = small_scheme.n0**2, small_scheme.m0
-        expected = sum(nnz * c0**t * m0 ** (k - t - 1) for t in range(k))
+        c0, t0 = small_scheme.c_blocks, small_scheme.t0
+        expected = sum(nnz * c0**t * t0 ** (k - t - 1) for t in range(k))
         assert g.n_edges == expected
 
     def test_dec0_is_single_level(self):
@@ -100,9 +100,8 @@ class TestEncGraph:
     @pytest.mark.parametrize("k", KS)
     def test_enc_input_count(self, small_scheme, k):
         g = enc_graph(small_scheme, k, side="A")
-        assert len(g.inputs) >= (small_scheme.n0**2) ** k - small_scheme.m0**k or True
-        # inputs are exactly c0^k (aliased forms are not new inputs)
-        assert np.count_nonzero(g.kinds == VertexKind.INPUT) == (small_scheme.n0**2) ** k
+        # inputs are exactly a_blocks^k (aliased forms are not new inputs)
+        assert np.count_nonzero(g.kinds == VertexKind.INPUT) == small_scheme.a_blocks**k
 
     def test_enc_output_forms_count_strassen(self):
         # Enc_1 A for Strassen: 4 inputs + 5 non-identity forms = 9 vertices
@@ -132,11 +131,10 @@ class TestHGraph:
     @pytest.mark.parametrize("k", [1, 2])
     def test_h_structure_counts(self, small_scheme, k):
         H = h_graph(small_scheme, k)
-        c0 = small_scheme.n0**2
-        assert len(H.a_inputs) == c0**k
-        assert len(H.b_inputs) == c0**k
-        assert len(H.mult_ids) == small_scheme.m0**k
-        assert len(H.output_ids) == c0**k
+        assert len(H.a_inputs) == small_scheme.a_blocks**k
+        assert len(H.b_inputs) == small_scheme.b_blocks**k
+        assert len(H.mult_ids) == small_scheme.t0**k
+        assert len(H.output_ids) == small_scheme.c_blocks**k
 
     def test_mult_vertices_have_two_encoder_inputs(self):
         H = h_graph("strassen", 2)
@@ -169,6 +167,39 @@ class TestHGraph:
 
     def test_h_connected(self):
         assert h_graph("strassen", 2).cdag.is_connected_undirected()
+
+
+class TestRectangularCdag:
+    """Rectangular schemes flow through the same recursive construction."""
+
+    @pytest.mark.parametrize("name", ["classical122", "classical221", "strassen122"])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_level_sizes(self, name, k):
+        s = get_scheme(name)
+        g = dec_graph(s, k)
+        sizes = dec_level_sizes(s, k)
+        assert g.n_vertices == int(sizes.sum())
+        assert sizes[0] == s.t0**k
+        assert sizes[-1] == s.c_blocks**k
+
+    @pytest.mark.parametrize("name", ["classical122", "strassen122"])
+    def test_h_structure(self, name):
+        s = get_scheme(name)
+        H = h_graph(s, 2)
+        assert len(H.a_inputs) == s.a_blocks**2
+        assert len(H.b_inputs) == s.b_blocks**2
+        assert len(H.mult_ids) == s.t0**2
+        assert len(H.output_ids) == s.c_blocks**2
+        _ = H.cdag.topological_order  # raises on cycles
+
+    @pytest.mark.parametrize("name", ["classical122", "classical212", "strassen122"])
+    def test_recursion_tree_partitions(self, name):
+        s = get_scheme(name)
+        tree = recursion_tree_partition(s, 2)
+        g = dec_graph(s, 2)
+        ids = np.concatenate([lvl.ravel() for lvl in tree])
+        assert len(ids) == g.n_vertices
+        assert len(np.unique(ids)) == g.n_vertices
 
 
 class TestRecursionTree:
