@@ -1,21 +1,17 @@
-"""Parallel study: Table I's algorithms side by side on the simulated machine.
+"""Parallel study: Table I's algorithms side by side, via the registry.
 
-Runs Cannon, SUMMA, 3D, 2.5D and CAPS on the same problem, verifies every
-result against numpy, and prints the measured critical-path communication
-next to each algorithm's Table I cell.
+Runs every registered parallel algorithm (Cannon, SUMMA, 3D, 2.5D, CAPS)
+on the same problem through the uniform ``run(A, B, *, p, ...)`` entry
+point, verifies each result against numpy, and prints the measured
+critical-path communication next to the algorithm's declared analytic cost
+and its Table I cell.
 
 Run:  python examples/parallel_strassen.py
 """
 
-import math
-
 from repro.core.bounds import LG7, parallel_io_bound, table1_cell
 from repro.experiments.report import render_table
-from repro.parallel.cannon import cannon_multiply
-from repro.parallel.caps import caps_multiply
-from repro.parallel.summa import summa_multiply
-from repro.parallel.threed import threed_multiply
-from repro.parallel.two5d import two5d_multiply
+from repro.parallel import get_parallel
 from repro.util.matgen import integer_matrix
 
 
@@ -23,58 +19,49 @@ def main() -> None:
     n = 64
     A = integer_matrix(n, seed=1)
     B = integer_matrix(n, seed=2)
+
+    # (registry name, run kwargs, Table I cell) for the classical column.
+    classical = [
+        ("cannon", dict(p=64), ("2D", 1.0)),
+        ("summa", dict(p=64), ("2D", 1.0)),
+        ("3d", dict(p=64), ("3D", 1.0)),
+        ("2.5d", dict(p=128, c=2), ("2.5D", 2.0)),
+    ]
     ref = A @ B
     rows = []
+    for name, kwargs, (regime, c) in classical:
+        r = get_parallel(name).run(A, B, **kwargs)
+        cell = table1_cell(regime, "classical", n, r.p, c)
+        rows.append(_row(r, cell.bound, ref))
 
-    def record(r, regime, cls, c=1.0):
-        cell = table1_cell(regime, cls, n if r.n == n else r.n, r.p, c)
-        rows.append(
-            {
-                "algorithm": r.algorithm,
-                "p": r.p,
-                "words": r.critical_words,
-                "messages": r.critical_messages,
-                "mem_peak": r.max_mem_peak,
-                "table1_cell": cell.bound,
-                "ratio": r.critical_words / cell.bound,
-                "exact": bool((r.C == (A @ B if r.n == n else REF7)).all()),
-            }
-        )
-
-    r = cannon_multiply(A, B, 8)
-    record(r, "2D", "classical")
-    r = summa_multiply(A, B, 8)
-    record(r, "2D", "classical")
-    r = threed_multiply(A, B, 4)
-    record(r, "3D", "classical")
-    r = two5d_multiply(A, B, 8, 2)
-    record(r, "2.5D", "classical", c=2)
-
-    # CAPS needs its own n (divisibility): p = 49, n = 112
+    # CAPS needs its own n (divisibility): p = 49, n = 112.
     n7 = 112
     A7 = integer_matrix(n7, seed=3)
     B7 = integer_matrix(n7, seed=4)
-    global REF7
-    REF7 = A7 @ B7
+    ref7 = A7 @ B7
+    caps = get_parallel("caps")
     for sched in ("BB", "DBB"):
-        r = caps_multiply(A7, B7, 2, schedule=sched)
-        cell_bound = parallel_io_bound(n7, r.max_mem_peak, 49, LG7)
-        rows.append(
-            {
-                "algorithm": r.algorithm,
-                "p": r.p,
-                "words": r.critical_words,
-                "messages": r.critical_messages,
-                "mem_peak": r.max_mem_peak,
-                "table1_cell": cell_bound,
-                "ratio": r.critical_words / cell_bound,
-                "exact": bool((r.C == REF7).all()),
-            }
-        )
+        r = caps.run(A7, B7, p=49, schedule=sched)
+        rows.append(_row(r, parallel_io_bound(n7, r.max_mem_peak, 49, LG7), ref7))
 
-    print(render_table(rows, title=f"parallel algorithms (classical at n={n}, CAPS at n={n7})"))
+    print(render_table(rows, title=f"parallel registry (classical at n={n}, CAPS at n={n7})"))
     assert all(row["exact"] for row in rows), "all parallel runs must be exact"
     print("all results verified bit-exact against numpy's A @ B")
+
+
+def _row(r, bound: float, ref) -> dict:
+    return {
+        "algorithm": r.algorithm,
+        "p": r.p,
+        "words": r.critical_words,
+        "analytic": r.analytic.words,
+        "messages": r.critical_messages,
+        "mem_peak": r.max_mem_peak,
+        "table1_cell": bound,
+        "ratio": r.critical_words / bound,
+        # bit-exact, not allclose: integer inputs make exactness the test
+        "exact": bool((r.C == ref).all()),
+    }
 
 
 if __name__ == "__main__":

@@ -9,12 +9,12 @@ Run:  python examples/quickstart.py
 
 from repro import (
     LG7,
-    caps_multiply,
     dec_graph,
     dfs_io,
     estimate_expansion,
     h_graph,
     parallel_io_bound,
+    run_parallel,
     sequential_io_bound,
 )
 from repro.util.matgen import integer_matrix
@@ -43,10 +43,11 @@ def main() -> None:
           f"(lower-bound form {bound:.0f}; ratio {rep.words / bound:.1f})")
 
     # 4. Corollary 1.2: a real parallel Strassen (CAPS) on 7 simulated
-    #    processors, verified against numpy, measured against the bound.
+    #    processors via the registry, verified against numpy, measured
+    #    against the bound.
     A = integer_matrix(56, seed=1)
     B = integer_matrix(56, seed=2)
-    r = caps_multiply(A, B, ell=1)
+    r = run_parallel("caps", A, B, p=7)
     assert (r.C == A @ B).all(), "parallel result must be exact"
     pbound = parallel_io_bound(56, r.max_mem_peak, 7, LG7)
     print(f"CAPS p=7, n=56: {r.critical_words} words on the critical path "

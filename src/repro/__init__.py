@@ -39,7 +39,10 @@ from repro.cdag.schedule import (
 from repro.core.bounds import (
     LG7,
     latency_bound,
+    memory_independent_bound,
     parallel_io_bound,
+    perfect_scaling_limit,
+    scaling_regime,
     sequential_io_bound,
     sequential_io_upper,
     table1_rows,
@@ -60,20 +63,32 @@ from repro.engine import (
     GridPoint,
     GridReport,
     GridSpec,
+    ScalingPoint,
+    ScalingReport,
+    ScalingSpec,
     cached_dec_graph,
     cached_estimate,
     cached_h_graph,
     cached_spectrum,
     default_cache,
     run_grid,
+    scaling_sweep,
 )
 from repro.machine.cache import FastMemory
 from repro.machine.distributed import Machine, Message
-from repro.parallel.cannon import ParallelResult, cannon_multiply
-from repro.parallel.summa import summa_multiply
-from repro.parallel.threed import threed_multiply
-from repro.parallel.two5d import two5d_multiply
-from repro.parallel.caps import caps_multiply
+from repro.parallel import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    available_parallel,
+    cannon_multiply,
+    caps_multiply,
+    get_parallel,
+    run_parallel,
+    summa_multiply,
+    threed_multiply,
+    two5d_multiply,
+)
 
 __version__ = "1.0.0"
 
@@ -84,7 +99,8 @@ __all__ = [
     "classical_matmul_cdag", "matvec_cdag",
     "exhaustive_min_io", "schedule_io",
     "bfs_topological_order", "dfs_topological_order", "random_topological_order",
-    "LG7", "latency_bound", "parallel_io_bound", "sequential_io_bound",
+    "LG7", "latency_bound", "memory_independent_bound", "parallel_io_bound",
+    "perfect_scaling_limit", "scaling_regime", "sequential_io_bound",
     "sequential_io_upper", "table1_rows",
     "ExpansionEstimate", "decode_cone_mask", "estimate_expansion",
     "exact_edge_expansion", "expansion_of_cut",
@@ -93,10 +109,13 @@ __all__ = [
     "dfs_io", "dfs_io_model",
     "blocked_io", "naive_io", "recursive_io",
     "EngineCache", "GridPoint", "GridReport", "GridSpec",
+    "ScalingPoint", "ScalingReport", "ScalingSpec",
     "cached_dec_graph", "cached_estimate", "cached_h_graph", "cached_spectrum",
-    "default_cache", "run_grid",
+    "default_cache", "run_grid", "scaling_sweep",
     "FastMemory", "Machine", "Message",
-    "ParallelResult", "cannon_multiply", "summa_multiply",
+    "AnalyticCost", "ParallelAlgorithm", "ParallelResult",
+    "available_parallel", "get_parallel", "run_parallel",
+    "cannon_multiply", "summa_multiply",
     "threed_multiply", "two5d_multiply", "caps_multiply",
     "__version__",
 ]

@@ -16,6 +16,11 @@ Covered:
 * Table I:   the six parallel memory-regime cells (2D / 3D / 2.5D ×
   classical / Strassen-like) plus the classical general-M row
 * §6.1 remark: the 2.5D-style bound's numerator is ω₀-free.
+* arXiv:1202.3177 (Ballard–Demmel–Holtz–Lipshitz–Schwartz): the
+  *memory-independent* bounds ``Ω(n²/p^(2/ω₀))`` and the perfect
+  strong-scaling limit ``p ≤ (n/√M)^ω₀`` where the memory-dependent and
+  memory-independent bounds cross (``n³/M^(3/2)`` classically), plus the
+  :func:`scaling_regime` classifier saying which bound binds.
 """
 
 from __future__ import annotations
@@ -25,11 +30,16 @@ from dataclasses import dataclass
 
 __all__ = [
     "LG7",
+    "ScalingRegime",
     "rect_omega0",
     "rect_sequential_io_bound",
     "sequential_io_bound",
     "sequential_io_upper",
     "parallel_io_bound",
+    "memory_independent_bound",
+    "rect_memory_independent_bound",
+    "perfect_scaling_limit",
+    "scaling_regime",
     "latency_bound",
     "table1_cell",
     "table1_rows",
@@ -122,6 +132,88 @@ def parallel_io_bound(n: float, M: float, p: int, omega0: float = LG7) -> float:
         raise ValueError("p must be >= 1")
     _check(n, M, omega0)
     return (n / math.sqrt(M)) ** omega0 * M / p
+
+
+def memory_independent_bound(n: float, p: int, omega0: float = LG7) -> float:
+    """Memory-independent per-processor bandwidth bound ``Ω(n²/p^(2/ω₀))``.
+
+    Theorem of arXiv:1202.3177: however much local memory each of the p
+    processors has, some processor moves ``Ω(n²/p^(2/ω₀))`` words —
+    ``n²/p^(2/3)`` for classical (ω₀ = 3), ``n²/p^(2/lg 7)`` for
+    Strassen-like recursion.  One processor moves nothing, so the bound is
+    0 at p = 1.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not (2.0 <= omega0 <= 3.0):
+        raise ValueError("omega0 must lie in [2, 3]")
+    if p == 1:
+        return 0.0
+    return n * n / p ** (2.0 / omega0)
+
+
+def rect_memory_independent_bound(m: float, n: float, k: float, p: int, omega0: float) -> float:
+    """Rectangular memory-independent bound via the geometric-mean dimension.
+
+    As with :func:`rect_sequential_io_bound`, an ⟨m₀,n₀,p₀; t₀⟩ recursion
+    on an ``m × n`` by ``n × k`` product obeys the square bound with the
+    matrix dimension replaced by ``(mnk)^(1/3)`` and ω₀ from
+    :func:`rect_omega0`.
+    """
+    if m < 1 or n < 1 or k < 1:
+        raise ValueError("matrix dimensions must be >= 1")
+    n_eff = (m * n * k) ** (1.0 / 3.0)
+    return memory_independent_bound(n_eff, p, omega0)
+
+
+def perfect_scaling_limit(n: float, M: float, omega0: float = LG7) -> float:
+    """The end of the perfect strong-scaling range: ``p* = (n/√M)^ω₀``.
+
+    Below p* the memory-dependent bound ``(n/√M)^ω₀·M/p`` dominates and
+    communication scales perfectly as 1/p; beyond it the p-dependent
+    memory-independent floor ``n²/p^(2/ω₀)`` binds instead
+    (arXiv:1202.3177 §1).  Classically (ω₀ = 3) this is the familiar
+    ``p* = n³/M^(3/2)``.
+    """
+    _check(n, M, omega0)
+    return (n / math.sqrt(M)) ** omega0
+
+
+@dataclass(frozen=True)
+class ScalingRegime:
+    """Which communication lower bound binds at one (n, p, M) point."""
+
+    memory_dependent: float    # Cor. 1.2/1.4: (n/√M)^ω₀·M/p
+    memory_independent: float  # 1202.3177:   n²/p^(2/ω₀)
+    binding: str               # "memory-dependent" | "memory-independent"
+    p_limit: float             # perfect_scaling_limit(n, M, ω₀)
+
+    @property
+    def bound(self) -> float:
+        """The binding (larger) of the two bounds."""
+        return max(self.memory_dependent, self.memory_independent)
+
+
+def scaling_regime(n: float, p: int, M: float, omega0: float = LG7) -> ScalingRegime:
+    """Classify which lower bound binds at (n, p, M).
+
+    The two bounds cross exactly at ``p = perfect_scaling_limit(n, M, ω₀)``;
+    at the crossover itself (equality) the point is classified as still
+    memory-dependent — the last point of the perfect-scaling range.
+    """
+    md = parallel_io_bound(n, M, p, omega0)
+    mi = memory_independent_bound(n, p, omega0)
+    # The two expressions are algebraically equal at p = p*; classify the
+    # crossover itself as memory-dependent despite float rounding.
+    at_crossover = math.isclose(md, mi, rel_tol=1e-9)
+    return ScalingRegime(
+        memory_dependent=md,
+        memory_independent=mi,
+        binding="memory-dependent" if (md >= mi or at_crossover) else "memory-independent",
+        p_limit=perfect_scaling_limit(n, M, omega0),
+    )
 
 
 def latency_bound(bandwidth_bound: float, M: float) -> float:

@@ -8,6 +8,8 @@ Layers (bottom up):
   ``H_k`` graphs, Laplacian spectra, and expansion estimates;
 * :mod:`repro.engine.grid` — the multiprocessing (scheme, k, M, policy)
   sweep runner with aggregated cache accounting;
+* :mod:`repro.engine.scaling` — the cached strong-scaling sweep over the
+  parallel-algorithm registry (algorithms × p-grid × replication c);
 * :mod:`repro.engine.cli` — the ``python -m repro`` command-line front end.
 """
 
@@ -30,6 +32,13 @@ from repro.engine.builders import (
     cached_spectrum,
 )
 from repro.engine.grid import GridPoint, GridReport, GridSpec, evaluate_point, run_grid
+from repro.engine.scaling import (
+    ScalingPoint,
+    ScalingReport,
+    ScalingSpec,
+    evaluate_scaling_point,
+    scaling_sweep,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -51,4 +60,9 @@ __all__ = [
     "GridSpec",
     "evaluate_point",
     "run_grid",
+    "ScalingPoint",
+    "ScalingReport",
+    "ScalingSpec",
+    "evaluate_scaling_point",
+    "scaling_sweep",
 ]

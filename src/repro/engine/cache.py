@@ -53,7 +53,9 @@ __all__ = [
 #: Bump to invalidate every existing cache entry (stored-format changes).
 #: v2: rectangular ⟨m₀,n₀,p₀;t₀⟩ schemes — the fingerprint now covers the
 #: full shape, so square-era entries must not be shared.
-CACHE_VERSION = 2
+#: v3: parallel scaling-sweep artifacts — keys may now carry a None scheme
+#: (classical grid algorithms), so the keyspace layout changed.
+CACHE_VERSION = 3
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -92,9 +94,14 @@ def scheme_fingerprint(scheme: BilinearScheme) -> str:
     return h.hexdigest()[:16]
 
 
-def cache_key(kind: str, scheme: BilinearScheme, **params: Any) -> str:
-    """Content-addressed key for one artifact of one scheme."""
-    parts = [f"v{CACHE_VERSION}", kind, scheme_fingerprint(scheme)]
+def cache_key(kind: str, scheme: BilinearScheme | None, **params: Any) -> str:
+    """Content-addressed key for one artifact of one scheme.
+
+    ``scheme=None`` is allowed for artifacts with no bilinear scheme behind
+    them (e.g. classical grid-algorithm scaling runs).
+    """
+    fp = scheme_fingerprint(scheme) if scheme is not None else "none"
+    parts = [f"v{CACHE_VERSION}", kind, fp]
     parts.extend(f"{name}={params[name]!r}" for name in sorted(params))
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 

@@ -3,9 +3,11 @@
 Subcommands:
 
 * ``sweep``     — cached (scheme × k × M × policy) grid, optionally parallel
+* ``scaling``   — cached strong-scaling sweep (parallel registry × p × c)
 * ``expansion`` — one ``h(Dec_k C)`` estimate through the cache
 * ``structure`` — the Figure 2 structural report for one (scheme, k)
 * ``schemes``   — the validated scheme registry
+* ``algorithms``— the parallel-algorithm registry
 * ``cache``     — inspect or clear the on-disk artifact cache
 """
 
@@ -35,6 +37,21 @@ _SWEEP_COLUMNS = [
     "io_lower_bound",
     "measured_words",
     "measured/lower",
+]
+
+_SCALING_COLUMNS = [
+    "label",
+    "class",
+    "p",
+    "c",
+    "measured_words",
+    "analytic_words",
+    "mem_peak",
+    "memory_dependent_bound",
+    "memory_independent_bound",
+    "binding",
+    "measured/lower",
+    "verified",
 ]
 
 
@@ -82,6 +99,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--json", action="store_true", help="emit the full report as JSON")
 
+    scaling = sub.add_parser(
+        "scaling",
+        help="strong-scaling sweep: registry algorithms x p-grid x replication c",
+    )
+    scaling.add_argument(
+        "--algos",
+        nargs="+",
+        default=["all"],
+        metavar="NAME",
+        help="parallel-algorithm registry names, or 'all' (cannon summa 3d 2.5d caps)",
+    )
+    scaling.add_argument("--n", type=int, default=56, help="matrix size (default 56)")
+    scaling.add_argument(
+        "--p-max", type=int, default=64, help="processor budget per algorithm"
+    )
+    scaling.add_argument(
+        "--cs", nargs="+", type=int, default=[1, 2, 4], metavar="C",
+        help="replication factors offered to 2.5D-style algorithms",
+    )
+    scaling.add_argument(
+        "--scheme", default="strassen", help="scheme for scheme-driven algorithms (CAPS)"
+    )
+    scaling.add_argument("--alpha", type=float, default=1.0, help="per-message latency")
+    scaling.add_argument("--beta", type=float, default=1.0, help="per-word cost")
+    scaling.add_argument("--json", action="store_true", help="emit the full report as JSON")
+
     expansion = sub.add_parser("expansion", help="estimate h(Dec_k C) for one point")
     expansion.add_argument("--scheme", default="strassen")
     expansion.add_argument("--k", type=int, default=4)
@@ -94,6 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     structure.add_argument("--k", type=int, default=5)
 
     sub.add_parser("schemes", help="list the validated scheme registry")
+
+    sub.add_parser("algorithms", help="list the parallel-algorithm registry")
 
     cache_cmd = sub.add_parser("cache", help="inspect or clear the artifact cache")
     cache_cmd.add_argument("action", choices=["info", "clear"])
@@ -136,6 +181,45 @@ def _cmd_sweep(args: argparse.Namespace, cache: EngineCache, out) -> int:
             f"wall {report.wall_time:.3f}s  workers={report.workers}  "
             f"builds={s['builds']}  hits={s['hits']}  misses={s['misses']}  "
             f"(warm cache => builds=0)",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out) -> int:
+    from repro.experiments.report import render_table
+    from repro.engine.scaling import ScalingSpec, scaling_sweep
+    from repro.parallel.base import available_parallel
+
+    algos = available_parallel() if args.algos == ["all"] else args.algos
+    spec = ScalingSpec(
+        algos=tuple(algos),
+        n=args.n,
+        p_max=args.p_max,
+        cs=tuple(args.cs),
+        scheme=args.scheme,
+        alpha=args.alpha,
+        beta=args.beta,
+    )
+    report = scaling_sweep(spec, cache=cache)
+    if args.json:
+        print(report.to_json(indent=2), file=out)
+    else:
+        print(
+            render_table(
+                report.rows,
+                columns=_SCALING_COLUMNS,
+                title=(
+                    f"[engine] strong scaling at n={args.n}: "
+                    f"{len(report.rows)} (algorithm, p, c) points"
+                ),
+            ),
+            file=out,
+        )
+        s = report.stats
+        print(
+            f"wall {report.wall_time:.3f}s  builds={s['builds']}  "
+            f"hits={s['hits']}  misses={s['misses']}  (warm cache => builds=0)",
             file=out,
         )
     return 0
@@ -195,6 +279,28 @@ def _cmd_schemes(out) -> int:
     return 0
 
 
+def _cmd_algorithms(out) -> int:
+    from repro.experiments.report import render_table
+    from repro.parallel.base import available_parallel, get_parallel
+
+    rows = []
+    for name in available_parallel():
+        a = get_parallel(name)
+        rows.append(
+            {
+                "algorithm": name,
+                "class": a.algorithm_class,
+                "regime": a.regime,
+                "replication": a.supports_replication,
+                "scheme-driven": a.uses_scheme,
+                "requires": a.requirement,
+                "attains": a.attains,
+            }
+        )
+    print(render_table(rows, title="registered parallel algorithms"), file=out)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace, cache: EngineCache, out) -> int:
     if args.action == "clear":
         removed = cache.clear()
@@ -211,12 +317,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "sweep":
             return _cmd_sweep(args, cache, out)
+        if args.command == "scaling":
+            return _cmd_scaling(args, cache, out)
         if args.command == "expansion":
             return _cmd_expansion(args, cache, out)
         if args.command == "structure":
             return _cmd_structure(args, cache, out)
         if args.command == "schemes":
             return _cmd_schemes(out)
+        if args.command == "algorithms":
+            return _cmd_algorithms(out)
         if args.command == "cache":
             return _cmd_cache(args, cache, out)
     except BrokenPipeError:

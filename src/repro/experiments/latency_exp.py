@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from repro.algorithms.io_strassen import dfs_io_model
 from repro.core.bounds import LG7, latency_bound, parallel_io_bound, sequential_io_bound
-from repro.parallel.cannon import cannon_multiply
-from repro.parallel.caps import caps_multiply
+from repro.parallel.base import run_parallel
 from repro.util.matgen import integer_matrix
 
 __all__ = ["sequential_latency", "parallel_latency"]
@@ -44,8 +43,8 @@ def parallel_latency(n: int = 64) -> dict:
     B = integer_matrix(n, seed=13)
     rows = []
     for q in (2, 4, 8):
-        r = cannon_multiply(A, B, q)
         p = q * q
+        r = run_parallel("cannon", A, B, p=p)
         M = 3 * (n // q) ** 2
         bw = parallel_io_bound(n, M, p, 3.0)
         rows.append(
@@ -61,8 +60,8 @@ def parallel_latency(n: int = 64) -> dict:
     A7 = integer_matrix(n7, seed=11)
     B7 = integer_matrix(n7, seed=13)
     for sched in ("B", "DB"):
-        r = caps_multiply(A7, B7, 1, schedule=sched)
         p = 7
+        r = run_parallel("caps", A7, B7, p=p, schedule=sched)
         M = r.max_mem_peak
         bw = parallel_io_bound(n7, M, p, LG7)
         rows.append(

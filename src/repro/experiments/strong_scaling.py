@@ -1,0 +1,110 @@
+"""E12 — strong scaling vs the memory-independent floor (arXiv:1202.3177).
+
+The Table-I story with p as the moving part: at a *fixed* per-processor
+memory M, every algorithm's communication scales perfectly (∝ 1/p) only up
+to ``p* = (n/√M)^ω₀`` — beyond that the memory-independent floor
+``Ω(n²/p^(2/ω₀))`` binds, and more processors stop helping.  This harness
+runs every registered parallel algorithm across its valid p-grid (through
+the cached engine sweep) and sets the measured critical-path words beside
+
+* the memory-dependent bound evaluated **at the fixed M** (the perfect
+  strong-scaling line),
+* the memory-independent floor, and
+* the crossover point p* — so the floor crossover is visible per
+  algorithm class.
+
+CAPS is the algorithm built to run down to the Strassen-like floor
+``n²/p^(2/ω₀)``; the classical algorithms face the deeper-p classical
+floor ``n²/p^(2/3)``.
+"""
+
+from __future__ import annotations
+
+from repro.cdag.schemes import get_scheme
+from repro.core.bounds import perfect_scaling_limit, scaling_regime
+from repro.engine.cache import EngineCache
+from repro.engine.scaling import ScalingSpec, scaling_sweep
+from repro.parallel.base import available_parallel, get_parallel
+
+__all__ = ["strong_scaling_experiment"]
+
+
+def strong_scaling_experiment(
+    n: int = 56,
+    M: int | None = None,
+    algos: tuple[str, ...] | None = None,
+    p_max: int = 64,
+    cs: tuple[int, ...] = (1, 2, 4),
+    scheme: str = "strassen",
+    cache: EngineCache | None = None,
+) -> dict:
+    """Measured words vs both bounds at fixed M, for every registered algorithm.
+
+    ``M`` defaults to the 2D regime at the *largest* p in the budget
+    (``n²·p_max^(-1)`` rounded up) so that the p-grid actually straddles
+    the crossover for the classical algorithms.  Returns rows plus the
+    per-class crossover points ``p*``.
+
+    The runs themselves are not memory-limited, so the fixed-M
+    memory-dependent bound only *applies* to a row when the run actually
+    stayed within M words per rank; each row carries ``bound_applies``
+    (``mem_peak ≤ M``) saying so — a small-p run that used Θ(n²/p) ≫ M
+    words is not bound by the M-limited curve it is plotted against.
+    The memory-independent floor needs no M and binds every row.
+    """
+    algos = tuple(algos) if algos is not None else tuple(available_parallel())
+    if M is None:
+        M = max(1, -(-(n * n) // p_max))  # ceil(n²/p_max)
+    spec = ScalingSpec(algos=algos, n=n, p_max=p_max, cs=cs, scheme=scheme)
+    report = scaling_sweep(spec, cache=cache)
+
+    rows = []
+    for r in report.rows:
+        w0 = r["omega0"]
+        p = r["p"]
+        regime = scaling_regime(n, p, M, w0)
+        bound_applies = r["mem_peak"] <= M
+        rows.append(
+            {
+                "algorithm": r["label"],
+                "class": r["class"],
+                "p": p,
+                "c": r["c"],
+                "measured_words": r["measured_words"],
+                "mem_peak": r["mem_peak"],
+                "bound_md_at_M": regime.memory_dependent,
+                "bound_mi": regime.memory_independent,
+                "lower_bound": regime.bound,
+                "bound_applies": bound_applies,
+                "binding": regime.binding,
+                "beyond_floor": p > regime.p_limit,
+                "measured/lower": r["measured_words"] / regime.bound,
+                "verified": r["verified"],
+            }
+        )
+
+    sch = get_scheme(scheme)
+    crossover = {
+        "classical": perfect_scaling_limit(n, M, 3.0),
+        "strassen-like": perfect_scaling_limit(n, M, sch.omega0),
+    }
+    return {"rows": rows, "n": n, "M": M, "p_limit": crossover}
+
+
+def main() -> None:  # pragma: no cover - manual harness entry
+    from repro.experiments.report import render_table
+
+    result = strong_scaling_experiment()
+    print(
+        render_table(
+            result["rows"],
+            title=(
+                f"[E12] strong scaling at n={result['n']}, fixed M={result['M']}: "
+                f"floors at p*={result['p_limit']}"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

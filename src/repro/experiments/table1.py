@@ -14,11 +14,7 @@ from __future__ import annotations
 import math
 
 from repro.core.bounds import LG7, parallel_io_bound, table1_cell
-from repro.parallel.cannon import cannon_multiply
-from repro.parallel.caps import caps_multiply
-from repro.parallel.summa import summa_multiply
-from repro.parallel.threed import threed_multiply
-from repro.parallel.two5d import two5d_multiply
+from repro.parallel.base import run_parallel
 from repro.util.matgen import integer_matrix
 from repro.util.numutil import fit_power_law
 
@@ -44,8 +40,8 @@ def classical_2d_scaling(n: int = 64, qs=(2, 4, 8, 16)) -> dict:
         if n % q:
             continue
         cell = table1_cell("2D", "classical", n, q * q)
-        for alg, fn in (("cannon", cannon_multiply), ("summa", summa_multiply)):
-            r = fn(A, B, q)
+        for alg in ("cannon", "summa"):
+            r = run_parallel(alg, A, B, p=q * q)
             ok = bool((r.C == A @ B).all())
             rows.append(
                 {
@@ -72,7 +68,7 @@ def threed_scaling(n: int = 64, qs=(2, 4)) -> dict:
     for q in qs:
         p = q**3
         cell = table1_cell("3D", "classical", n, p)
-        r = threed_multiply(A, B, q)
+        r = run_parallel("3d", A, B, p=p)
         rows.append(
             {
                 "p": p,
@@ -99,7 +95,7 @@ def two5d_c_sweep(n: int = 64, q: int = 8, cs=(1, 2, 4, 8)) -> dict:
             continue
         p = q * q * c
         cell = table1_cell("2.5D", "classical", n, p, c)
-        r = two5d_multiply(A, B, q, c)
+        r = run_parallel("2.5d", A, B, p=p, c=c)
         rows.append(
             {
                 "c": c,
@@ -129,7 +125,7 @@ def caps_scaling(n0_factor: int = 8, ells=(1, 2)) -> dict:
         p = 7**ell
         n = n0_factor * (2**ell) * (7 ** math.ceil(ell / 2))
         A, B = _inputs(n)
-        r = caps_multiply(A, B, ell)
+        r = run_parallel("caps", A, B, p=p)
         shape = n * n / p ** (2.0 / LG7)
         rows.append(
             {
@@ -161,7 +157,7 @@ def caps_memory_sweep(n: int = 112, ell: int = 2) -> dict:
         if sched.count("B") != ell:
             continue
         try:
-            r = caps_multiply(A, B, ell, schedule=sched)
+            r = run_parallel("caps", A, B, p=p, schedule=sched)
         except ValueError:
             continue
         M = r.max_mem_peak
@@ -185,27 +181,27 @@ def table1_summary(n: int = 64) -> list[dict]:
     out = []
     A, B = _inputs(n)
     # classical 2D at p=16
-    r = cannon_multiply(A, B, 4)
+    r = run_parallel("cannon", A, B, p=16)
     cell = table1_cell("2D", "classical", n, 16)
     out.append(_cell_row(cell, r.critical_words, "cannon"))
     # classical 3D at p=64
-    r = threed_multiply(A, B, 4)
+    r = run_parallel("3d", A, B, p=64)
     cell = table1_cell("3D", "classical", n, 64)
     out.append(_cell_row(cell, r.critical_words, "3d"))
     # classical 2.5D at p=64 (q=4, c=4)
-    r = two5d_multiply(A, B, 4, 4)
+    r = run_parallel("2.5d", A, B, p=64, c=4)
     cell = table1_cell("2.5D", "classical", n, 64, 4)
     out.append(_cell_row(cell, r.critical_words, "2.5d"))
     # strassen-like cells at p=7 (n divisible appropriately)
     n7 = 56
     A7, B7 = _inputs(n7)
-    r = caps_multiply(A7, B7, 1, schedule="DDB")
+    r = run_parallel("caps", A7, B7, p=7, schedule="DDB")
     cell = table1_cell("2D", "strassen-like", n7, 7)
     out.append(_cell_row(cell, r.critical_words, "caps(DDB)"))
-    r = caps_multiply(A7, B7, 1, schedule="DB")
+    r = run_parallel("caps", A7, B7, p=7, schedule="DB")
     cell = table1_cell("3D", "strassen-like", n7, 7)
     out.append(_cell_row(cell, r.critical_words, "caps(DB)"))
-    r = caps_multiply(A7, B7, 1, schedule="B")
+    r = run_parallel("caps", A7, B7, p=7, schedule="B")
     cell = table1_cell("2.5D", "strassen-like", n7, 7, 2)
     out.append(_cell_row(cell, r.critical_words, "caps(B)"))
     return out

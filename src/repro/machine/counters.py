@@ -89,6 +89,23 @@ class SuperstepRecord:
             return 0
         return max(self.msgs.values())
 
+    def time(self, alpha: float, beta: float) -> float:
+        """α–β time of the round: ``max_r (α·msgs_r + β·(sent_r + recv_r))``.
+
+        This couples latency and bandwidth *per rank* before taking the max,
+        so it can be strictly smaller than ``α·critical_messages() +
+        β·critical_words()`` when the message-heavy rank and the word-heavy
+        rank differ — the honest critical path of the round.
+        """
+        ranks = set(self.sent) | set(self.recv) | set(self.msgs)
+        if not ranks:
+            return 0.0
+        return max(
+            alpha * self.msgs.get(r, 0)
+            + beta * (self.sent.get(r, 0) + self.recv.get(r, 0))
+            for r in ranks
+        )
+
     def total_words(self) -> int:
         """Total words sent in the round (for conservation checks)."""
         return sum(self.sent.values())
@@ -112,6 +129,16 @@ class CommLog:
     def critical_messages(self) -> int:
         """Latency cost along the critical path."""
         return sum(s.critical_messages() for s in self.steps)
+
+    def time(self, alpha: float, beta: float) -> float:
+        """α–β critical-path time: ``Σ_steps max_r (α·msgs_r + β·words_r)``.
+
+        The per-superstep coupling makes this the time a machine with
+        per-message latency α and per-word cost β actually spends, summed
+        along the critical path; it never exceeds the separable estimate
+        ``α·critical_messages + β·critical_words``.
+        """
+        return sum(s.time(alpha, beta) for s in self.steps)
 
     @property
     def total_words(self) -> int:

@@ -227,6 +227,18 @@ class Machine:
         """max_r peak local-memory words — the machine's effective M."""
         return int(self.mem_peak.max())
 
+    def time(self, alpha: float | None = None, beta: float | None = None) -> float:
+        """α–β critical-path *time*: ``Σ_steps max_r (α·msgs_r + β·words_r)``.
+
+        Couples latency and bandwidth per rank within each superstep (see
+        :meth:`SuperstepRecord.time <repro.machine.counters.SuperstepRecord.time>`),
+        so measured runs and analytic α–β formulas are comparable in one
+        unit.  Defaults to the machine's own α and β.
+        """
+        a = self.alpha if alpha is None else float(alpha)
+        b = self.beta if beta is None else float(beta)
+        return self.log.time(a, b)
+
     def estimated_time(self, gamma: float = 0.0) -> float:
         """α·messages + β·words (+ γ·flops) along the critical path."""
         self.end_compute_phase()

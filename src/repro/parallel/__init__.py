@@ -1,13 +1,36 @@
-"""Parallel algorithms on the simulated machine: Table I's attaining algorithms."""
+"""Parallel algorithms on the simulated machine: Table I's attaining algorithms.
 
-from repro.parallel.cannon import ParallelResult, cannon_multiply
+All five algorithms live in one registry behind a uniform
+``run(A, B, *, p, c=1, memory_limit=None, scheme=None)`` entry point::
+
+    from repro.parallel import get_parallel, run_parallel, available_parallel
+
+    r = run_parallel("2.5d", A, B, p=32, c=2)     # ParallelResult
+    get_parallel("caps").analytic_costs(56, 49)   # declared cost formulas
+
+The classic per-algorithm functions (``cannon_multiply`` etc.) remain as
+thin wrappers over the registry.
+"""
+
+from repro.parallel.base import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    available_parallel,
+    get_parallel,
+    register_parallel,
+    run_parallel,
+)
+from repro.parallel.cannon import cannon_multiply
 from repro.parallel.summa import summa_multiply
 from repro.parallel.threed import threed_multiply
 from repro.parallel.two5d import two5d_multiply
 from repro.parallel.caps import caps_multiply, quadtree_permutation, validate_caps_geometry
 
 __all__ = [
-    "ParallelResult", "cannon_multiply", "summa_multiply", "threed_multiply",
+    "AnalyticCost", "ParallelAlgorithm", "ParallelResult",
+    "available_parallel", "get_parallel", "register_parallel", "run_parallel",
+    "cannon_multiply", "summa_multiply", "threed_multiply",
     "two5d_multiply", "caps_multiply", "quadtree_permutation",
     "validate_caps_geometry",
 ]

@@ -1,0 +1,341 @@
+"""One abstraction for every parallel algorithm: registry + uniform driver.
+
+Table I of the paper is a statement about *which algorithm attains which
+bound in which memory regime*; answering it experimentally requires running
+every algorithm through one interface.  This module provides that
+interface, mirroring the bilinear-scheme registry in
+:mod:`repro.cdag.schemes`:
+
+* :class:`ParallelAlgorithm` — the protocol every algorithm implements:
+  a declared **validity predicate** (``validate``: square grid, cube,
+  replication factor c, rank count t₀^ℓ, block divisibility), declared
+  **analytic cost formulas** (``analytic_costs``: per-processor words,
+  messages, memory, with explicit constants derived from the actual
+  superstep structure), and a uniform entry point
+  ``run(A, B, *, p, c=1, memory_limit=None, scheme=None) -> ParallelResult``.
+* ``@register_parallel`` / :func:`get_parallel` /
+  :func:`available_parallel` — the registry (``cannon``, ``summa``, ``3d``,
+  ``2.5d``, ``caps``).
+* :class:`ParallelResult` — the shared result record (critical-path words,
+  messages, α–β time, per-rank memory peaks), promoted here so sibling
+  algorithms stop importing it from ``parallel/cannon.py``.
+
+The driver in :meth:`ParallelAlgorithm.run` hoists the boilerplate every
+bespoke function used to repeat: input shape checks, validity checking,
+:class:`~repro.machine.distributed.Machine` construction, flop-phase
+flushing, optional verification against ``A @ B``, and result assembly
+with the declared analytic costs attached.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdag.schemes import BilinearScheme, get_scheme
+from repro.machine.distributed import Machine
+
+__all__ = [
+    "AnalyticCost",
+    "ParallelAlgorithm",
+    "ParallelResult",
+    "available_parallel",
+    "get_parallel",
+    "register_parallel",
+    "run_parallel",
+]
+
+
+@dataclass(frozen=True)
+class AnalyticCost:
+    """Declared closed-form per-processor costs of one configuration.
+
+    The formulas are derived from the algorithm's actual superstep
+    structure (with explicit constants, not bare Θ-shapes), so a measured
+    run should land within a small constant factor of each field — tests
+    and the scaling sweep assert exactly that.
+    """
+
+    words: float      # critical-path bandwidth
+    messages: float   # critical-path latency
+    memory: float     # per-rank peak footprint
+
+    def as_dict(self) -> dict[str, float]:
+        return {"words": self.words, "messages": self.messages, "memory": self.memory}
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Outcome of one simulated parallel run."""
+
+    C: np.ndarray
+    machine: Machine
+    algorithm: str
+    n: int
+    p: int
+    c: int = 1
+    scheme_name: str | None = None
+    analytic: AnalyticCost | None = None
+    verified: bool | None = None
+
+    @property
+    def critical_words(self) -> int:
+        return self.machine.critical_words
+
+    @property
+    def critical_messages(self) -> int:
+        return self.machine.critical_messages
+
+    @property
+    def max_mem_peak(self) -> int:
+        return self.machine.max_mem_peak
+
+    @property
+    def mem_peaks(self) -> tuple[int, ...]:
+        """Per-rank peak local-memory words (index = rank)."""
+        return tuple(int(x) for x in self.machine.mem_peak)
+
+    def time(self, alpha: float = 1.0, beta: float = 1.0) -> float:
+        """α–β critical-path time ``Σ_steps max_r (α·msgs_r + β·words_r)``."""
+        return self.machine.time(alpha, beta)
+
+    def summary(self) -> dict:
+        """Headline numbers for experiment tables."""
+        out = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "p": self.p,
+            "c": self.c,
+            "critical_words": self.critical_words,
+            "critical_messages": self.critical_messages,
+            "max_mem_peak": self.max_mem_peak,
+            "time": self.time(),
+        }
+        if self.scheme_name is not None:
+            out["scheme"] = self.scheme_name
+        if self.verified is not None:
+            out["verified"] = self.verified
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# the protocol                                                            #
+# ---------------------------------------------------------------------- #
+
+
+class ParallelAlgorithm(abc.ABC):
+    """A registered parallel matrix-multiplication algorithm.
+
+    Subclasses declare classification metadata (``algorithm_class``,
+    ``regime``, ``requirement``, ``attains``), a validity predicate, the
+    analytic cost formulas, and the superstep kernel ``_execute``; the
+    shared :meth:`run` driver does everything else.
+    """
+
+    name: str = "?"
+    algorithm_class: str = "classical"     # "classical" | "strassen-like"
+    regime: str = "2D"                     # Table I memory regime it lives in
+    requirement: str = ""                  # human-readable validity predicate
+    attains: str = ""                      # the bound the paper credits it with
+    supports_replication: bool = False     # accepts c > 1
+    uses_scheme: bool = False              # recursion driven by a BilinearScheme
+    default_scheme: str | None = None
+    option_names: tuple[str, ...] = ()     # extra run() keywords this algorithm takes
+
+    # -- declared predicates and formulas ------------------------------- #
+
+    def omega0(self, scheme: BilinearScheme | None = None) -> float:
+        """The exponent governing this algorithm's bounds (3 for classical)."""
+        if self.uses_scheme and scheme is not None:
+            return scheme.omega0
+        return 3.0
+
+    @abc.abstractmethod
+    def validate(self, n: int, p: int, *, c: int = 1,
+                 scheme: BilinearScheme | None = None, **options) -> None:
+        """Raise ``ValueError`` when (n, p, c, scheme) is not runnable."""
+
+    def is_valid(self, n: int, p: int, *, c: int = 1,
+                 scheme: BilinearScheme | str | None = None, **options) -> bool:
+        """Predicate form of :meth:`validate`."""
+        try:
+            self.validate(n, p, c=c, scheme=self._resolve_scheme(scheme), **options)
+        except ValueError:
+            return False
+        return True
+
+    @abc.abstractmethod
+    def analytic_costs(self, n: int, p: int, *, c: int = 1,
+                       scheme: BilinearScheme | None = None,
+                       **options) -> AnalyticCost:
+        """Declared per-processor (words, messages, memory) formulas."""
+
+    def default_configs(self, n: int, p_max: int, cs=(1,),
+                        scheme: BilinearScheme | None = None) -> list[dict]:
+        """Valid ``{"p": ..., "c": ...}`` configurations with ``p ≤ p_max``."""
+        return []
+
+    # -- execution ------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def _execute(self, m: Machine, A: np.ndarray, B: np.ndarray, *, p: int,
+                 c: int, scheme: BilinearScheme | None, **options) -> np.ndarray:
+        """The algorithm's supersteps; returns the gathered C."""
+
+    def result_label(self, *, p: int, c: int = 1,
+                     scheme: BilinearScheme | None = None, **options) -> str:
+        """The ``ParallelResult.algorithm`` label (subclasses may refine)."""
+        return self.name
+
+    def _resolve_scheme(
+        self, scheme: BilinearScheme | str | None
+    ) -> BilinearScheme | None:
+        if not self.uses_scheme:
+            if scheme is not None:
+                raise ValueError(
+                    f"{self.name} is not scheme-driven; do not pass scheme="
+                )
+            return None
+        if scheme is None:
+            scheme = self.default_scheme
+        return get_scheme(scheme) if isinstance(scheme, str) else scheme
+
+    def run(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int = 1,
+        memory_limit: int | None = None,
+        scheme: BilinearScheme | str | None = None,
+        verify: bool = False,
+        **options,
+    ) -> ParallelResult:
+        """Uniform entry point: validate, simulate, account, assemble.
+
+        ``options`` are algorithm-specific extras (e.g. CAPS's
+        ``schedule``); keys outside the algorithm's declared
+        ``option_names`` are rejected, so a typo'd keyword cannot be
+        silently swallowed by the ``**options`` plumbing.
+        """
+        unknown = set(options) - set(self.option_names)
+        if unknown:
+            raise TypeError(
+                f"{self.name}.run() got unexpected option(s) {sorted(unknown)}; "
+                f"accepted: {sorted(self.option_names) or 'none'}"
+            )
+        A = np.ascontiguousarray(A, dtype=np.float64)
+        B = np.ascontiguousarray(B, dtype=np.float64)
+        if A.ndim != 2 or A.shape[0] != A.shape[1] or A.shape != B.shape:
+            raise ValueError("A and B must be equal square matrices")
+        n = A.shape[0]
+        sch = self._resolve_scheme(scheme)
+        if not self.supports_replication and c != 1:
+            raise ValueError(
+                f"{self.name} has no replication factor (got c={c}); "
+                "only 2.5D-style algorithms accept c > 1"
+            )
+        self.validate(n, p, c=c, scheme=sch, **options)
+        m = Machine(p, memory_limit=memory_limit)
+        C = self._execute(m, A, B, p=p, c=c, scheme=sch, **options)
+        m.end_compute_phase()
+        verified = bool(np.allclose(C, A @ B, rtol=1e-9, atol=1e-9)) if verify else None
+        return ParallelResult(
+            C=C,
+            machine=m,
+            algorithm=self.result_label(p=p, c=c, scheme=sch, **options),
+            n=n,
+            p=p,
+            c=c,
+            scheme_name=sch.name if sch is not None else None,
+            analytic=self.analytic_costs(n, p, c=c, scheme=sch, **options),
+            verified=verified,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# registry                                                                #
+# ---------------------------------------------------------------------- #
+
+_REGISTRY: dict[str, ParallelAlgorithm] = {}
+
+
+def register_parallel(cls: type[ParallelAlgorithm]) -> type[ParallelAlgorithm]:
+    """Class decorator: instantiate and register a :class:`ParallelAlgorithm`."""
+    inst = cls()
+    if inst.name in _REGISTRY and type(_REGISTRY[inst.name]) is not cls:
+        raise ValueError(f"parallel algorithm {inst.name!r} already registered")
+    _REGISTRY[inst.name] = inst
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Registration happens at module import; pull the algorithm modules in
+    # lazily so base stays import-cycle free.
+    from repro.parallel import cannon, caps, summa, threed, two5d  # noqa: F401
+
+
+def get_parallel(name: str) -> ParallelAlgorithm:
+    """Fetch a registered algorithm by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown parallel algorithm {name!r}; available: {available_parallel()}"
+        ) from None
+
+
+def available_parallel() -> list[str]:
+    """Names of all registered parallel algorithms."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def run_parallel(name: str, A: np.ndarray, B: np.ndarray, *, p: int,
+                 **kwargs) -> ParallelResult:
+    """Convenience: ``get_parallel(name).run(A, B, p=p, **kwargs)``."""
+    return get_parallel(name).run(A, B, p=p, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# shared validity helpers                                                 #
+# ---------------------------------------------------------------------- #
+
+
+def square_grid_side(name: str, p: int) -> int:
+    """q with p = q², or a clear error."""
+    if p < 1:
+        raise ValueError(f"{name}: need at least one processor (got p={p})")
+    q = math.isqrt(p)
+    if q * q != p:
+        raise ValueError(
+            f"{name} needs a square processor grid: p={p} is not a perfect square"
+        )
+    return q
+
+
+def cube_grid_side(name: str, p: int) -> int:
+    """q with p = q³, or a clear error."""
+    if p < 1:
+        raise ValueError(f"{name}: need at least one processor (got p={p})")
+    q = round(p ** (1.0 / 3.0))
+    for cand in (q - 1, q, q + 1):
+        if cand >= 1 and cand**3 == p:
+            return cand
+    raise ValueError(f"{name} needs a cubic processor grid: p={p} is not a perfect cube")
+
+
+def check_block_divisibility(name: str, n: int, q: int) -> None:
+    """Fail loudly when q ∤ n instead of silently truncating ``b = n // q``."""
+    if q < 1:
+        raise ValueError(f"{name}: grid side must be >= 1 (got q={q})")
+    if n % q != 0:
+        raise ValueError(
+            f"{name}: matrix size n={n} is not divisible by grid side q={q}; "
+            f"blocks of size n//q={n // q} would drop {n % q} trailing rows/cols"
+        )

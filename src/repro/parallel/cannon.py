@@ -10,90 +10,101 @@ attaining the classical 2D lower bound ``Ω(n²/p^(1/2))``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
 
 import numpy as np
 
 from repro.machine.collectives import shift_many
 from repro.machine.distmatrix import Grid2D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine, Message
+from repro.parallel.base import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    check_block_divisibility,
+    get_parallel,
+    register_parallel,
+    square_grid_side,
+)
 
-__all__ = ["cannon_multiply", "ParallelResult"]
+__all__ = ["Cannon", "cannon_multiply", "ParallelResult"]
 
 
-@dataclass(frozen=True)
-class ParallelResult:
-    """Outcome of one simulated parallel run."""
+@register_parallel
+class Cannon(ParallelAlgorithm):
+    """Torus shift-multiply: the minimal-memory 2D attaining algorithm."""
 
-    C: np.ndarray
-    machine: Machine
-    algorithm: str
-    n: int
-    p: int
+    name = "cannon"
+    algorithm_class = "classical"
+    regime = "2D"
+    requirement = "p = q² (square grid), q | n"
+    attains = "Ω(n²/p^(1/2)) at M = Θ(n²/p)  [Table I row 1, classical]"
 
-    @property
-    def critical_words(self) -> int:
-        return self.machine.critical_words
+    def validate(self, n, p, *, c=1, scheme=None, **options):
+        q = square_grid_side(self.name, p)
+        check_block_divisibility(self.name, n, q)
 
-    @property
-    def critical_messages(self) -> int:
-        return self.machine.critical_messages
+    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+        # 2 skew permutations (2b² each) + 2(q−1) shift rounds (2b² each)
+        # = exactly 4b²q = 4n²/√p critical words; 2 messages per superstep.
+        q = math.isqrt(p)
+        b2 = (n / q) ** 2
+        if q == 1:
+            return AnalyticCost(words=0.0, messages=0.0, memory=3.0 * b2)
+        return AnalyticCost(words=4.0 * q * b2, messages=4.0 * q, memory=3.0 * b2)
 
-    @property
-    def max_mem_peak(self) -> int:
-        return self.machine.max_mem_peak
+    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+        return [
+            {"p": q * q, "c": 1}
+            for q in range(2, math.isqrt(p_max) + 1)
+            if n % q == 0
+        ]
+
+    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+        n = A.shape[0]
+        q = math.isqrt(p)
+        grid = Grid2D(q)
+        distribute_blocks(m, A, "A", grid)
+        distribute_blocks(m, B, "B", grid)
+        b = n // q
+
+        # C starts at zero on every rank.
+        for r in range(grid.p):
+            m.put(r, "C", np.zeros((b, b)))
+
+        # Skew: row i rotates A left by i, column j rotates B up by j.  In
+        # the paper's machine model (§1.1: any disjoint pairs communicate
+        # simultaneously, no topology) each skew is a single permutation
+        # superstep — every rank sends one block and receives one block.
+        if q > 1:
+            msgs = []
+            for i in range(q):
+                for j in range(q):
+                    src = grid.rank(i, j)
+                    msgs.append(Message(src, grid.rank(i, j - i), "A", m.get(src, "A")))
+            m.exchange(msgs, label="skewA")
+            msgs = []
+            for i in range(q):
+                for j in range(q):
+                    src = grid.rank(i, j)
+                    msgs.append(Message(src, grid.rank(i - j, j), "B", m.get(src, "B")))
+            m.exchange(msgs, label="skewB")
+
+        for _round in range(q):
+            for r in range(grid.p):
+                Ablk = m.get(r, "A")
+                Bblk = m.get(r, "B")
+                Cblk = m.get(r, "C")
+                m.put(r, "C", Cblk + Ablk @ Bblk)
+                m.flop(r, 2 * b * b * b)
+            m.end_compute_phase()
+            if _round < q - 1:
+                shift_many(m, [grid.row(i) for i in range(q)], "A", -1, label="shiftA")
+                shift_many(m, [grid.col(j) for j in range(q)], "B", -1, label="shiftB")
+
+        return gather_blocks(m, "C", grid, n)
 
 
 def cannon_multiply(A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None) -> ParallelResult:
-    """Run Cannon's algorithm on a q×q simulated grid.
-
-    The initial skew is performed (and charged) explicitly with cyclic
-    shifts, exactly as on a torus: row i of A moves i steps left, column j
-    of B moves j steps up; each of the q multiply rounds then shifts A left
-    and B up by one.
-    """
-    n = A.shape[0]
-    if A.shape != B.shape or A.shape != (n, n):
-        raise ValueError("A and B must be equal square matrices")
-    grid = Grid2D(q)
-    m = Machine(grid.p, memory_limit=memory_limit)
-    distribute_blocks(m, A, "A", grid)
-    distribute_blocks(m, B, "B", grid)
-    b = n // q
-
-    # C starts at zero on every rank.
-    for r in range(grid.p):
-        m.put(r, "C", np.zeros((b, b)))
-
-    # Skew: row i rotates A left by i, column j rotates B up by j.  In the
-    # paper's machine model (§1.1: any disjoint pairs communicate
-    # simultaneously, no topology) each skew is a single permutation
-    # superstep — every rank sends one block and receives one block.
-    if q > 1:
-        msgs = []
-        for i in range(q):
-            for j in range(q):
-                src = grid.rank(i, j)
-                msgs.append(Message(src, grid.rank(i, j - i), "A", m.get(src, "A")))
-        m.exchange(msgs, label="skewA")
-        msgs = []
-        for i in range(q):
-            for j in range(q):
-                src = grid.rank(i, j)
-                msgs.append(Message(src, grid.rank(i - j, j), "B", m.get(src, "B")))
-        m.exchange(msgs, label="skewB")
-
-    for _round in range(q):
-        for r in range(grid.p):
-            Ablk = m.get(r, "A")
-            Bblk = m.get(r, "B")
-            Cblk = m.get(r, "C")
-            m.put(r, "C", Cblk + Ablk @ Bblk)
-            m.flop(r, 2 * b * b * b)
-        m.end_compute_phase()
-        if _round < q - 1:
-            shift_many(m, [grid.row(i) for i in range(q)], "A", -1, label="shiftA")
-            shift_many(m, [grid.col(j) for j in range(q)], "B", -1, label="shiftB")
-
-    C = gather_blocks(m, "C", grid, n)
-    return ParallelResult(C=C, machine=m, algorithm="cannon", n=n, p=grid.p)
+    """Run Cannon's algorithm on a q×q simulated grid (registry wrapper)."""
+    return get_parallel("cannon").run(A, B, p=q * q, memory_limit=memory_limit)

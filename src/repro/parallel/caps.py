@@ -41,9 +41,17 @@ import numpy as np
 
 from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.machine.distributed import Machine, Message
-from repro.parallel.cannon import ParallelResult
+from repro.parallel.base import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    get_parallel,
+    register_parallel,
+)
+from repro.util.numutil import is_power_of
 
 __all__ = [
+    "Caps",
     "caps_multiply",
     "block_permutation",
     "quadtree_permutation",
@@ -121,6 +129,135 @@ def validate_caps_geometry(
         raise ValueError("schedule must end with group size 1 (ℓ BFS steps)")
 
 
+def _bfs_count(scheme: BilinearScheme, p: int) -> int:
+    """ℓ with p = t₀^ℓ, or a clear error (the declared rank-count predicate)."""
+    if not is_power_of(p, scheme.t0):
+        raise ValueError(
+            f"caps: p={p} must be a power of the scheme's rank t0={scheme.t0} "
+            f"(p = t0^ℓ processor groups)"
+        )
+    ell = 0
+    while scheme.t0**ell < p:
+        ell += 1
+    return ell
+
+
+@register_parallel
+class Caps(ParallelAlgorithm):
+    """Scheme-driven BFS/DFS parallel recursion on the cyclic block-tree layout."""
+
+    name = "caps"
+    algorithm_class = "strassen-like"
+    regime = "2D–3D (schedule-tunable)"
+    requirement = "p = t₀^ℓ, square scheme, g | (s/n₀)² at every schedule step"
+    attains = "Ω((n/√M)^ω₀·M/p), floor Ω(n²/p^(2/ω₀))  [Table I, Strassen-like]"
+    uses_scheme = True
+    default_scheme = "strassen"
+    option_names = ("schedule",)
+
+    def validate(self, n, p, *, c=1, scheme=None, schedule=None, **options):
+        scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
+        if not scheme.is_square:
+            raise ValueError(
+                "the cyclic-over-block-tree CAPS layout needs a square scheme; "
+                f"{scheme.name!r} has shape {scheme.shape}"
+            )
+        ell = _bfs_count(scheme, p)
+        if schedule is None:
+            schedule = "B" * ell
+        validate_caps_geometry(n, p, schedule, scheme)
+
+    def analytic_costs(self, n, p, *, c=1, scheme=None, schedule=None, **options):
+        # Walk the schedule.  A BFS step at state (s, g) redistributes, per
+        # rank, 2(t₀−1) chunks out and 2(t₀−1) lanes in forward plus
+        # (t₀−1)·seg each way backward, seg = (s/n₀)²/g — 6(t₀−1)·seg words
+        # and 6(t₀−1) messages (one lane per rank is a free self-send).  A
+        # DFS step is communication-free but multiplies every later charge
+        # by t₀ (the subproblems run sequentially).  This is *exact*: the
+        # simulator's measured words equal it for every schedule.
+        # Memory: parent input chunks stay live down the recursion, so the
+        # peak is the chain Σ 2·(n²/p)·f_i of prefix footprint factors
+        # (×t₀/n₀² per BFS, ÷n₀² per DFS) plus the leaf's a/b/c working set
+        # and, per DFS step, its t₀ accumulated Q-chunks (within ~6% of
+        # measured for every schedule).
+        scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
+        t0, n0 = scheme.t0, scheme.n0
+        ell = _bfs_count(scheme, p)
+        if schedule is None:
+            schedule = "B" * ell
+        if set(schedule) - {"B", "D"}:
+            raise ValueError(f"schedule may contain only 'B'/'D', got {schedule!r}")
+        if schedule.count("B") != ell:
+            raise ValueError(
+                f"schedule {schedule!r} has {schedule.count('B')} BFS steps; "
+                f"needs {ell} for p={p} = {t0}^{ell}"
+            )
+        words = msgs = 0.0
+        s, g, mult = float(n), p, 1.0
+        factor = 1.0
+        chain = 2.0 * n * n / p      # level-0 A, B chunks
+        dfs_extra = 0.0
+        for step in schedule:
+            seg = (s / n0) ** 2 / g
+            if step == "B":
+                words += mult * 6.0 * (t0 - 1) * seg
+                msgs += mult * 6.0 * (t0 - 1)
+                factor *= t0 / n0**2
+                s /= n0
+                g //= t0
+            else:  # D
+                factor /= n0**2
+                mult *= t0
+                s /= n0
+                dfs_extra += t0 * seg
+            chain += 2.0 * n * n / p * factor
+        memory = chain + 2.0 * s * s + dfs_extra
+        return AnalyticCost(words=words, messages=msgs, memory=memory)
+
+    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+        scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
+        out = []
+        ell = 1
+        while scheme.t0**ell <= p_max:
+            p = scheme.t0**ell
+            try:
+                validate_caps_geometry(n, p, "B" * ell, scheme)
+            except ValueError:
+                pass
+            else:
+                out.append({"p": p, "c": 1})
+            ell += 1
+        return out
+
+    def result_label(self, *, p, c=1, scheme=None, schedule=None, **options):
+        scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
+        if schedule is None:
+            schedule = "B" * _bfs_count(scheme, p)
+        return f"caps({schedule})"
+
+    def _execute(self, m: Machine, A, B, *, p, c, scheme, schedule=None, **options):
+        n = A.shape[0]
+        if schedule is None:
+            schedule = "B" * _bfs_count(scheme, p)
+        depth = len(schedule)
+
+        perm = block_permutation(n, depth, scheme.n0)
+        a_flat = A.ravel()[perm]
+        b_flat = B.ravel()[perm]
+        for r in range(p):
+            m.put(r, "A", a_flat[r::p])
+            m.put(r, "B", b_flat[r::p])
+
+        _caps(m, list(range(p)), "A", "B", "C", n, schedule, 0, scheme)
+
+        c_flat = np.empty(n * n)
+        for r in range(p):
+            c_flat[r::p] = m.get(r, "C")
+        C = np.empty(n * n)
+        C[perm] = c_flat
+        return C.reshape(n, n)
+
+
 def caps_multiply(
     A: np.ndarray,
     B: np.ndarray,
@@ -129,7 +266,7 @@ def caps_multiply(
     memory_limit: int | None = None,
     scheme: BilinearScheme | str = "strassen",
 ) -> ParallelResult:
-    """Run CAPS on ``p = t₀^ℓ`` simulated processors.
+    """Run CAPS on ``p = t₀^ℓ`` simulated processors (registry wrapper).
 
     ``schedule`` defaults to all-BFS (``"B"·ℓ`` — unlimited-memory CAPS);
     any interleaving with exactly ℓ B's is accepted, e.g. ``"DDBB"`` for a
@@ -145,32 +282,9 @@ def caps_multiply(
             "the cyclic-over-block-tree CAPS layout needs a square scheme; "
             f"{scheme.name!r} has shape {scheme.shape}"
         )
-    p = scheme.t0**ell
-    if schedule is None:
-        schedule = "B" * ell
-    n = A.shape[0]
-    if A.shape != B.shape or A.shape != (n, n):
-        raise ValueError("A and B must be equal square matrices")
-    validate_caps_geometry(n, p, schedule, scheme)
-    depth = len(schedule)
-
-    m = Machine(p, memory_limit=memory_limit)
-    perm = block_permutation(n, depth, scheme.n0)
-    a_flat = A.ravel()[perm]
-    b_flat = B.ravel()[perm]
-    for r in range(p):
-        m.put(r, "A", a_flat[r::p])
-        m.put(r, "B", b_flat[r::p])
-
-    _caps(m, list(range(p)), "A", "B", "C", n, schedule, 0, scheme)
-
-    c_flat = np.empty(n * n)
-    for r in range(p):
-        c_flat[r::p] = m.get(r, "C")
-    C = np.empty(n * n)
-    C[perm] = c_flat
-    return ParallelResult(
-        C=C.reshape(n, n), machine=m, algorithm=f"caps({schedule})", n=n, p=p
+    return get_parallel("caps").run(
+        A, B, p=scheme.t0**ell, memory_limit=memory_limit,
+        scheme=scheme, schedule=schedule,
     )
 
 

@@ -10,49 +10,95 @@ algorithm, not the memory regime.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.machine.collectives import broadcast_many
 from repro.machine.distmatrix import Grid2D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine
-from repro.parallel.cannon import ParallelResult
+from repro.parallel.base import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    check_block_divisibility,
+    get_parallel,
+    register_parallel,
+    square_grid_side,
+)
 
-__all__ = ["summa_multiply"]
+__all__ = ["Summa", "summa_multiply"]
+
+
+@register_parallel
+class Summa(ParallelAlgorithm):
+    """Row/column broadcast 2D algorithm — pays a lg q factor over Cannon."""
+
+    name = "summa"
+    algorithm_class = "classical"
+    regime = "2D"
+    requirement = "p = q² (square grid), q | n"
+    attains = "O(n²·lg p/p^(1/2)) at M = Θ(n²/p)  [2D cell up to the lg factor]"
+
+    def validate(self, n, p, *, c=1, scheme=None, **options):
+        q = square_grid_side(self.name, p)
+        check_block_divisibility(self.name, n, q)
+
+    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+        # Per round k: two batched binomial broadcasts of one b² panel each,
+        # ⌈lg q⌉ supersteps apiece with critical charge b² (disjoint
+        # sender/receiver sets within a superstep); q rounds total.
+        q = math.isqrt(p)
+        b2 = (n / q) ** 2
+        lg = math.ceil(math.log2(q)) if q > 1 else 0
+        return AnalyticCost(
+            words=2.0 * q * lg * b2,
+            messages=2.0 * q * lg,
+            memory=5.0 * b2,  # A, B, C + the two in-flight panels
+        )
+
+    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+        return [
+            {"p": q * q, "c": 1}
+            for q in range(2, math.isqrt(p_max) + 1)
+            if n % q == 0
+        ]
+
+    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+        n = A.shape[0]
+        q = math.isqrt(p)
+        grid = Grid2D(q)
+        distribute_blocks(m, A, "A", grid)
+        distribute_blocks(m, B, "B", grid)
+        b = n // q
+        for r in range(grid.p):
+            m.put(r, "C", np.zeros((b, b)))
+
+        for k in range(q):
+            # Broadcast A[:, k] along every row and B[k, :] along every
+            # column (all q row-broadcasts proceed simultaneously, likewise
+            # columns).
+            for i in range(q):
+                root = grid.rank(i, k)
+                m.put(root, "Apanel", m.get(root, "A"))
+            broadcast_many(m, [(grid.row(i), grid.rank(i, k)) for i in range(q)],
+                           "Apanel", label="bcastA")
+            for j in range(q):
+                root = grid.rank(k, j)
+                m.put(root, "Bpanel", m.get(root, "B"))
+            broadcast_many(m, [(grid.col(j), grid.rank(k, j)) for j in range(q)],
+                           "Bpanel", label="bcastB")
+            for r in range(grid.p):
+                Cblk = m.get(r, "C") + m.get(r, "Apanel") @ m.get(r, "Bpanel")
+                m.put(r, "C", Cblk)
+                m.flop(r, 2 * b * b * b)
+                m.delete(r, "Apanel")
+                m.delete(r, "Bpanel")
+            m.end_compute_phase()
+
+        return gather_blocks(m, "C", grid, n)
 
 
 def summa_multiply(A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None) -> ParallelResult:
-    """Run SUMMA on a q×q simulated grid (block-sized panels, q rounds)."""
-    n = A.shape[0]
-    if A.shape != B.shape or A.shape != (n, n):
-        raise ValueError("A and B must be equal square matrices")
-    grid = Grid2D(q)
-    m = Machine(grid.p, memory_limit=memory_limit)
-    distribute_blocks(m, A, "A", grid)
-    distribute_blocks(m, B, "B", grid)
-    b = n // q
-    for r in range(grid.p):
-        m.put(r, "C", np.zeros((b, b)))
-
-    for k in range(q):
-        # Broadcast A[:, k] along every row and B[k, :] along every column
-        # (all q row-broadcasts proceed simultaneously, likewise columns).
-        for i in range(q):
-            root = grid.rank(i, k)
-            m.put(root, "Apanel", m.get(root, "A"))
-        broadcast_many(m, [(grid.row(i), grid.rank(i, k)) for i in range(q)],
-                       "Apanel", label="bcastA")
-        for j in range(q):
-            root = grid.rank(k, j)
-            m.put(root, "Bpanel", m.get(root, "B"))
-        broadcast_many(m, [(grid.col(j), grid.rank(k, j)) for j in range(q)],
-                       "Bpanel", label="bcastB")
-        for r in range(grid.p):
-            Cblk = m.get(r, "C") + m.get(r, "Apanel") @ m.get(r, "Bpanel")
-            m.put(r, "C", Cblk)
-            m.flop(r, 2 * b * b * b)
-            m.delete(r, "Apanel")
-            m.delete(r, "Bpanel")
-        m.end_compute_phase()
-
-    C = gather_blocks(m, "C", grid, n)
-    return ParallelResult(C=C, machine=m, algorithm="summa", n=n, p=grid.p)
+    """Run SUMMA on a q×q simulated grid (registry wrapper)."""
+    return get_parallel("summa").run(A, B, p=q * q, memory_limit=memory_limit)

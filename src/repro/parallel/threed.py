@@ -12,81 +12,127 @@ final reductions are the *entire* communication.
 
 from __future__ import annotations
 
-import numpy as np
+import math
 
 from repro.machine.collectives import broadcast_many, reduce_many
 from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine, Message
-from repro.parallel.cannon import ParallelResult
+from repro.parallel.base import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    check_block_divisibility,
+    cube_grid_side,
+    get_parallel,
+    register_parallel,
+)
 
-__all__ = ["threed_multiply"]
+__all__ = ["ThreeD", "threed_multiply"]
 
 
-def threed_multiply(A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None) -> ParallelResult:
-    """Run the 3D algorithm on a q×q×q simulated grid (p = q³)."""
-    n = A.shape[0]
-    if A.shape != B.shape or A.shape != (n, n):
-        raise ValueError("A and B must be equal square matrices")
-    if n % q != 0:
-        raise ValueError(f"n={n} must be divisible by q={q}")
-    grid = Grid3D(q, q)
-    face = Grid2D(q)
-    m = Machine(grid.p, memory_limit=memory_limit)
-    b = n // q
+@register_parallel
+class ThreeD(ParallelAlgorithm):
+    """Replicate-multiply-reduce on a processor cube (p = q³)."""
 
-    # Inputs start evenly distributed on layer 0: rank (i, j, 0) owns A_ij, B_ij.
-    distribute_blocks(m, A, "A", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
-    distribute_blocks(m, B, "B", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+    name = "3d"
+    algorithm_class = "classical"
+    regime = "3D"
+    requirement = "p = q³ (processor cube), q | n"
+    attains = "Ω(n²/p^(2/3)) at M = Θ(n²/p^(2/3))  [Table I row 2, classical]"
 
-    # Routing: A_{il} must reach every (i, j, l).  One relay hop to the
-    # target layer, then a binomial broadcast along the layer's row — each
-    # processor moves Θ(b²·lg q) words, never a q-way fan-out from one rank.
-    msgs = []
-    for i in range(q):
+    def validate(self, n, p, *, c=1, scheme=None, **options):
+        q = cube_grid_side(self.name, p)
+        check_block_divisibility(self.name, n, q)
+
+    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+        # One relay superstep per input (b² critical) + a batched binomial
+        # broadcast (⌈lg q⌉ × b²) per input + the fiber reduction
+        # (⌈lg q⌉ × b²): (2 + 3·⌈lg q⌉)·b² with b² = n²/p^(2/3).
+        q = cube_grid_side(self.name, p)
+        b2 = (n / q) ** 2
+        lg = math.ceil(math.log2(q)) if q > 1 else 0
+        rounds = 2 + 3 * lg if q > 1 else 0
+        return AnalyticCost(
+            words=rounds * b2,
+            messages=float(rounds),
+            memory=5.0 * b2,  # layer-0 ranks: A, B + Ablk, Bblk + Cpart
+        )
+
+    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+        out = []
+        q = 2
+        while q**3 <= p_max:
+            if n % q == 0:
+                out.append({"p": q**3, "c": 1})
+            q += 1
+        return out
+
+    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+        n = A.shape[0]
+        q = cube_grid_side(self.name, p)
+        grid = Grid3D(q, q)
+        face = Grid2D(q)
+        b = n // q
+
+        # Inputs start evenly distributed on layer 0: rank (i, j, 0) owns
+        # A_ij, B_ij.
+        distribute_blocks(m, A, "A", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+        distribute_blocks(m, B, "B", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+
+        # Routing: A_{il} must reach every (i, j, l).  One relay hop to the
+        # target layer, then a binomial broadcast along the layer's row —
+        # each processor moves Θ(b²·lg q) words, never a q-way fan-out from
+        # one rank.
+        msgs = []
+        for i in range(q):
+            for l in range(q):
+                src = grid.rank(i, l, 0)
+                dst = grid.rank(i, l, l)
+                msgs.append(Message(src, dst, "Ablk", m.get(src, "A")))
+        m.exchange(msgs, label="relayA")
+        broadcast_many(
+            m,
+            [([grid.rank(i, j, l) for j in range(q)], grid.rank(i, l, l))
+             for i in range(q) for l in range(q)],
+            "Ablk",
+            label="bcastA",
+        )
+        msgs = []
         for l in range(q):
-            src = grid.rank(i, l, 0)
-            dst = grid.rank(i, l, l)
-            msgs.append(Message(src, dst, "Ablk", m.get(src, "A")))
-    m.exchange(msgs, label="relayA")
-    broadcast_many(
-        m,
-        [([grid.rank(i, j, l) for j in range(q)], grid.rank(i, l, l))
-         for i in range(q) for l in range(q)],
-        "Ablk",
-        label="bcastA",
-    )
-    msgs = []
-    for l in range(q):
-        for j in range(q):
-            src = grid.rank(l, j, 0)
-            dst = grid.rank(l, j, l)
-            msgs.append(Message(src, dst, "Bblk", m.get(src, "B")))
-    m.exchange(msgs, label="relayB")
-    broadcast_many(
-        m,
-        [([grid.rank(i, j, l) for i in range(q)], grid.rank(l, j, l))
-         for l in range(q) for j in range(q)],
-        "Bblk",
-        label="bcastB",
-    )
+            for j in range(q):
+                src = grid.rank(l, j, 0)
+                dst = grid.rank(l, j, l)
+                msgs.append(Message(src, dst, "Bblk", m.get(src, "B")))
+        m.exchange(msgs, label="relayB")
+        broadcast_many(
+            m,
+            [([grid.rank(i, j, l) for i in range(q)], grid.rank(l, j, l))
+             for l in range(q) for j in range(q)],
+            "Bblk",
+            label="bcastB",
+        )
 
-    # Local multiply: (i, j, l) computes A_{il} · B_{lj}.
-    for r in range(grid.p):
-        prod = m.get(r, "Ablk") @ m.get(r, "Bblk")
-        m.put(r, "Cpart", prod)
-        m.flop(r, 2 * b * b * b)
-        m.delete(r, "Ablk")
-        m.delete(r, "Bblk")
-    m.end_compute_phase()
+        # Local multiply: (i, j, l) computes A_{il} · B_{lj}.
+        for r in range(grid.p):
+            prod = m.get(r, "Ablk") @ m.get(r, "Bblk")
+            m.put(r, "Cpart", prod)
+            m.flop(r, 2 * b * b * b)
+            m.delete(r, "Ablk")
+            m.delete(r, "Bblk")
+        m.end_compute_phase()
 
-    # Sum the partials down all fibers simultaneously onto layer 0.
-    reduce_many(
-        m,
-        [(grid.fiber(i, j), grid.fiber(i, j)[0]) for i in range(q) for j in range(q)],
-        "Cpart",
-        "C",
-        label="reduceC",
-    )
+        # Sum the partials down all fibers simultaneously onto layer 0.
+        reduce_many(
+            m,
+            [(grid.fiber(i, j), grid.fiber(i, j)[0]) for i in range(q) for j in range(q)],
+            "Cpart",
+            "C",
+            label="reduceC",
+        )
 
-    C = gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
-    return ParallelResult(C=C, machine=m, algorithm="3d", n=n, p=grid.p)
+        return gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
+
+
+def threed_multiply(A, B, q: int, memory_limit: int | None = None) -> ParallelResult:
+    """Run the 3D algorithm on a q×q×q simulated grid (registry wrapper)."""
+    return get_parallel("3d").run(A, B, p=q**3, memory_limit=memory_limit)

@@ -12,14 +12,149 @@ c=p^(1/3) it matches 3D, which is the §6.1 story the E10 sweep reproduces.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.machine.collectives import broadcast_many, reduce_many, shift_many
 from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine, Message
-from repro.parallel.cannon import ParallelResult
+from repro.parallel.base import (
+    AnalyticCost,
+    ParallelAlgorithm,
+    ParallelResult,
+    check_block_divisibility,
+    get_parallel,
+    register_parallel,
+    square_grid_side,
+)
 
-__all__ = ["two5d_multiply"]
+__all__ = ["Two5D", "two5d_multiply"]
+
+
+def _grid_side(name: str, p: int, c: int) -> int:
+    """q with p = q²·c, or a clear error."""
+    if c < 1:
+        raise ValueError(f"{name}: replication factor must be >= 1 (got c={c})")
+    if p < 1 or p % c != 0:
+        raise ValueError(f"{name}: p={p} must be q²·c with c={c} dividing it")
+    try:
+        return square_grid_side(name, p // c)
+    except ValueError:
+        raise ValueError(
+            f"{name}: p={p} is not q²·c for replication factor c={c} "
+            f"(p/c={p // c} is not a perfect square)"
+        ) from None
+
+
+@register_parallel
+class Two5D(ParallelAlgorithm):
+    """c replicated layers of Cannon rounds — the tunable-memory algorithm."""
+
+    name = "2.5d"
+    algorithm_class = "classical"
+    regime = "2.5D"
+    requirement = "p = q²·c (c layers of a square grid), c | q, q | n"
+    attains = "Ω(n²/(c^(1/2)·p^(1/2))) at M = Θ(c·n²/p)  [Table I row 3, classical]"
+    supports_replication = True
+
+    def validate(self, n, p, *, c=1, scheme=None, **options):
+        q = _grid_side(self.name, p, c)
+        if q % c != 0:
+            raise ValueError(
+                f"{self.name}: grid side q={q} must be divisible by the "
+                f"replication factor c={c} (each layer runs q/c shift rounds)"
+            )
+        check_block_divisibility(self.name, n, q)
+
+    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+        # Replication broadcasts + reduction: 3·⌈lg c⌉ supersteps of b²;
+        # skew (2 × 2b²) + shifts (2(q/c − 1) × 2b²) = 4(q/c)·b² — at c=1
+        # exactly Cannon's 4b²q.
+        q = _grid_side(self.name, p, c)
+        b2 = (n / q) ** 2
+        lg = math.ceil(math.log2(c)) if c > 1 else 0
+        shift_part = 4.0 * (q // c) if q > 1 else 0.0
+        return AnalyticCost(
+            words=(3.0 * lg + shift_part) * b2,
+            messages=3.0 * lg + shift_part,
+            memory=4.0 * b2,  # A, B, Cpart, C — b² = c·n²/p per block
+        )
+
+    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+        out = []
+        for c in sorted(set(cs)):
+            for q in range(2, math.isqrt(max(p_max // c, 0)) + 1):
+                if n % q == 0 and q % c == 0 and q * q * c <= p_max:
+                    out.append({"p": q * q * c, "c": c})
+        return out
+
+    def result_label(self, *, p, c=1, scheme=None, **options):
+        return f"2.5d(c={c})"
+
+    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+        n = A.shape[0]
+        q = _grid_side(self.name, p, c)
+        grid = Grid3D(q, c)
+        face = Grid2D(q)
+        b = n // q
+
+        distribute_blocks(m, A, "A", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+        distribute_blocks(m, B, "B", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
+
+        # Replicate A and B across the c layers (all fibers broadcast at once).
+        fibers = [(grid.fiber(i, j), grid.fiber(i, j)[0]) for i in range(q) for j in range(q)]
+        broadcast_many(m, fibers, "A", label="replA")
+        broadcast_many(m, fibers, "B", label="replB")
+
+        # Layer l performs Cannon rounds k = l·(q/c) .. (l+1)·(q/c) − 1.  The
+        # alignment for its first round uses A_{i, j+i+l·q/c} and
+        # B_{i+j+l·q/c, j}: a layer-dependent rotation, realized as one
+        # permutation superstep across all layers (fully connected model).
+        rounds = q // c
+        if q > 1:
+            msgs = []
+            for l in range(c):
+                off = l * rounds
+                for i in range(q):
+                    for j in range(q):
+                        src = grid.rank(i, j, l)
+                        msgs.append(Message(src, grid.rank(i, j - i - off, l), "A", m.get(src, "A")))
+            m.exchange(msgs, label="skewA")
+            msgs = []
+            for l in range(c):
+                off = l * rounds
+                for i in range(q):
+                    for j in range(q):
+                        src = grid.rank(i, j, l)
+                        msgs.append(Message(src, grid.rank(i - j - off, j, l), "B", m.get(src, "B")))
+            m.exchange(msgs, label="skewB")
+
+        for r in range(grid.p):
+            m.put(r, "Cpart", np.zeros((b, b)))
+
+        for k in range(rounds):
+            for r in range(grid.p):
+                Cp = m.get(r, "Cpart") + m.get(r, "A") @ m.get(r, "B")
+                m.put(r, "Cpart", Cp)
+                m.flop(r, 2 * b * b * b)
+            m.end_compute_phase()
+            if k < rounds - 1:
+                shift_many(
+                    m,
+                    [[grid.rank(i, j, l) for j in range(q)] for l in range(c) for i in range(q)],
+                    "A", -1, label="shiftA",
+                )
+                shift_many(
+                    m,
+                    [[grid.rank(i, j, l) for i in range(q)] for l in range(c) for j in range(q)],
+                    "B", -1, label="shiftB",
+                )
+
+        # Reduce C partials across layers onto layer 0 (all fibers at once).
+        reduce_many(m, fibers, "Cpart", "C", label="reduceC")
+
+        return gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
 
 
 def two5d_multiply(
@@ -29,75 +164,5 @@ def two5d_multiply(
     c: int,
     memory_limit: int | None = None,
 ) -> ParallelResult:
-    """Run the 2.5D algorithm on c layers of q×q grids (p = q²·c).
-
-    ``q`` must be divisible by ``c`` (each layer advances q/c of the q
-    shift rounds; c=1 degenerates to Cannon with an explicit skew).
-    """
-    n = A.shape[0]
-    if A.shape != B.shape or A.shape != (n, n):
-        raise ValueError("A and B must be equal square matrices")
-    if q % c != 0:
-        raise ValueError(f"q={q} must be divisible by c={c}")
-    grid = Grid3D(q, c)
-    face = Grid2D(q)
-    m = Machine(grid.p, memory_limit=memory_limit)
-    b = n // q
-
-    distribute_blocks(m, A, "A", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
-    distribute_blocks(m, B, "B", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
-
-    # Replicate A and B across the c layers (all fibers broadcast at once).
-    fibers = [(grid.fiber(i, j), grid.fiber(i, j)[0]) for i in range(q) for j in range(q)]
-    broadcast_many(m, fibers, "A", label="replA")
-    broadcast_many(m, fibers, "B", label="replB")
-
-    # Layer l performs Cannon rounds k = l·(q/c) .. (l+1)·(q/c) − 1.  The
-    # alignment for its first round uses A_{i, j+i+l·q/c} and
-    # B_{i+j+l·q/c, j}: a layer-dependent rotation, realized as one
-    # permutation superstep across all layers (fully connected model).
-    rounds = q // c
-    if q > 1:
-        msgs = []
-        for l in range(c):
-            off = l * rounds
-            for i in range(q):
-                for j in range(q):
-                    src = grid.rank(i, j, l)
-                    msgs.append(Message(src, grid.rank(i, j - i - off, l), "A", m.get(src, "A")))
-        m.exchange(msgs, label="skewA")
-        msgs = []
-        for l in range(c):
-            off = l * rounds
-            for i in range(q):
-                for j in range(q):
-                    src = grid.rank(i, j, l)
-                    msgs.append(Message(src, grid.rank(i - j - off, j, l), "B", m.get(src, "B")))
-        m.exchange(msgs, label="skewB")
-
-    for r in range(grid.p):
-        m.put(r, "Cpart", np.zeros((b, b)))
-
-    for k in range(rounds):
-        for r in range(grid.p):
-            Cp = m.get(r, "Cpart") + m.get(r, "A") @ m.get(r, "B")
-            m.put(r, "Cpart", Cp)
-            m.flop(r, 2 * b * b * b)
-        m.end_compute_phase()
-        if k < rounds - 1:
-            shift_many(
-                m,
-                [[grid.rank(i, j, l) for j in range(q)] for l in range(c) for i in range(q)],
-                "A", -1, label="shiftA",
-            )
-            shift_many(
-                m,
-                [[grid.rank(i, j, l) for i in range(q)] for l in range(c) for j in range(q)],
-                "B", -1, label="shiftB",
-            )
-
-    # Reduce C partials across layers onto layer 0 (all fibers at once).
-    reduce_many(m, fibers, "Cpart", "C", label="reduceC")
-
-    C = gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
-    return ParallelResult(C=C, machine=m, algorithm=f"2.5d(c={c})", n=n, p=grid.p)
+    """Run the 2.5D algorithm on c layers of q×q grids (registry wrapper)."""
+    return get_parallel("2.5d").run(A, B, p=q * q * c, c=c, memory_limit=memory_limit)

@@ -7,8 +7,12 @@ import pytest
 from repro.core.bounds import (
     LG7,
     latency_bound,
+    memory_independent_bound,
     memory_regimes,
     parallel_io_bound,
+    perfect_scaling_limit,
+    rect_memory_independent_bound,
+    scaling_regime,
     sequential_io_bound,
     sequential_io_upper,
     table1_cell,
@@ -58,6 +62,68 @@ class TestParallel:
     def test_p_must_be_positive(self):
         with pytest.raises(ValueError):
             parallel_io_bound(64, 64, 0)
+
+
+class TestMemoryIndependent:
+    def test_classical_form(self):
+        # 1202.3177: classical floor n²/p^(2/3)
+        assert memory_independent_bound(64, 8, 3.0) == pytest.approx(64 * 64 / 4)
+
+    def test_strassen_form(self):
+        n, p = 128, 49
+        assert memory_independent_bound(n, p, LG7) == pytest.approx(
+            n * n / p ** (2.0 / LG7)
+        )
+
+    def test_single_processor_moves_nothing(self):
+        assert memory_independent_bound(64, 1) == 0.0
+
+    def test_rejects_bad_omega(self):
+        with pytest.raises(ValueError):
+            memory_independent_bound(64, 4, 1.5)
+
+    def test_rect_uses_geometric_mean(self):
+        # ⟨m,n,k⟩ = (8, 64, 64): n_eff = (8·64·64)^(1/3) = 32
+        assert rect_memory_independent_bound(8, 64, 64, 8, 3.0) == pytest.approx(
+            memory_independent_bound(32, 8, 3.0)
+        )
+
+
+class TestPerfectScalingLimit:
+    def test_classical_closed_form(self):
+        # p* = n³/M^(3/2): the familiar classical strong-scaling end
+        n, M = 64, 256
+        assert perfect_scaling_limit(n, M, 3.0) == pytest.approx(n**3 / M**1.5)
+        assert perfect_scaling_limit(64, 256, 3.0) == pytest.approx(64.0)
+
+    def test_strassen_limit_is_smaller(self):
+        # lower ω₀ ⇒ the perfect-scaling range ends earlier
+        n, M = 1024, 1024
+        assert perfect_scaling_limit(n, M, LG7) < perfect_scaling_limit(n, M, 3.0)
+
+    def test_bounds_cross_exactly_at_limit(self):
+        n, M = 64, 256
+        p_star = perfect_scaling_limit(n, M, 3.0)
+        md = parallel_io_bound(n, M, int(p_star), 3.0)
+        mi = memory_independent_bound(n, int(p_star), 3.0)
+        assert md == pytest.approx(mi)
+
+
+class TestScalingRegime:
+    def test_classifier_flips_at_crossover(self):
+        n, M = 64, 256  # p* = 64 exactly
+        below = scaling_regime(n, 16, M, 3.0)
+        at = scaling_regime(n, 64, M, 3.0)
+        above = scaling_regime(n, 512, M, 3.0)
+        assert below.binding == "memory-dependent"
+        assert at.binding == "memory-dependent"  # equality: last perfect point
+        assert above.binding == "memory-independent"
+        assert below.p_limit == pytest.approx(64.0)
+
+    def test_bound_is_max_of_both(self):
+        reg = scaling_regime(64, 512, 256, 3.0)
+        assert reg.bound == max(reg.memory_dependent, reg.memory_independent)
+        assert reg.bound == reg.memory_independent
 
 
 class TestLatency:

@@ -1,7 +1,8 @@
-"""Golden-file regression test for the ``python -m repro`` CLI report.
+"""Golden-file regression tests for the ``python -m repro`` CLI reports.
 
-Runs a tiny sweep into a temporary cache and validates the emitted JSON
-against a checked-in schema and golden file (``tests/data/sweep_golden.json``).
+Runs a tiny ``sweep`` and a full ``scaling`` run into a temporary cache and
+validates the emitted JSON against checked-in schemas and golden files
+(``tests/data/sweep_golden.json``, ``tests/data/scaling_golden.json``).
 The parse is *strict* JSON — the PR-1 invariant that NaN serializes as
 ``null`` is enforced by rejecting any non-finite constant token.
 """
@@ -15,6 +16,7 @@ import pytest
 from repro.engine.cli import main
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "sweep_golden.json"
+SCALING_GOLDEN_PATH = Path(__file__).parent / "data" / "scaling_golden.json"
 
 SWEEP_ARGV = [
     "sweep",
@@ -143,6 +145,105 @@ class TestGoldenSweep:
         for volatile in ("wall_time", "workers", "stats"):
             report.pop(volatile, None)
         golden = _strict_loads(GOLDEN_PATH.read_text())
+        _assert_matches_golden(report, golden)
+
+
+SCALING_ARGV = ["scaling", "--algos", "all", "--json"]
+
+#: Schema of one scaling row.  Everything here is deterministic integer
+#: arithmetic or closed-form floats (no eigensolves), so — unlike the
+#: sweep's spectral fields — the whole row gets the tight float tolerance.
+SCALING_ROW_SCHEMA = {
+    "algorithm": str,
+    "label": str,
+    "class": str,
+    "n": int,
+    "p": int,
+    "c": int,
+    "scheme": (str, type(None)),
+    "schedule": (str, type(None)),
+    "omega0": (int, float),
+    "measured_words": int,
+    "measured_messages": int,
+    "time": (int, float),
+    "mem_peak": int,
+    "analytic_words": (int, float),
+    "analytic_messages": (int, float),
+    "analytic_memory": (int, float),
+    "memory_dependent_bound": (int, float),
+    "memory_independent_bound": (int, float),
+    "lower_bound": (int, float),
+    "binding": str,
+    "p_limit": (int, float),
+    "measured/analytic": (int, float),
+    "measured/lower": (int, float),
+    "verified": bool,
+}
+
+
+def _validate_scaling_schema(report: dict) -> None:
+    for key in ("spec", "rows", "stats", "wall_time"):
+        assert key in report, f"scaling report missing {key!r}"
+    assert report["rows"], "scaling report has no rows"
+    for row in report["rows"]:
+        assert set(row) == set(SCALING_ROW_SCHEMA), (
+            f"row keys {sorted(row)} != schema keys {sorted(SCALING_ROW_SCHEMA)}"
+        )
+        for key, typ in SCALING_ROW_SCHEMA.items():
+            assert isinstance(row[key], typ), (
+                f"row[{key!r}] = {row[key]!r} has type {type(row[key])}, wanted {typ}"
+            )
+
+
+@pytest.fixture()
+def scaling_output(tmp_path, capsys):
+    argv = ["--cache-dir", str(tmp_path / "cache")] + SCALING_ARGV
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestGoldenScaling:
+    def test_output_is_strict_json(self, scaling_output):
+        report = _strict_loads(scaling_output)
+        assert "NaN" not in scaling_output and "Infinity" not in scaling_output
+        assert isinstance(report, dict)
+
+    def test_schema(self, scaling_output):
+        _validate_scaling_schema(_strict_loads(scaling_output))
+
+    def test_runs_every_registered_algorithm(self, scaling_output):
+        from repro.parallel import available_parallel
+
+        report = _strict_loads(scaling_output)
+        assert {r["algorithm"] for r in report["rows"]} == set(available_parallel())
+
+    def test_soundness_invariants(self, scaling_output):
+        # acceptance: measured within a constant factor of the declared
+        # analytic cost and never below max(md, mi), for every row —
+        # including classical-2D, 2.5D, and CAPS
+        report = _strict_loads(scaling_output)
+        for row in report["rows"]:
+            assert row["verified"] is True
+            assert 0.25 <= row["measured/analytic"] <= 4.0
+            assert row["measured_words"] >= row["lower_bound"]
+
+    def test_matches_golden_file(self, scaling_output):
+        report = _strict_loads(scaling_output)
+        golden = _strict_loads(SCALING_GOLDEN_PATH.read_text())
+        for volatile in ("wall_time", "stats"):
+            report.pop(volatile, None)
+        _assert_matches_golden(report, golden)
+
+    def test_warm_rerun_matches_golden_too(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache")] + SCALING_ARGV
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        report = _strict_loads(capsys.readouterr().out)
+        assert report["stats"]["builds"] == 0  # warm: nothing simulated
+        for volatile in ("wall_time", "stats"):
+            report.pop(volatile, None)
+        golden = _strict_loads(SCALING_GOLDEN_PATH.read_text())
         _assert_matches_golden(report, golden)
 
 

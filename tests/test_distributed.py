@@ -39,6 +39,35 @@ class TestStorage:
         with pytest.raises(MemoryError, match="exceeded"):
             m.put(0, "y", np.zeros(5))
 
+    def test_memory_limit_exceed_on_put_names_key_and_rank(self):
+        m = Machine(3, memory_limit=4)
+        with pytest.raises(MemoryError, match=r"rank 2.*'huge'"):
+            m.put(2, "huge", np.zeros(5))
+
+    def test_memory_limit_exceeded_mid_superstep(self):
+        # delivery happens through put(): an incoming payload that would
+        # overflow the receiver's memory raises during the exchange
+        m = Machine(2, memory_limit=8)
+        m.put(1, "x", np.zeros(6))
+        with pytest.raises(MemoryError, match="rank 1"):
+            m.exchange([(0, 1, "incoming", np.zeros(6))])
+
+    def test_memory_limit_replace_within_budget_ok_mid_superstep(self):
+        # replacing an existing key with an equal-size payload is delta 0
+        m = Machine(2, memory_limit=8)
+        m.put(1, "x", np.zeros(8))
+        m.exchange([(0, 1, "x", np.ones(8))])
+        assert np.array_equal(m.get(1, "x"), np.ones(8))
+
+    def test_memory_limit_none_tracks_peaks_without_raising(self):
+        m = Machine(1, memory_limit=None)
+        m.put(0, "a", np.zeros(1000))
+        m.put(0, "b", np.zeros(500))
+        m.delete(0, "a")
+        assert m.mem_used(0) == 500
+        assert m.mem_peak[0] == 1500
+        assert m.max_mem_peak == 1500
+
     def test_rank_bounds_checked(self):
         m = Machine(2)
         with pytest.raises(ValueError, match="out of range"):
@@ -157,6 +186,50 @@ class TestFlops:
         m.exchange([(0, 1, "a", np.zeros(10))])
         t = m.estimated_time()
         assert t == 5.0 * 1 + 2.0 * 10
+
+
+class TestAlphaBetaTime:
+    def test_hand_computed_two_supersteps(self):
+        # step 1: fan-in at rank 1 (10 + 5 words, 2 msgs); step 2: one reply
+        m = Machine(3)
+        m.exchange([(0, 1, "a", np.zeros(10)), (2, 1, "b", np.zeros(5))])
+        m.exchange([(1, 0, "c", np.zeros(3))])
+        alpha, beta = 2.0, 0.5
+        # step 1: max(α·1 + β·10, α·2 + β·15, α·1 + β·5) = 2·2 + 0.5·15 = 11.5
+        # step 2: α·1 + β·3 = 3.5
+        assert m.time(alpha, beta) == pytest.approx(11.5 + 3.5)
+
+    def test_couples_per_rank_below_separable_estimate(self):
+        # msg-heavy rank (3 tiny messages) != word-heavy rank (one big one):
+        # the coupled time is strictly below α·crit_msgs + β·crit_words
+        m = Machine(6)
+        m.exchange([
+            (0, 1, "big", np.zeros(100)),
+            (2, 3, "t1", np.zeros(1)),
+            (4, 3, "t2", np.zeros(1)),
+            (5, 3, "t3", np.zeros(1)),
+        ])
+        alpha, beta = 10.0, 1.0
+        assert m.critical_messages == 3 and m.critical_words == 100
+        # coupled: max(10·1 + 1·100, 10·3 + 1·3) = 110 < 10·3 + 1·100 = 130
+        assert m.time(alpha, beta) == pytest.approx(110.0)
+        assert m.time(alpha, beta) < alpha * m.critical_messages + beta * m.critical_words
+
+    def test_defaults_to_machine_alpha_beta(self):
+        m = Machine(2, alpha=3.0, beta=2.0)
+        m.exchange([(0, 1, "a", np.zeros(4))])
+        assert m.time() == pytest.approx(3.0 * 1 + 2.0 * 4)
+        assert m.time(0.0, 1.0) == pytest.approx(4.0)
+
+    def test_empty_log_is_zero(self):
+        assert Machine(2).time(5.0, 7.0) == 0.0
+
+    def test_superstep_record_time(self):
+        s = SuperstepRecord(sent={0: 5, 1: 3}, recv={1: 5, 0: 3}, msgs={0: 4, 1: 1})
+        # rank 0: α·4 + β·8; rank 1: α·1 + β·8
+        assert s.time(2.0, 1.0) == pytest.approx(16.0)
+        assert s.time(0.0, 1.0) == pytest.approx(8.0)
+        assert SuperstepRecord().time(1.0, 1.0) == 0.0
 
 
 class TestCounters:

@@ -63,6 +63,11 @@ class TestCannon:
         with pytest.raises(ValueError):
             cannon_multiply(np.zeros((4, 6)), np.zeros((4, 6)), 2)
 
+    def test_rejects_indivisible_grid_up_front(self):
+        # q ∤ n used to reach b = n // q and truncate; now a clear error
+        with pytest.raises(ValueError, match="not divisible by grid side"):
+            cannon_multiply(np.eye(10), np.eye(10), 3)
+
 
 class TestSumma:
     @pytest.mark.parametrize("q", [2, 3, 4])
@@ -80,6 +85,10 @@ class TestSumma:
         s = summa_multiply(A, B, 8).critical_words
         assert s > c
         assert s < c * (1 + math.log2(8))
+
+    def test_rejects_indivisible_grid_up_front(self):
+        with pytest.raises(ValueError, match="not divisible by grid side"):
+            summa_multiply(np.eye(10), np.eye(10), 3)
 
 
 class TestThreeD:
