@@ -1,25 +1,37 @@
 """E4/E5/E11 — Figures 2 and 3 and the §5.1.1 dichotomy, as measurements.
 
-Structural reports build through the engine cache; each benchmark warms the
-cache once and times the steady-state path (the cold pass is the one-time
-build cost the cache amortizes across every downstream experiment).
+Thin wrappers over the ``cdag_structure`` and ``cdag_build`` registry
+workloads: one shared definition serves pytest-benchmark and
+``python -m repro bench``; the assertions here pin the labeled structural
+properties on the payloads.
+
+The ``cdag_structure`` bundle (fig2 + fig3 + connectivity) is *timed* once
+on the warm-cache path (``test_e4_figure2_panels``); the sibling tests
+assert against the module fixture's payload instead of re-running it.
 """
 
 import pytest
 
+from repro.engine.bench import get_bench
+from repro.engine.cache import EngineCache
 from repro.experiments.report import render_table
-from repro.experiments.structure_exp import (
-    dec1_connectivity_table,
-    figure2_report,
-    figure3_tree_report,
-)
 
 
-def test_e4_figure2_panels(benchmark, emit):
+@pytest.fixture(scope="module")
+def structure_state():
+    """A warmed cache plus one evaluation of the cdag_structure bundle."""
+    cache = EngineCache(disk=False)
+    payload = get_bench("cdag_structure").call(cache=cache)
+    return cache, payload
+
+
+def test_e4_figure2_panels(benchmark, emit, structure_state):
     """Figure 2: Dec₁C, H₁, Dec_k C, H_k — all labeled properties hold."""
-    rep = benchmark.pedantic(
-        lambda: figure2_report("strassen", 5), rounds=1, iterations=1, warmup_rounds=1
-    )
+    cache, _ = structure_state
+    w = get_bench("cdag_structure")
+    # the fixture warmed the cache, so this times the steady-state path
+    payload = benchmark.pedantic(lambda: w.call(cache=cache), rounds=1, iterations=1)
+    rep = payload["fig2"]
     emit(f"[E4] Figure 2 structural report (strassen, k=5):\n{rep}")
     assert rep["dec1"]["V"] == 11
     assert rep["dec1"]["connected"]
@@ -30,11 +42,10 @@ def test_e4_figure2_panels(benchmark, emit):
     assert rep["hk"]["n_mults"] == 7**5
 
 
-def test_e5_figure3_tree(benchmark, emit):
+def test_e5_figure3_tree(structure_state, emit):
     """Figure 3: the recursion tree T_k partitions Dec_k C correctly."""
-    rep = benchmark.pedantic(
-        lambda: figure3_tree_report("strassen", 5), rounds=1, iterations=1, warmup_rounds=1
-    )
+    _, payload = structure_state
+    rep = payload["fig3"]
     emit(render_table(rep["rows"], title="[E5] recursion tree T_k levels (Fig. 3)"))
     assert rep["partition_ok"]
     for row in rep["rows"]:
@@ -42,11 +53,10 @@ def test_e5_figure3_tree(benchmark, emit):
         assert row["|V_u|"] == row["expected_size"]
 
 
-def test_e11_dec1_connectivity(benchmark, emit):
+def test_e11_dec1_connectivity(structure_state, emit):
     """§5.1.1: Dec₁C connectivity separates Strassen-like from classical."""
-    rows = benchmark.pedantic(
-        dec1_connectivity_table, rounds=1, iterations=1, warmup_rounds=1
-    )
+    _, payload = structure_state
+    rows = payload["connectivity"]
     emit(render_table(rows, title="[E11] Dec1C connectivity (critical assumption)"))
     by_name = {r["scheme"]: r for r in rows}
     assert by_name["strassen"]["dec1_connected"]
@@ -54,3 +64,18 @@ def test_e11_dec1_connectivity(benchmark, emit):
     assert by_name["strassen2x"]["dec1_connected"]
     assert not by_name["classical2"]["dec1_connected"]
     assert not by_name["classical3"]["dec1_connected"]
+
+
+def test_e4_cdag_build_cold(benchmark, emit):
+    """The cold build path: Dec_k C and H_k constructed from scratch."""
+    w = get_bench("cdag_build")
+    payload = benchmark.pedantic(lambda: w.call(), rounds=1, iterations=1)
+    g, hg = payload["dec"], payload["h"]
+    emit(
+        f"[E4] built Dec_6 C (V={g.n_vertices}, E={g.n_edges}) and H_6 "
+        f"(V={hg.cdag.n_vertices}, E={hg.cdag.n_edges})"
+    )
+    # independently pinned sizes for strassen k=6: V = Σ 4^t·7^(6−t)
+    # (Fact 4.6) and E = nnz(W)=12 edges per Dec₁C copy
+    assert (g.n_vertices, g.n_edges) == (269053, 454212)
+    assert (hg.cdag.n_vertices, hg.cdag.n_edges) == (655755, 1446530)

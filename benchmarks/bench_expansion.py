@@ -1,28 +1,32 @@
 """E3 — Lemma 4.3: the edge expansion of Dec_k C decays as (4/7)^k.
 
-The paper's Main Lemma, measured: a certified sandwich around h(Dec_k C)
-whose upper side is a concrete cut and whose decay per level approaches
-c₀/m₀ = 4/7, plus the small-set profile behind Corollary 4.4.
-
-The experiments run through the engine cache; each benchmark warms the
-cache once (the cold pass builds graphs and runs eigensolves) and then
-times the steady-state path the sweeps actually exercise.
+Thin wrappers over the engine bench registry: the timed bodies are the
+registered ``expansion_decay`` / ``grid_sweep_warm`` workloads (shared with
+``python -m repro bench``), and the scientific assertions run against the
+payloads those workloads return.
 """
 
 import pytest
 
-from repro.engine import EngineCache, GridSpec, run_grid
-from repro.experiments.expansion_exp import expansion_decay, small_set_profile
+from repro.engine.bench import get_bench
+from repro.engine.cache import EngineCache
 from repro.experiments.report import render_table
 
 
-def test_e3_expansion_decay_strassen(benchmark, emit):
-    result = benchmark.pedantic(
-        lambda: expansion_decay("strassen", k_max=5, spectral_upto=4),
-        rounds=1,
-        iterations=1,
-        warmup_rounds=1,
-    )
+@pytest.fixture(scope="module")
+def decay_state():
+    """A warmed cache plus one evaluation of the strassen decay bundle."""
+    cache = EngineCache(disk=False)
+    payload = get_bench("expansion_decay").call(cache=cache)
+    return cache, payload
+
+
+def test_e3_expansion_decay_strassen(benchmark, emit, decay_state):
+    cache, _ = decay_state
+    w = get_bench("expansion_decay")
+    # the fixture warmed the cache, so this times the steady-state path
+    payload = benchmark.pedantic(lambda: w.call(cache=cache), rounds=1, iterations=1)
+    result = payload["decay"]
     emit(render_table(result["rows"], title="[E3] h(Dec_k C) sandwich (Lemma 4.3)"))
     rows = result["rows"]
     uppers = [r["upper"] for r in rows]
@@ -43,54 +47,50 @@ def test_e3_expansion_decay_strassen(benchmark, emit):
 
 def test_e3_expansion_decay_winograd(benchmark, emit):
     """§5.1.2: the lemma is scheme-generic — Winograd decays identically."""
-    result = benchmark.pedantic(
-        lambda: expansion_decay("winograd", k_max=4, spectral_upto=3),
+    cache = EngineCache(disk=False)
+    w = get_bench("expansion_decay")
+    payload = benchmark.pedantic(
+        lambda: w.call(cache=cache, scheme="winograd", k_max=4, spectral_upto=3),
         rounds=1,
         iterations=1,
         warmup_rounds=1,
     )
+    result = payload["decay"]
     emit(render_table(result["rows"], title="[E3] h(Dec_k C) for Winograd"))
     uppers = [r["upper"] for r in result["rows"]]
     assert all(uppers[i + 1] < uppers[i] for i in range(len(uppers) - 1))
 
 
-def test_e3_small_set_cones(benchmark, emit):
+def test_e3_small_set_cones(decay_state, emit):
     """Corollary 4.4's engine: size-m₀^j sets with expansion ~(4/7)^j."""
-    result = benchmark.pedantic(
-        lambda: small_set_profile("strassen", k=5),
-        rounds=1,
-        iterations=1,
-        warmup_rounds=1,
-    )
+    _, payload = decay_state
+    result = payload["small_set"]
     emit(render_table(result["rows"], title="[E3] small-set decode cones (h_s profile)"))
     hs = [r["h_of_cut"] for r in result["rows"]]
     assert all(hs[i + 1] < hs[i] for i in range(len(hs) - 1))
 
 
-def test_e3_engine_grid_warm_cache(benchmark, emit, tmp_path):
-    """The acceptance sweep: 2 schemes × k ≤ 6 × 4 memory sizes, zero rebuilds.
+def test_e3_engine_grid_warm_cache(benchmark, emit):
+    """The acceptance sweep through the registry: warm rounds rebuild nothing.
 
     The warmup round populates a hermetic cache; the timed round must report
     ``builds == 0`` — every graph, spectrum, and estimate is a cache hit.
     """
-    spec = GridSpec.from_ranges(
-        schemes=("strassen", "winograd"),
-        k_max=6,
-        memories=(48, 192, 768, 3072),
-    )
-    cache = EngineCache(tmp_path / "engine-cache")
-    result = benchmark.pedantic(
-        lambda: run_grid(spec, cache=cache),
+    cache = EngineCache(disk=False)
+    w = get_bench("grid_sweep_warm")
+    payload = benchmark.pedantic(
+        lambda: w.call(cache=cache),
         rounds=1,
         iterations=1,
         warmup_rounds=1,
     )
+    result = payload["report"]
     emit(
         render_table(
             [r for r in result.rows if r["M"] == 192],
             columns=["scheme", "k", "M", "V", "h_upper", "method",
                      "io_lower_bound", "measured/lower"],
-            title="[E3] engine sweep (M=192 slice of 48 grid points)",
+            title="[E3] engine sweep (M=192 slice of the grid)",
         )
     )
     emit(
@@ -98,5 +98,5 @@ def test_e3_engine_grid_warm_cache(benchmark, emit, tmp_path):
         f"builds={result.rebuilds} hits={result.stats['hits']}"
     )
     benchmark.extra_info["rebuilds"] = result.rebuilds
-    assert len(result.rows) == 2 * 6 * 4
+    assert len(result.rows) == 2 * 5 * 4
     assert result.rebuilds == 0, "warm-cache sweep must not rebuild anything"

@@ -1,17 +1,14 @@
-"""E8 — latency (footnote 8): messages ≥ bandwidth-bound / M, everywhere."""
+"""E8 — latency (footnote 8): messages ≥ bandwidth-bound / M, everywhere.
 
-import pytest
+Thin wrappers over the ``latency`` registry workload, evaluated once per
+session (conftest fixture) and shared by both assertions.
+"""
 
-from repro.experiments.latency_exp import parallel_latency, sequential_latency
 from repro.experiments.report import render_table
 
 
-def test_e8_sequential_latency(benchmark, emit):
-    result = benchmark.pedantic(
-        lambda: sequential_latency("strassen", M=768, ns=(128, 256, 512, 1024)),
-        rounds=1,
-        iterations=1,
-    )
+def test_e8_sequential_latency(latency_payload, emit):
+    result = latency_payload["sequential"]
     emit(render_table(result["rows"], title="[E8] DF-Strassen messages vs bound/M"))
     for row in result["rows"]:
         assert row["measured_messages"] >= row["latency_bound"]
@@ -20,8 +17,8 @@ def test_e8_sequential_latency(benchmark, emit):
     assert max(ratios) / min(ratios) < 1.3
 
 
-def test_e8_parallel_latency(benchmark, emit):
-    result = benchmark.pedantic(lambda: parallel_latency(n=64), rounds=1, iterations=1)
+def test_e8_parallel_latency(latency_payload, emit):
+    result = latency_payload["parallel"]
     emit(render_table(result["rows"], title="[E8] parallel message counts vs bound/M"))
     for row in result["rows"]:
         assert row["measured_messages"] >= row["latency_bound"]

@@ -1,25 +1,20 @@
 """E10 — §6.1: memory regimes interpolate; the ω₀-free numerator.
 
-Two sweeps: the 2.5D replication knob against its bound, and the §6.1
-observation that improving ω₀ changes only the *power of p*, never the n²
-numerator (checked on the bound formulas and on measured CAPS runs).
+Thin wrappers over the ``memory_sweep`` and ``caps_tradeoff`` registry
+workloads (each evaluated once per session via conftest fixtures): the
+2.5D replication knob against its bound, the §6.1 observation that
+improving ω₀ changes only the *power of p* (never the n² numerator), and
+the measured CAPS frontier.
 """
-
-import math
 
 import pytest
 
-from repro.core.bounds import LG7, table1_cell
 from repro.experiments.report import render_table
-from repro.experiments.table1 import caps_memory_sweep, two5d_c_sweep
 
 
-def test_e10_regime_interpolation(benchmark, emit):
+def test_e10_regime_interpolation(memory_sweep_payload, emit):
     """2.5D walks from the 2D cell to the 3D cell as c grows."""
-    result = benchmark.pedantic(
-        lambda: two5d_c_sweep(n=64, q=8, cs=(1, 2, 4, 8)), rounds=1, iterations=1
-    )
-    rows = result["rows"]
+    rows = memory_sweep_payload["c_sweep"]["rows"]
     emit(render_table(rows, title="[E10] 2.5D: memory regime interpolation"))
     # memory regime grows with c while measured words shrink
     mems = [r["M_regime"] for r in rows]
@@ -28,43 +23,18 @@ def test_e10_regime_interpolation(benchmark, emit):
     assert words[-1] < words[0]
 
 
-def test_e10_numerator_omega_free(benchmark, emit):
+def test_e10_numerator_omega_free(memory_sweep_payload, emit):
     """§6.1: Table I numerators do not depend on ω₀ — only p's power does."""
-
-    def run():
-        rows = []
-        n, p, c = 256, 64, 2
-        for w in (2.1, 2.5, LG7, 3.0):
-            for regime in ("2D", "3D", "2.5D"):
-                cell = table1_cell(regime, "strassen-like", n, p, c, omega0=w)
-                # reconstruct the numerator: bound * p^exponent * c-part
-                if regime == "2.5D":
-                    c_part = c ** (w / 2 - 1)
-                else:
-                    c_part = 1.0
-                numerator = cell.bound * (p**cell.exponent_of_p) * c_part
-                rows.append(
-                    {
-                        "omega0": w,
-                        "regime": regime,
-                        "bound": cell.bound,
-                        "p_exponent": cell.exponent_of_p,
-                        "reconstructed_numerator": numerator,
-                    }
-                )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = memory_sweep_payload["numerator_rows"]
     emit(render_table(rows, title="[E10] numerator is omega0-free (§6.1)"))
-    n = 256
+    n = memory_sweep_payload["numerator_n"]
     for row in rows:
         assert row["reconstructed_numerator"] == pytest.approx(n * n, rel=1e-9)
 
 
-def test_e10_caps_frontier_follows_bound_curve(benchmark, emit):
+def test_e10_caps_frontier_follows_bound_curve(caps_tradeoff_payload, emit):
     """Measured CAPS (words, memory) pairs run parallel to (n/√M)^ω₀·M/p."""
-    result = benchmark.pedantic(lambda: caps_memory_sweep(n=112, ell=2), rounds=1, iterations=1)
-    rows = sorted(result["rows"], key=lambda r: r["mem_peak"])
+    rows = sorted(caps_tradeoff_payload["sweep"]["rows"], key=lambda r: r["mem_peak"])
     emit(render_table(rows, title="[E10] CAPS frontier vs Cor 1.2 curve"))
     # along the frontier, measured words decrease as memory increases,
     # exactly the direction the bound curve prescribes

@@ -1,55 +1,17 @@
 """E9 — the §3 partition argument validated against real executions.
 
-For CDAGs of real algorithms and real schedules, the certified Eq. 6 lower
-bound must sit below the measured (Belady-optimal) schedule I/O — and for
-tiny graphs, below the true optimum from exhaustive pebbling.
+Thin wrappers over the ``partition_bound`` registry workload (evaluated
+once per session via the conftest fixture): for CDAGs of real algorithms
+and real schedules, the certified Eq. 6 lower bound must sit below the
+measured (Belady-optimal) schedule I/O — and for tiny graphs, below the
+true optimum from exhaustive pebbling.
 """
 
-import pytest
-
-from repro.cdag.classical_cdag import classical_matmul_cdag, matvec_cdag
-from repro.cdag.pebble import exhaustive_min_io, schedule_io
-from repro.cdag.schedule import bfs_topological_order, dfs_topological_order
-from repro.cdag.strassen_cdag import h_graph
 from repro.experiments.report import render_table
 
 
-def _partition_rows():
-    from repro.core.partition import best_partition_bound
-
-    rows = []
-    cases = [
-        ("classical n=4", classical_matmul_cdag(4), 8),
-        ("classical n=5", classical_matmul_cdag(5), 12),
-        ("matvec n=6", matvec_cdag(6), 6),
-        ("strassen H_2", h_graph("strassen", 2).cdag, 8),
-        ("strassen H_3", h_graph("strassen", 3).cdag, 16),
-        ("winograd H_2", h_graph("winograd", 2).cdag, 8),
-    ]
-    for name, g, M in cases:
-        for order_name, order_fn in (
-            ("dfs", dfs_topological_order),
-            ("bfs", bfs_topological_order),
-        ):
-            order = order_fn(g)
-            measured = schedule_io(g, order, M=M, policy="belady").total
-            bound, seg = best_partition_bound(g, order, M)
-            rows.append(
-                {
-                    "graph": name,
-                    "order": order_name,
-                    "M": M,
-                    "partition_bound": bound,
-                    "measured_io": measured,
-                    "gap": measured / bound if bound else float("inf"),
-                    "segment": seg,
-                }
-            )
-    return rows
-
-
-def test_e9_partition_vs_measured(benchmark, emit):
-    rows = benchmark.pedantic(_partition_rows, rounds=1, iterations=1)
+def test_e9_partition_vs_measured(partition_payload, emit):
+    rows = partition_payload["rows"]
     emit(render_table(rows, title="[E9] partition bound (Eq. 6) vs measured I/O"))
     for row in rows:
         assert row["partition_bound"] <= row["measured_io"]
@@ -57,21 +19,9 @@ def test_e9_partition_vs_measured(benchmark, emit):
     assert any(row["partition_bound"] > 0 for row in rows)
 
 
-def test_e9_partition_vs_true_optimum(benchmark, emit):
+def test_e9_partition_vs_true_optimum(partition_payload, emit):
     """On a tiny graph the bound sits below the *provable* optimum."""
-
-    def run():
-        from repro.core.partition import best_partition_bound
-
-        g = matvec_cdag(2)
-        M = 4
-        opt = exhaustive_min_io(g, M)
-        order = dfs_topological_order(g)
-        bound, _ = best_partition_bound(g, order, M)
-        belady = schedule_io(g, order, M=M, policy="belady").total
-        return {"bound": bound, "optimum": opt, "belady": belady}
-
-    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    r = partition_payload["tiny"]
     emit(
         f"[E9] matvec(2), M=4: partition bound {r['bound']} <= true optimum "
         f"{r['optimum']} <= Belady {r['belady']}"

@@ -1,23 +1,18 @@
-"""E6 — Table I, classical column: Cannon (2D), 3D, 2.5D on the simulator."""
+"""E6 — Table I, classical column: Cannon (2D), 3D, 2.5D on the simulator.
 
-import pytest
+Thin wrappers over the ``table1_scaling`` and ``memory_sweep`` registry
+workloads; each bundle is evaluated once per session (conftest fixtures)
+and asserted on here, while ``python -m repro bench`` owns the timings.
+"""
 
 from repro.experiments.report import render_table
-from repro.experiments.table1 import (
-    classical_2d_scaling,
-    threed_scaling,
-    two5d_c_sweep,
-)
 
 
-def test_e6_2d_row(benchmark, emit):
+def test_e6_2d_row(table1_scaling_payload, emit):
     """Row 1: Ω(n²/√p), attained by Cannon (flat measured/bound ratio)."""
-    result = benchmark.pedantic(
-        lambda: classical_2d_scaling(n=64, qs=(2, 4, 8, 16)), rounds=1, iterations=1
-    )
+    result = table1_scaling_payload["2d"]
     emit(render_table(result["rows"], title="[E6] Table I row 1 (2D classical)"))
     emit(f"cannon p-exponent = {result['cannon_p_exponent']:.4f} (bound: -0.5)")
-    benchmark.extra_info["cannon_p_exponent"] = result["cannon_p_exponent"]
     assert abs(result["cannon_p_exponent"] - (-0.5)) < 0.02
     cannon_ratios = [
         r["measured/bound"] for r in result["rows"] if r["algorithm"] == "cannon"
@@ -26,22 +21,19 @@ def test_e6_2d_row(benchmark, emit):
     assert all(r["verified"] for r in result["rows"])
 
 
-def test_e6_3d_row(benchmark, emit):
+def test_e6_3d_row(table1_scaling_payload, emit):
     """Row 2: Ω(n²/p^(2/3)), attained by the 3D algorithm (up to lg p)."""
-    result = benchmark.pedantic(lambda: threed_scaling(n=64, qs=(2, 4, 8)), rounds=1, iterations=1)
+    result = table1_scaling_payload["3d"]
     emit(render_table(result["rows"], title="[E6] Table I row 2 (3D classical)"))
     emit(f"3d p-exponent = {result['p_exponent']:.4f} (bound: -0.667; lg-factor softens it)")
-    benchmark.extra_info["p_exponent"] = result["p_exponent"]
     # within the lg-p slack: between -0.75 and -0.35
     assert -0.8 < result["p_exponent"] < -0.3
     assert all(r["verified"] for r in result["rows"])
 
 
-def test_e6_25d_row(benchmark, emit):
+def test_e6_25d_row(memory_sweep_payload, emit):
     """Row 3: Ω(n²/√(c·p)) — the c-sweep at fixed grid (§6.1's regime knob)."""
-    result = benchmark.pedantic(
-        lambda: two5d_c_sweep(n=64, q=8, cs=(1, 2, 4, 8)), rounds=1, iterations=1
-    )
+    result = memory_sweep_payload["c_sweep"]
     emit(render_table(result["rows"], title="[E6] Table I row 3 (2.5D classical)"))
     emit(f"(c·p)-exponent = {result['cp_exponent']:.4f} (bound: -0.5; replication adds Θ(M·lg c))")
     rows = result["rows"]

@@ -1,14 +1,16 @@
-"""E7/E10 — Table I, Strassen-like column: CAPS vs Corollary 1.2."""
+"""E7/E10 — Table I, Strassen-like column: CAPS vs Corollary 1.2.
 
-import pytest
+Thin wrappers over the ``table1_scaling``, ``caps_tradeoff``, and
+``table1`` registry workloads.
+"""
 
+from repro.engine.bench import get_bench
 from repro.experiments.report import render_table
-from repro.experiments.table1 import caps_memory_sweep, caps_scaling, table1_summary
 
 
-def test_e7_caps_unlimited_memory(benchmark, emit):
+def test_e7_caps_unlimited_memory(table1_scaling_payload, emit):
     """All-BFS CAPS vs the unlimited-memory shape n²/p^(2/ω₀)."""
-    result = benchmark.pedantic(lambda: caps_scaling(n0_factor=8, ells=(1, 2)), rounds=1, iterations=1)
+    result = table1_scaling_payload["caps"]
     emit(render_table(result["rows"], title="[E7] CAPS all-BFS vs n^2/p^(2/omega0)"))
     rows = result["rows"]
     assert all(r["verified"] for r in rows)
@@ -16,9 +18,9 @@ def test_e7_caps_unlimited_memory(benchmark, emit):
     assert rows[1]["measured/shape"] / rows[0]["measured/shape"] < 2.5
 
 
-def test_e7_caps_memory_bandwidth_tradeoff(benchmark, emit):
+def test_e7_caps_memory_bandwidth_tradeoff(caps_tradeoff_payload, emit):
     """Corollary 1.2 as a frontier: schedules trade memory for bandwidth."""
-    result = benchmark.pedantic(lambda: caps_memory_sweep(n=112, ell=2), rounds=1, iterations=1)
+    result = caps_tradeoff_payload["sweep"]
     emit(render_table(result["rows"], title="[E7] CAPS schedules: words vs memory (p=49)"))
     rows = {r["schedule"]: r for r in result["rows"]}
     assert all(r["verified"] for r in result["rows"])
@@ -35,7 +37,9 @@ def test_e7_caps_memory_bandwidth_tradeoff(benchmark, emit):
 
 def test_e6_e7_table1_complete(benchmark, emit):
     """The full six-cell Table I with measured words beside every bound."""
-    rows = benchmark.pedantic(lambda: table1_summary(n=64), rounds=1, iterations=1)
+    w = get_bench("table1")
+    payload = benchmark.pedantic(lambda: w.call(), rounds=1, iterations=1)
+    rows = payload["rows"]
     emit(render_table(rows, title="[E6/E7] Table I — all cells, measured vs bound"))
     assert len(rows) == 6
     for row in rows:

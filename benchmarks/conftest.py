@@ -40,3 +40,45 @@ def emit():
         print("\n" + text)
 
     return _emit
+
+
+def _workload_payload(name: str):
+    from repro.engine.bench import get_bench
+
+    return get_bench(name).call()
+
+
+# One shared evaluation per multi-part registry workload: the pytest layer
+# asserts on these payloads (pytest-benchmark timings, where kept, cover
+# workloads evaluated exactly once); `python -m repro bench` owns the
+# authoritative timing of every workload.
+
+
+@pytest.fixture(scope="session")
+def table1_scaling_payload():
+    """table1_scaling bundle (2D/3D/CAPS fits; its CAPS leg runs n = 224)."""
+    return _workload_payload("table1_scaling")
+
+
+@pytest.fixture(scope="session")
+def memory_sweep_payload():
+    """memory_sweep bundle (2.5D c-sweep + ω₀-free numerator rows)."""
+    return _workload_payload("memory_sweep")
+
+
+@pytest.fixture(scope="session")
+def caps_tradeoff_payload():
+    """caps_tradeoff bundle (all CAPS schedules at n = 112, p = 49)."""
+    return _workload_payload("caps_tradeoff")
+
+
+@pytest.fixture(scope="session")
+def latency_payload():
+    """latency bundle (sequential + parallel message counts)."""
+    return _workload_payload("latency")
+
+
+@pytest.fixture(scope="session")
+def partition_payload():
+    """partition_bound bundle (Eq. 6 vs Belady + the tiny true optimum)."""
+    return _workload_payload("partition_bound")

@@ -12,9 +12,7 @@ import numpy as np
 from repro.cdag.schemes import get_scheme
 from repro.cdag.strassen_cdag import dec_graph
 from repro.core.expansion import (
-    decode_cone_mask,
     decode_cone_upper_bound,
-    estimate_expansion,
     expansion_of_cut,
 )
 from repro.experiments.expansion_exp import expansion_decay, small_set_profile

@@ -18,7 +18,6 @@ summation tree (or chain) per output ``(i, j)``.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cdag.build import GraphBuilder
 from repro.cdag.graph import CDAG, VertexKind
@@ -50,10 +49,10 @@ def classical_matmul_cdag(n: int, reduction: str = "chain") -> CDAG:
     for i in range(n):
         for j in range(n):
             prods = []
-            for l in range(n):
+            for kk in range(n):
                 m = b.add_vertex(VertexKind.MULT, level=1)
-                b.add_edge(int(a_ids[i, l]), m)
-                b.add_edge(int(b_ids[l, j]), m)
+                b.add_edge(int(a_ids[i, kk]), m)
+                b.add_edge(int(b_ids[kk, j]), m)
                 prods.append(m)
             out = _reduce(b, prods, reduction)
             b.set_kind(out, VertexKind.OUTPUT)

@@ -316,8 +316,8 @@ class CDAG:
 
         g = nx.DiGraph()
         g.add_nodes_from(
-            (int(i), {"kind": VertexKind.NAMES[int(k)], "level": int(l)})
-            for i, (k, l) in enumerate(zip(self.kinds, self.levels))
+            (int(i), {"kind": VertexKind.NAMES[int(k)], "level": int(lvl)})
+            for i, (k, lvl) in enumerate(zip(self.kinds, self.levels))
         )
         g.add_edges_from(zip(self.src.tolist(), self.dst.tolist()))
         return g

@@ -24,7 +24,6 @@ Three engines are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 

@@ -200,8 +200,8 @@ class BilinearScheme:
         T_true = np.zeros((m0 * p0, m0 * n0, n0 * p0))
         for i in range(m0):
             for j in range(n0):
-                for l in range(p0):
-                    T_true[i * p0 + l, i * n0 + j, j * p0 + l] = 1.0
+                for pp in range(p0):
+                    T_true[i * p0 + pp, i * n0 + j, j * p0 + pp] = 1.0
         return float(np.max(np.abs(T - T_true)))
 
     def apply(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -386,12 +386,12 @@ def _classical_uvw(m0: int, n0: int, p0: int) -> tuple[np.ndarray, np.ndarray, n
     W = np.zeros((m0 * p0, t0))
     r = 0
     for i in range(m0):
-        for l in range(p0):
+        for pp in range(p0):
             for j in range(n0):
-                # multiplication r computes A[i, j] * B[j, l]
+                # multiplication r computes A[i, j] * B[j, pp]
                 U[r, i * n0 + j] = 1.0
-                V[r, j * p0 + l] = 1.0
-                W[i * p0 + l, r] = 1.0
+                V[r, j * p0 + pp] = 1.0
+                W[i * p0 + pp, r] = 1.0
                 r += 1
     return U, V, W
 

@@ -62,7 +62,6 @@ def check_claim_4_7(scheme: BilinearScheme | str, k: int, mask: np.ndarray) -> d
     fr = _level_fractions(g, mask)
     lev_lo = np.minimum(g.levels[g.src], g.levels[g.dst])
     crossing = mask[g.src] != mask[g.dst]
-    n_levels = k + 1
     sizes = dec_level_sizes(scheme, k)
     results = []
     for t in range(k):

@@ -10,6 +10,8 @@ Layers (bottom up):
   sweep runner with aggregated cache accounting;
 * :mod:`repro.engine.scaling` — the cached strong-scaling sweep over the
   parallel-algorithm registry (algorithms × p-grid × replication c);
+* :mod:`repro.engine.bench` — the benchmark-workload registry, the
+  ``BENCH_<tag>.json`` emitter, and the baseline-comparison gate;
 * :mod:`repro.engine.cli` — the ``python -m repro`` command-line front end.
 """
 
@@ -30,6 +32,18 @@ from repro.engine.builders import (
     cached_estimate,
     cached_h_graph,
     cached_spectrum,
+)
+from repro.engine.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchComparison,
+    BenchWorkload,
+    available_benches,
+    compare_benchmarks,
+    get_bench,
+    register_bench,
+    run_bench,
+    run_suite,
+    selected_benches,
 )
 from repro.engine.grid import GridPoint, GridReport, GridSpec, evaluate_point, run_grid
 from repro.engine.scaling import (
@@ -55,6 +69,16 @@ __all__ = [
     "cached_estimate",
     "cached_h_graph",
     "cached_spectrum",
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchWorkload",
+    "available_benches",
+    "compare_benchmarks",
+    "get_bench",
+    "register_bench",
+    "run_bench",
+    "run_suite",
+    "selected_benches",
     "GridPoint",
     "GridReport",
     "GridSpec",

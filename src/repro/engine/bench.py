@@ -1,0 +1,1050 @@
+"""The benchmark subsystem: registered workloads, measured runs, baselines.
+
+The repo's performance story used to live in ad-hoc ``pytest-benchmark``
+scripts that printed tables and discarded every timing.  This module makes
+the workloads first-class objects, mirroring the parallel-algorithm
+registry: a :func:`register_bench` decorator collects named workloads
+(CDAG builds, spectral/exact expansion, sequential-IO sweeps, cold/warm
+grid sweeps, the strong-scaling sweep), one harness times them, and the
+result is a machine-readable ``BENCH_<tag>.json`` that
+``python -m repro bench --compare`` can gate regressions against.  The
+``benchmarks/bench_*.py`` pytest files are thin wrappers over the same
+registry, so the CLI and pytest-benchmark share one workload definition.
+
+``BENCH_*.json`` schema (``BENCH_SCHEMA_VERSION = 1``)
+------------------------------------------------------
+
+Top level::
+
+    schema_version   int    — this format's version (bump on shape changes)
+    tag              str    — run label ("ci", "local", a commit sha, ...)
+    quick            bool   — whether --quick parameter sets were used
+    created_unix     float  — time.time() at run start
+    host             object — platform fingerprint:
+        platform, machine, python, numpy, scipy, cpus
+    workloads        object — one entry per workload, keyed by name:
+
+Per workload::
+
+    group            str    — registry group (cdag | expansion | io |
+                              engine | parallel)
+    params           object — the exact parameter set the run used
+    rounds           int    — number of *timed* rounds
+    warmup           bool   — one untimed warm-up call ran first
+    cold             bool   — every round saw a fresh (empty) engine cache
+    seconds          object — wall-clock stats over the timed rounds:
+        raw (list, round order), min, max, mean, p50, p90
+    peak_rss_kb      int    — process high-water RSS after the workload
+                              (ru_maxrss; monotone across the process, so
+                              comparable only within one run's ordering)
+    cache            object — engine-cache counter increments during the
+                              timed rounds: hits, misses, stores, builds
+    check            object — scalar "science" outputs of the workload
+                              (JSON numbers/strings/bools, possibly nested
+                              in lists/objects).  --compare verifies these
+                              against the baseline: timings may drift,
+                              results must not.
+
+Regression gating: :func:`compare_benchmarks` joins two such documents on
+workload name and flags ``current.seconds[metric] / baseline.seconds[metric]
+> threshold`` as a regression (and check-value drift as a mismatch); the CLI
+exits non-zero when any gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+
+try:
+    import resource
+except ImportError:  # non-POSIX platforms: RSS reporting degrades to 0
+    resource = None
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.cache import EngineCache
+from repro.util.jsonutil import jsonable as _jsonable
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchWorkload",
+    "ComparisonRow",
+    "BenchComparison",
+    "register_bench",
+    "get_bench",
+    "available_benches",
+    "bench_groups",
+    "selected_benches",
+    "run_bench",
+    "run_suite",
+    "host_fingerprint",
+    "write_bench_file",
+    "load_bench_file",
+    "compare_benchmarks",
+    "render_comparison",
+]
+
+#: Version of the BENCH_*.json document layout (see the module docstring).
+BENCH_SCHEMA_VERSION = 1
+
+#: The groups a workload may declare, in display order.
+BENCH_GROUPS = ("cdag", "expansion", "io", "engine", "parallel")
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One registered benchmark workload.
+
+    ``func(cache, **params)`` must be deterministic and return a payload
+    dict containing at least ``"check"`` (scalar science outputs; see the
+    schema notes above).  ``cold`` workloads get a fresh engine cache every
+    round; ``warmup`` workloads get one untimed call first, so the timed
+    rounds measure the steady (warm-cache) path.
+    """
+
+    name: str
+    group: str
+    description: str
+    func: Callable[..., dict]
+    params: dict[str, Any] = field(default_factory=dict)
+    quick_params: dict[str, Any] = field(default_factory=dict)
+    rounds: int = 3
+    quick_rounds: int = 2
+    warmup: bool = False
+    cold: bool = False
+
+    def resolve_params(self, quick: bool = False) -> dict[str, Any]:
+        """The parameter set a run uses: quick overrides layered on full."""
+        if not quick:
+            return dict(self.params)
+        return {**self.params, **self.quick_params}
+
+    def call(
+        self,
+        cache: EngineCache | None = None,
+        quick: bool = False,
+        **overrides: Any,
+    ) -> dict:
+        """Run the workload once (untimed) and return its payload.
+
+        This is the entry point the ``benchmarks/bench_*.py`` pytest
+        wrappers use: the same function, parameterized the same way, with
+        per-test overrides allowed (e.g. a different scheme).
+        """
+        if cache is None:
+            cache = EngineCache(disk=False)
+        params = {**self.resolve_params(quick), **overrides}
+        return self.func(cache, **params)
+
+
+_BENCHES: dict[str, BenchWorkload] = {}
+
+
+def register_bench(
+    name: str,
+    group: str,
+    *,
+    params: dict[str, Any] | None = None,
+    quick_params: dict[str, Any] | None = None,
+    rounds: int = 3,
+    quick_rounds: int = 2,
+    warmup: bool = False,
+    cold: bool = False,
+):
+    """Class-less registry decorator (mirrors ``@register_parallel``).
+
+    The decorated function keeps working as a plain function; the registry
+    entry wraps it with its canonical parameters and harness flags.
+    """
+    if group not in BENCH_GROUPS:
+        raise ValueError(f"unknown bench group {group!r}; choose from {BENCH_GROUPS}")
+
+    def deco(func: Callable[..., dict]) -> Callable[..., dict]:
+        if name in _BENCHES:
+            raise ValueError(f"benchmark workload {name!r} already registered")
+        doc = (func.__doc__ or "").strip().splitlines()
+        _BENCHES[name] = BenchWorkload(
+            name=name,
+            group=group,
+            description=doc[0] if doc else name,
+            func=func,
+            params=dict(params or {}),
+            quick_params=dict(quick_params or {}),
+            rounds=rounds,
+            quick_rounds=quick_rounds,
+            warmup=warmup,
+            cold=cold,
+        )
+        return func
+
+    return deco
+
+
+def get_bench(name: str) -> BenchWorkload:
+    """Look up a registered workload by name."""
+    try:
+        return _BENCHES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark workload {name!r}; available: "
+            f"{', '.join(available_benches())}"
+        ) from None
+
+
+def available_benches() -> list[str]:
+    """All registered workload names, in registration order."""
+    return list(_BENCHES)
+
+
+def bench_groups() -> dict[str, list[str]]:
+    """Workload names keyed by group, groups in display order."""
+    out: dict[str, list[str]] = {g: [] for g in BENCH_GROUPS}
+    for name, w in _BENCHES.items():
+        out[w.group].append(name)
+    return {g: names for g, names in out.items() if names}
+
+
+def selected_benches(names: list[str] | None = None, quick: bool = False) -> list[str]:
+    """The workloads a run executes, in deterministic (registration) order.
+
+    ``--quick`` changes *parameters*, never membership, so a quick CI run
+    and a full local run always cover the same workload set; an explicit
+    ``names`` list is validated and re-ordered to registry order.
+    """
+    del quick  # selection is quick-invariant by design (tests pin this)
+    if names is None:
+        return available_benches()
+    unknown = [n for n in names if n not in _BENCHES]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark workload(s) {unknown}; available: "
+            f"{', '.join(available_benches())}"
+        )
+    chosen = set(names)
+    return [n for n in available_benches() if n in chosen]
+
+
+# ---------------------------------------------------------------------- #
+# the harness                                                             #
+# ---------------------------------------------------------------------- #
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in KiB (ru_maxrss is bytes on macOS)."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def _seconds_stats(raw: list[float]) -> dict[str, Any]:
+    arr = np.asarray(raw, dtype=np.float64)
+    return {
+        "raw": [float(x) for x in raw],
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+    }
+
+
+def run_bench(
+    name: str,
+    quick: bool = False,
+    rounds: int | None = None,
+) -> dict:
+    """Time one workload and return its per-workload JSON record.
+
+    Cold workloads see a fresh memory-only :class:`EngineCache` every
+    round; everything else shares one per-run cache (populated by the
+    warm-up call when ``warmup`` is set).  Cache counters are reset after
+    warm-up so the reported hits/misses/builds cover exactly the timed
+    rounds — the reason :meth:`EngineCache.reset_stats` exists.
+    """
+    w = get_bench(name)
+    params = w.resolve_params(quick)
+    n_rounds = rounds if rounds is not None else (w.quick_rounds if quick else w.rounds)
+    if n_rounds < 1:
+        raise ValueError("need at least one timed round")
+
+    cache = EngineCache(disk=False)
+    if w.warmup:
+        w.func(cache, **params)
+    cache.reset_stats()
+
+    raw: list[float] = []
+    payload: dict = {}
+    cache_stats = {"hits": 0, "misses": 0, "stores": 0, "builds": 0}
+    for _ in range(n_rounds):
+        if w.cold:
+            cache = EngineCache(disk=False)
+        t0 = time.perf_counter()
+        payload = w.func(cache, **params)
+        raw.append(time.perf_counter() - t0)
+        if w.cold:
+            for key, value in cache.stats.as_dict().items():
+                cache_stats[key] += value
+    if not w.cold:
+        cache_stats = cache.stats.as_dict()
+
+    if not isinstance(payload, dict) or "check" not in payload:
+        raise TypeError(f"workload {name!r} must return a dict payload with a 'check' key")
+    return {
+        "group": w.group,
+        "params": _jsonable(params),
+        "rounds": n_rounds,
+        "warmup": w.warmup,
+        "cold": w.cold,
+        "seconds": _seconds_stats(raw),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cache": cache_stats,
+        "check": _jsonable(payload["check"]),
+    }
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Where a BENCH document was measured (for reading baselines honestly)."""
+    import scipy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "cpus": int(os.cpu_count() or 1),
+    }
+
+
+def run_suite(
+    names: list[str] | None = None,
+    quick: bool = False,
+    rounds: int | None = None,
+    tag: str = "local",
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run a set of workloads and assemble the full BENCH document."""
+    doc: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tag": tag,
+        "quick": bool(quick),
+        "created_unix": time.time(),
+        "host": host_fingerprint(),
+        "workloads": {},
+    }
+    for name in selected_benches(names, quick=quick):
+        if progress is not None:
+            progress(name)
+        doc["workloads"][name] = run_bench(name, quick=quick, rounds=rounds)
+    return doc
+
+
+def write_bench_file(doc: dict, path: str | Path) -> Path:
+    """Write a BENCH document as strict (NaN-free) indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(_jsonable(doc), indent=2, allow_nan=False) + "\n")
+    return path
+
+
+def load_bench_file(path: str | Path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench file {path} has schema_version {version!r}; "
+            f"this build reads {BENCH_SCHEMA_VERSION}"
+        )
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# baseline comparison                                                     #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One workload's current-vs-baseline verdict."""
+
+    name: str
+    # ok | regression | improved | missing | new | check_mismatch | params_differ
+    status: str
+    ratio: float | None = None
+    current_seconds: float | None = None
+    baseline_seconds: float | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """The full join of a current run against a baseline document."""
+
+    rows: tuple[ComparisonRow, ...]
+    threshold: float
+    metric: str
+
+    @property
+    def regressions(self) -> list[ComparisonRow]:
+        return [r for r in self.rows if r.status == "regression"]
+
+    @property
+    def check_mismatches(self) -> list[ComparisonRow]:
+        return [r for r in self.rows if r.status == "check_mismatch"]
+
+    @property
+    def ungated(self) -> list[ComparisonRow]:
+        """Rows the gate could not evaluate: a baseline workload that did
+        not run here ("missing") or ran with different parameters
+        ("params_differ")."""
+        return [r for r in self.rows if r.status in ("missing", "params_differ")]
+
+    def failed(self, strict_checks: bool = True) -> bool:
+        """Whether the comparison should gate (non-zero exit).
+
+        Regressions always gate.  Under ``strict_checks`` (the default),
+        check-value drift gates too, and so do ungated rows — otherwise a
+        params tweak or a dropped workload would silently disable its own
+        perf and science gates while CI stays green.
+        """
+        if self.regressions:
+            return True
+        return strict_checks and bool(self.check_mismatches or self.ungated)
+
+
+def _checks_equal(a: Any, b: Any, rel_tol: float) -> bool:
+    """Recursive check-value equality with relative float tolerance."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_checks_equal(a[k], b[k], rel_tol) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_checks_equal(x, y, rel_tol) for x, y in zip(a, b))
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b or a == b
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b  # counters and sizes are exact; no tolerance
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=1e-12)
+    return a == b
+
+
+def compare_benchmarks(
+    current: dict,
+    baseline: dict,
+    threshold: float = 1.5,
+    metric: str = "min",
+    check_rel_tol: float = 1e-4,
+) -> BenchComparison:
+    """Join two BENCH documents and flag regressions and check drift.
+
+    ``metric`` names a field of the per-workload ``seconds`` record ("min"
+    is the least noisy on shared CI runners).  A workload regresses when
+    ``current/baseline > threshold``; it is reported "improved" below
+    ``1/threshold``.  ``check`` values must agree to ``check_rel_tol``
+    (relative; integers exactly) — timings may drift, science must not.
+    Workloads run with different parameter sets (a --quick run against a
+    full baseline) are reported ``params_differ``; they and ``missing``
+    rows fail :meth:`BenchComparison.failed` unless strict checks are
+    relaxed, because an uncomparable workload is an unenforced gate.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0 (it is a slowdown ratio)")
+    cur = current.get("workloads", {})
+    base = baseline.get("workloads", {})
+    rows: list[ComparisonRow] = []
+    for name in list(base) + [n for n in cur if n not in base]:
+        if name not in cur:
+            rows.append(ComparisonRow(name, "missing", detail="in baseline, not in this run"))
+            continue
+        if name not in base:
+            rows.append(ComparisonRow(name, "new", detail="no baseline entry"))
+            continue
+        c, b = cur[name], base[name]
+        if c.get("params") != b.get("params"):
+            # Different parameter sets are apples-to-oranges: neither the
+            # timings nor the check values are comparable.  Report it
+            # instead of misdiagnosing the inevitable check drift.
+            rows.append(
+                ComparisonRow(
+                    name,
+                    "params_differ",
+                    detail="parameter sets differ (quick vs full run?); not compared",
+                )
+            )
+            continue
+        c_sec = float(c["seconds"][metric])
+        b_sec = float(b["seconds"][metric])
+        ratio = c_sec / b_sec if b_sec > 0 else math.inf
+        if not _checks_equal(c.get("check"), b.get("check"), check_rel_tol):
+            status, detail = "check_mismatch", "science outputs differ from baseline"
+        elif ratio > threshold:
+            status, detail = "regression", f"slower than {threshold:.2f}x baseline"
+        elif ratio < 1.0 / threshold:
+            status, detail = "improved", f"faster than baseline/{threshold:.2f}"
+        else:
+            status, detail = "ok", ""
+        rows.append(
+            ComparisonRow(
+                name,
+                status,
+                ratio=ratio,
+                current_seconds=c_sec,
+                baseline_seconds=b_sec,
+                detail=detail,
+            )
+        )
+    return BenchComparison(rows=tuple(rows), threshold=threshold, metric=metric)
+
+
+def render_comparison(cmp: BenchComparison) -> str:
+    """Human-readable comparison table (the CLI prints this)."""
+    lines = [
+        f"bench comparison (metric={cmp.metric}, threshold={cmp.threshold:.2f}x)",
+        f"{'workload':24s} {'status':15s} {'current':>10s} {'baseline':>10s} {'ratio':>7s}",
+    ]
+    for r in cmp.rows:
+        cur = f"{r.current_seconds:.4f}s" if r.current_seconds is not None else "-"
+        base = f"{r.baseline_seconds:.4f}s" if r.baseline_seconds is not None else "-"
+        ratio = f"{r.ratio:.2f}x" if r.ratio is not None else "-"
+        suffix = f"  {r.detail}" if r.detail else ""
+        lines.append(f"{r.name:24s} {r.status:15s} {cur:>10s} {base:>10s} {ratio:>7s}{suffix}")
+    n_reg = len(cmp.regressions)
+    n_bad = len(cmp.check_mismatches)
+    n_ungated = len(cmp.ungated)
+    lines.append(
+        f"{len(cmp.rows)} workloads compared: {n_reg} regression(s), "
+        f"{n_bad} check mismatch(es), {n_ungated} ungated"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# registered workloads                                                    #
+# ---------------------------------------------------------------------- #
+#
+# Each function is deterministic, takes the harness's EngineCache first,
+# and returns a payload whose "check" entry is the scalar science the
+# comparison gate pins.  The pytest wrappers in benchmarks/bench_*.py call
+# these same functions (via BenchWorkload.call) and assert on the payload.
+
+
+@register_bench(
+    "cdag_build",
+    "cdag",
+    params={"scheme": "strassen", "k": 6},
+    quick_params={"k": 5},
+    rounds=5,
+    quick_rounds=3,
+)
+def _bench_cdag_build(cache: EngineCache, scheme: str, k: int) -> dict:
+    """Cold construction of Dec_k C and H_k (the vectorized decode wiring)."""
+    from repro.cdag.strassen_cdag import dec_graph, h_graph
+
+    del cache  # pure construction; the cache layer is benched separately
+    g = dec_graph(scheme, k)
+    hg = h_graph(scheme, k)
+    return {
+        "dec": g,
+        "h": hg,
+        "check": {
+            "dec_V": g.n_vertices,
+            "dec_E": g.n_edges,
+            "h_V": hg.cdag.n_vertices,
+            "h_E": hg.cdag.n_edges,
+        },
+    }
+
+
+@register_bench(
+    "cdag_structure",
+    "cdag",
+    params={"scheme": "strassen", "k": 5},
+    quick_params={"k": 4},
+    warmup=True,
+)
+def _bench_cdag_structure(cache: EngineCache, scheme: str, k: int) -> dict:
+    """Figure 2/3 structural reports and the Dec_1 connectivity dichotomy."""
+    from repro.experiments.structure_exp import (
+        dec1_connectivity_table,
+        figure2_report,
+        figure3_tree_report,
+    )
+
+    fig2 = figure2_report(scheme, k, cache=cache)
+    fig3 = figure3_tree_report(scheme, k, cache=cache)
+    connectivity = dec1_connectivity_table(cache=cache)
+    return {
+        "fig2": fig2,
+        "fig3": fig3,
+        "connectivity": connectivity,
+        "check": {
+            "dec1_V": fig2["dec1"]["V"],
+            "deck_max_degree": fig2["deck"]["max_degree"],
+            "hk_n_mults": fig2["hk"]["n_mults"],
+            "partition_ok": fig3["partition_ok"],
+            "connected": {r["scheme"]: r["dec1_connected"] for r in connectivity},
+        },
+    }
+
+
+@register_bench("expansion_exact", "expansion")
+def _bench_expansion_exact(cache: EngineCache) -> dict:
+    """Exact edge-expansion enumeration on the largest feasible CDAGs."""
+    from repro.cdag.classical_cdag import classical_matmul_cdag
+    from repro.cdag.strassen_cdag import dec1_graph
+    from repro.core.expansion import exact_edge_expansion, exact_small_set_expansion
+
+    del cache
+    g_cl = classical_matmul_cdag(2)  # 20 vertices: ~1M subsets enumerated
+    h_cl, _ = exact_edge_expansion(g_cl)
+    g_dec = dec1_graph("strassen")
+    h_dec, _ = exact_edge_expansion(g_dec)
+    h_small = exact_small_set_expansion(g_dec, 3)
+    return {
+        "check": {
+            "h_classical2": h_cl,
+            "h_dec1": h_dec,
+            "h_dec1_s3": h_small,
+            "V_classical2": g_cl.n_vertices,
+        },
+    }
+
+
+@register_bench(
+    "expansion_spectral",
+    "expansion",
+    params={"scheme": "strassen", "k": 4},
+    quick_params={"k": 3},
+    cold=True,
+)
+def _bench_expansion_spectral(cache: EngineCache, scheme: str, k: int) -> dict:
+    """Cold spectral sandwich of h(Dec_k C): build + eigensolve + cuts."""
+    from repro.engine.builders import cached_estimate
+
+    est = cached_estimate(scheme, k, policy="spectral", cache=cache)
+    return {
+        "estimate": est,
+        "check": {
+            "lower": est.lower,
+            "upper": est.upper,
+            "witness_size": est.witness_size,
+            "method": est.method,
+        },
+    }
+
+
+@register_bench(
+    "expansion_decay",
+    "expansion",
+    params={"scheme": "strassen", "k_max": 5, "spectral_upto": 4},
+    quick_params={"k_max": 4, "spectral_upto": 3},
+    warmup=True,
+)
+def _bench_expansion_decay(
+    cache: EngineCache,
+    scheme: str,
+    k_max: int,
+    spectral_upto: int,
+) -> dict:
+    """Warm Lemma 4.3 decay sweep plus the small-set cone profile."""
+    from repro.experiments.expansion_exp import expansion_decay, small_set_profile
+
+    decay = expansion_decay(scheme, k_max=k_max, spectral_upto=spectral_upto, cache=cache)
+    small = small_set_profile(scheme, k=k_max, cache=cache)
+    return {
+        "decay": decay,
+        "small_set": small,
+        "check": {
+            "uppers": [r["upper"] for r in decay["rows"]],
+            "expected_decay": decay["expected_decay"],
+            "small_set_hs": [r["h_of_cut"] for r in small["rows"]],
+        },
+    }
+
+
+@register_bench(
+    "seq_io_sweep",
+    "io",
+    params={"scheme": "strassen", "M": 192, "t_max": 9, "simulate_upto": 256},
+    quick_params={"t_max": 8, "simulate_upto": 128},
+)
+def _bench_seq_io_sweep(
+    cache: EngineCache, scheme: str, M: int, t_max: int, simulate_upto: int
+) -> dict:
+    """Theorem 1.1's n-sweep: simulated + modeled DF-Strassen I/O vs bound."""
+    from repro.experiments.seq_io import n_sweep
+
+    del cache
+    result = n_sweep(scheme, M=M, t_range=range(4, t_max + 1), simulate_upto=simulate_upto)
+    return {
+        "n_sweep": result,
+        "check": {
+            "fit_exponent": result["fit_exponent"],
+            "words": [r["measured_words"] for r in result["rows"]],
+        },
+    }
+
+
+@register_bench(
+    "seq_io_models",
+    "io",
+    params={"n_m_sweep": 4096, "omega_depth": 9, "hybrid_levels": 6},
+)
+def _bench_seq_io_models(
+    cache: EngineCache,
+    n_m_sweep: int,
+    omega_depth: int,
+    hybrid_levels: int,
+) -> dict:
+    """Closed-form I/O recurrences: M-sweep, ω₀-sweep, cutoffs, hybrids."""
+    from repro.algorithms.nonstationary import nonstationary_io
+    from repro.experiments.seq_io import (
+        classical_comparison,
+        cutoff_ablation,
+        m_sweep,
+        omega_sweep,
+    )
+
+    del cache
+    m_result = m_sweep("strassen", n=n_m_sweep)
+    omega = omega_sweep(M=192, depth=omega_depth)
+    cutoff = cutoff_ablation(n=512, M=3 * 32 * 32)
+    classical = classical_comparison(M=192, n=128)
+    hybrid_rows = []
+    for k in range(0, hybrid_levels + 1):
+        schemes = ["strassen"] * k + ["classical2"] * (hybrid_levels - k)
+        rep = nonstationary_io(512, 192, schemes)
+        hybrid_rows.append(
+            {
+                "strassen_levels": k,
+                "measured_words": rep.words,
+                "base_multiplies": rep.n_base_multiplies,
+            }
+        )
+    return {
+        "m_sweep": m_result,
+        "omega_sweep": omega,
+        "cutoff": cutoff,
+        "classical": classical,
+        "hybrid_rows": hybrid_rows,
+        "check": {
+            "m_fit_exponent": m_result["fit_exponent"],
+            "omega_fits": {r["scheme"]: r["fit_exponent"] for r in omega["rows"]},
+            "best_base": cutoff["best_base"],
+            "hybrid_words": [r["measured_words"] for r in hybrid_rows],
+        },
+    }
+
+
+@register_bench(
+    "seq_io_simulate",
+    "io",
+    params={"n": 256, "M": 192, "scheme": "strassen"},
+    quick_params={"n": 128},
+)
+def _bench_seq_io_simulate(cache: EngineCache, n: int, M: int, scheme: str) -> dict:
+    """Full FastMemory simulation of one depth-first run (no model shortcut)."""
+    from repro.algorithms.io_strassen import dfs_io
+
+    del cache
+    rep = dfs_io(n, M, scheme)
+    return {
+        "report": rep,
+        "check": {
+            "words": rep.words,
+            "messages": rep.messages,
+            "base_multiplies": rep.n_base_multiplies,
+        },
+    }
+
+
+@register_bench(
+    "partition_bound",
+    "io",
+    params={"deep": True},
+    quick_params={"deep": False},
+)
+def _bench_partition_bound(cache: EngineCache, deep: bool) -> dict:
+    """Eq. 6 partition bounds vs Belady-scheduled I/O on real CDAGs."""
+    from repro.cdag.classical_cdag import classical_matmul_cdag, matvec_cdag
+    from repro.cdag.pebble import exhaustive_min_io, schedule_io
+    from repro.cdag.schedule import bfs_topological_order, dfs_topological_order
+    from repro.cdag.strassen_cdag import h_graph
+    from repro.core.partition import best_partition_bound
+
+    del cache
+    cases = [
+        ("classical n=4", classical_matmul_cdag(4), 8),
+        ("classical n=5", classical_matmul_cdag(5), 12),
+        ("matvec n=6", matvec_cdag(6), 6),
+        ("strassen H_2", h_graph("strassen", 2).cdag, 8),
+    ]
+    if deep:
+        cases += [
+            ("strassen H_3", h_graph("strassen", 3).cdag, 16),
+            ("winograd H_2", h_graph("winograd", 2).cdag, 8),
+        ]
+    rows = []
+    for name, g, M in cases:
+        for order_name, order_fn in (
+            ("dfs", dfs_topological_order),
+            ("bfs", bfs_topological_order),
+        ):
+            order = order_fn(g)
+            measured = schedule_io(g, order, M=M, policy="belady").total
+            bound, seg = best_partition_bound(g, order, M)
+            rows.append(
+                {
+                    "graph": name,
+                    "order": order_name,
+                    "M": M,
+                    "partition_bound": bound,
+                    "measured_io": measured,
+                    "gap": measured / bound if bound else float("inf"),
+                    "segment": seg,
+                }
+            )
+    g_tiny = matvec_cdag(2)
+    order = dfs_topological_order(g_tiny)
+    tiny = {
+        "bound": best_partition_bound(g_tiny, order, 4)[0],
+        "optimum": exhaustive_min_io(g_tiny, 4),
+        "belady": schedule_io(g_tiny, order, M=4, policy="belady").total,
+    }
+    return {
+        "rows": rows,
+        "tiny": tiny,
+        "check": {
+            "bounds": [r["partition_bound"] for r in rows],
+            "measured": [r["measured_io"] for r in rows],
+            "tiny_optimum": tiny["optimum"],
+        },
+    }
+
+
+@register_bench(
+    "latency",
+    "io",
+    params={"M": 768, "ns": (128, 256, 512, 1024), "n_parallel": 64},
+    quick_params={"ns": (128, 256, 512)},
+)
+def _bench_latency(cache: EngineCache, M: int, ns, n_parallel: int) -> dict:
+    """Footnote 8: message counts vs bandwidth-bound/M, both machine models."""
+    from repro.experiments.latency_exp import parallel_latency, sequential_latency
+
+    del cache
+    seq = sequential_latency("strassen", M=M, ns=tuple(ns))
+    par = parallel_latency(n=n_parallel)
+    return {
+        "sequential": seq,
+        "parallel": par,
+        "check": {
+            "seq_messages": [r["measured_messages"] for r in seq["rows"]],
+            "par_messages": [r["measured_messages"] for r in par["rows"]],
+        },
+    }
+
+
+_GRID_MEMORIES = (48, 192, 768, 3072)
+
+
+def _grid_spec(schemes, k_max):
+    from repro.engine.grid import GridSpec
+
+    return GridSpec.from_ranges(schemes=schemes, k_max=k_max, memories=_GRID_MEMORIES)
+
+
+def _grid_check(report) -> dict:
+    last = report.rows[-1]
+    return {
+        "points": len(report.rows),
+        "V_total": sum(r["V"] for r in report.rows),
+        "E_total": sum(r["E"] for r in report.rows),
+        "last_h_upper": last["h_upper"],
+        "last_io_lower": last["io_lower_bound"],
+    }
+
+
+@register_bench(
+    "grid_sweep_cold",
+    "engine",
+    params={"schemes": ("strassen", "winograd"), "k_max": 5},
+    quick_params={"k_max": 4},
+    cold=True,
+)
+def _bench_grid_sweep_cold(cache: EngineCache, schemes, k_max: int) -> dict:
+    """Cold (scheme × k × M) sweep: every graph, spectrum, estimate rebuilt."""
+    from repro.engine.grid import run_grid
+
+    report = run_grid(_grid_spec(schemes, k_max), cache=cache)
+    return {"report": report, "check": _grid_check(report)}
+
+
+@register_bench(
+    "grid_sweep_warm",
+    "engine",
+    params={"schemes": ("strassen", "winograd"), "k_max": 5},
+    quick_params={"k_max": 4},
+    warmup=True,
+)
+def _bench_grid_sweep_warm(cache: EngineCache, schemes, k_max: int) -> dict:
+    """Warm sweep over the same grid: the steady state must rebuild nothing."""
+    from repro.engine.grid import run_grid
+
+    report = run_grid(_grid_spec(schemes, k_max), cache=cache)
+    check = _grid_check(report)
+    check["rebuilds"] = report.rebuilds
+    return {"report": report, "check": check}
+
+
+@register_bench(
+    "scaling_sweep",
+    "parallel",
+    params={"n": 56, "p_max": 64, "cs": (1, 2, 4)},
+    quick_params={"p_max": 16, "cs": (1, 2)},
+    cold=True,
+)
+def _bench_scaling_sweep(cache: EngineCache, n: int, p_max: int, cs) -> dict:
+    """Cold strong-scaling sweep over every registered parallel algorithm."""
+    from repro.engine.scaling import ScalingSpec, scaling_sweep
+    from repro.parallel.base import available_parallel
+
+    spec = ScalingSpec(algos=tuple(available_parallel()), n=n, p_max=p_max, cs=tuple(cs))
+    report = scaling_sweep(spec, cache=cache)
+    return {
+        "report": report,
+        "check": {
+            "points": len(report.rows),
+            "words_total": sum(r["measured_words"] for r in report.rows),
+            "all_verified": all(r["verified"] for r in report.rows),
+        },
+    }
+
+
+@register_bench(
+    "memory_sweep",
+    "parallel",
+    params={"n": 64, "q": 8, "cs": (1, 2, 4, 8)},
+    quick_params={"cs": (1, 2, 4)},
+)
+def _bench_memory_sweep(cache: EngineCache, n: int, q: int, cs) -> dict:
+    """2.5D replication sweep (§6.1's regime knob) plus the ω₀-free numerator."""
+    from repro.core.bounds import LG7, table1_cell
+    from repro.experiments.table1 import two5d_c_sweep
+
+    del cache
+    result = two5d_c_sweep(n=n, q=q, cs=tuple(cs))
+    # §6.1: Table I numerators do not depend on ω₀ — only p's power does.
+    numerator_rows = []
+    nn, p, c = 256, 64, 2
+    for w in (2.1, 2.5, LG7, 3.0):
+        for regime in ("2D", "3D", "2.5D"):
+            cell = table1_cell(regime, "strassen-like", nn, p, c, omega0=w)
+            c_part = c ** (w / 2 - 1) if regime == "2.5D" else 1.0
+            numerator_rows.append(
+                {
+                    "omega0": w,
+                    "regime": regime,
+                    "bound": cell.bound,
+                    "p_exponent": cell.exponent_of_p,
+                    "reconstructed_numerator": cell.bound * (p**cell.exponent_of_p) * c_part,
+                }
+            )
+    return {
+        "c_sweep": result,
+        "numerator_rows": numerator_rows,
+        "numerator_n": nn,
+        "check": {
+            "words": [r["measured_words"] for r in result["rows"]],
+            "regimes": [r["M_regime"] for r in result["rows"]],
+            "all_verified": all(r["verified"] for r in result["rows"]),
+            "numerators": [r["reconstructed_numerator"] for r in numerator_rows],
+        },
+    }
+
+
+@register_bench(
+    "table1_scaling",
+    "parallel",
+    params={
+        "n": 64,
+        "qs2d": (2, 4, 8, 16),
+        "qs3d": (2, 4, 8),
+        "ells": (1, 2),
+        "n0_factor": 8,
+    },
+    quick_params={"qs2d": (2, 4, 8), "qs3d": (2, 4), "n0_factor": 4},
+    rounds=2,
+)
+def _bench_table1_scaling(
+    cache: EngineCache,
+    n: int,
+    qs2d,
+    qs3d,
+    ells,
+    n0_factor: int,
+) -> dict:
+    """Table I scaling rows: 2D/3D exponent fits and CAPS all-BFS shape."""
+    from repro.experiments.table1 import caps_scaling, classical_2d_scaling, threed_scaling
+
+    del cache
+    two_d = classical_2d_scaling(n=n, qs=tuple(qs2d))
+    three_d = threed_scaling(n=n, qs=tuple(qs3d))
+    caps = caps_scaling(n0_factor=n0_factor, ells=tuple(ells))
+    return {
+        "2d": two_d,
+        "3d": three_d,
+        "caps": caps,
+        "check": {
+            "cannon_p_exponent": two_d["cannon_p_exponent"],
+            "threed_p_exponent": three_d["p_exponent"],
+            "caps_words": [r["measured_words"] for r in caps["rows"]],
+        },
+    }
+
+
+@register_bench(
+    "caps_tradeoff",
+    "parallel",
+    params={"n": 112, "ell": 2},
+    quick_params={"n": 56},
+    rounds=2,
+)
+def _bench_caps_tradeoff(cache: EngineCache, n: int, ell: int) -> dict:
+    """CAPS schedule frontier: memory/bandwidth trade against Corollary 1.2."""
+    from repro.experiments.table1 import caps_memory_sweep
+
+    del cache
+    result = caps_memory_sweep(n=n, ell=ell)
+    return {
+        "sweep": result,
+        "check": {
+            "words": {r["schedule"]: r["measured_words"] for r in result["rows"]},
+            "mem_peaks": {r["schedule"]: r["mem_peak"] for r in result["rows"]},
+            "all_verified": all(r["verified"] for r in result["rows"]),
+        },
+    }
+
+
+@register_bench("table1", "parallel", params={"n": 64})
+def _bench_table1(cache: EngineCache, n: int) -> dict:
+    """The full six-cell Table I: attaining algorithms beside every bound."""
+    from repro.experiments.table1 import table1_summary
+
+    del cache
+    rows = table1_summary(n=n)
+    return {
+        "rows": rows,
+        "check": {
+            "measured": {f"{r['regime']}/{r['class']}": r["measured_words"] for r in rows},
+        },
+    }

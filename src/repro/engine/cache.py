@@ -210,6 +210,27 @@ class EngineCache:
         self.stats.builds += 1
 
     # ------------------------------------------------------------------ #
+    # stats accounting                                                    #
+    # ------------------------------------------------------------------ #
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Current counter values as a plain dict (for ``delta_since``)."""
+        return self.stats.as_dict()
+
+    def reset_stats(self) -> dict[str, int]:
+        """Zero the hit/miss/store/build counters; returns the old values.
+
+        The counters are otherwise monotone for the life of the instance,
+        which makes cold-vs-warm accounting across consecutive runs (the
+        bench harness's ``grid_sweep_cold`` / ``grid_sweep_warm`` split)
+        impossible to read off directly — resetting between phases makes
+        each phase's counters exact.  Cached artifacts are untouched.
+        """
+        old = self.stats.as_dict()
+        self.stats = CacheStats()
+        return old
+
+    # ------------------------------------------------------------------ #
     # maintenance                                                         #
     # ------------------------------------------------------------------ #
 

@@ -27,6 +27,7 @@ from repro.core.bounds import rect_sequential_io_bound, sequential_io_bound
 from repro.algorithms.io_strassen import dfs_io_model, rect_dfs_io_model
 from repro.engine.builders import cached_dec_graph, cached_estimate
 from repro.engine.cache import CacheStats, EngineCache, default_cache
+from repro.util.jsonutil import jsonable
 
 __all__ = ["GridPoint", "GridSpec", "GridReport", "evaluate_point", "run_grid"]
 
@@ -99,13 +100,7 @@ class GridReport:
     def to_json(self, indent: int | None = None) -> str:
         # NaN/Inf (e.g. h_lower of cone-only rows) are not valid JSON; map
         # them to null so strict parsers can consume the output.
-        rows = [
-            {
-                name: (None if isinstance(v, float) and not math.isfinite(v) else v)
-                for name, v in row.items()
-            }
-            for row in self.rows
-        ]
+        rows = jsonable(self.rows)
         return json.dumps(
             {
                 "spec": {

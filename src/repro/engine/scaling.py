@@ -33,7 +33,8 @@ import numpy as np
 from repro.cdag.schemes import get_scheme
 from repro.core.bounds import scaling_regime
 from repro.engine.cache import EngineCache, cache_key, default_cache
-from repro.parallel.base import available_parallel, get_parallel
+from repro.parallel.base import get_parallel
+from repro.util.jsonutil import jsonable
 from repro.util.matgen import integer_matrix
 
 __all__ = [
@@ -106,13 +107,7 @@ class ScalingReport:
     wall_time: float
 
     def to_json(self, indent: int | None = None) -> str:
-        rows = [
-            {
-                name: (None if isinstance(v, float) and not math.isfinite(v) else v)
-                for name, v in row.items()
-            }
-            for row in self.rows
-        ]
+        rows = jsonable(self.rows)
         return json.dumps(
             {
                 "spec": {

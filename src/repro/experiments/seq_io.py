@@ -6,7 +6,6 @@ bound expressions, as sweeps over n, over M, and over schemes (ω₀).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.algorithms.io_classical import blocked_io, classical_io_bound_shape, recursive_io
 from repro.algorithms.io_strassen import dfs_io, dfs_io_model

@@ -24,7 +24,7 @@ from repro.cdag.schemes import get_scheme
 from repro.core.bounds import perfect_scaling_limit, scaling_regime
 from repro.engine.cache import EngineCache
 from repro.engine.scaling import ScalingSpec, scaling_sweep
-from repro.parallel.base import available_parallel, get_parallel
+from repro.parallel.base import available_parallel
 
 __all__ = ["strong_scaling_experiment"]
 

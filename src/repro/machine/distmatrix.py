@@ -56,17 +56,17 @@ class Grid3D:
     def p(self) -> int:
         return self.q * self.q * self.c
 
-    def rank(self, i: int, j: int, l: int) -> int:
-        return (l % self.c) * self.q * self.q + (i % self.q) * self.q + (j % self.q)
+    def rank(self, i: int, j: int, layer: int) -> int:
+        return (layer % self.c) * self.q * self.q + (i % self.q) * self.q + (j % self.q)
 
     def coords(self, rank: int) -> tuple[int, int, int]:
-        l, r = divmod(rank, self.q * self.q)
+        layer, r = divmod(rank, self.q * self.q)
         i, j = divmod(r, self.q)
-        return i, j, l
+        return i, j, layer
 
     def fiber(self, i: int, j: int) -> list[int]:
         """Ranks of the depth fiber through grid position (i, j)."""
-        return [self.rank(i, j, l) for l in range(self.c)]
+        return [self.rank(i, j, layer) for layer in range(self.c)]
 
 
 def distribute_blocks(m: Machine, X: np.ndarray, key: str, grid: Grid2D, layer_rank=None) -> None:

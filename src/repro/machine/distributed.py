@@ -77,13 +77,27 @@ class Machine:
         self.alpha = float(alpha)
         self.beta = float(beta)
         self._store: list[dict[str, np.ndarray]] = [dict() for _ in range(p)]
-        self._mem_used = np.zeros(p, dtype=np.int64)
-        self.mem_peak = np.zeros(p, dtype=np.int64)
-        self.flops = np.zeros(p, dtype=np.int64)
-        self._flop_phase = np.zeros(p, dtype=np.int64)
+        # Per-rank tallies are plain-int lists: put/get/flop run once per
+        # simulated block transfer (millions of calls in a CAPS sweep), and
+        # numpy scalar indexing is an order of magnitude slower than list
+        # indexing there.  The public views stay numpy (see mem_peak/flops).
+        self._mem_used = [0] * p
+        self._mem_peak = [0] * p
+        self._flops = [0] * p
+        self._flop_phase = [0] * p
         self.critical_flops = 0
         self.log = CommLog()
         self._log_stack: list[CommLog] = [self.log]
+
+    @property
+    def mem_peak(self) -> np.ndarray:
+        """Per-rank peak local-memory words (numpy view of the tallies)."""
+        return np.asarray(self._mem_peak, dtype=np.int64)
+
+    @property
+    def flops(self) -> np.ndarray:
+        """Per-rank arithmetic-operation tallies."""
+        return np.asarray(self._flops, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # per-rank storage                                                    #
@@ -92,8 +106,10 @@ class Machine:
     def put(self, rank: int, key: str, value: np.ndarray) -> None:
         """Store an array in a rank's local memory (replacing any old value)."""
         value = np.ascontiguousarray(value)
-        self._check_rank(rank)
-        old = self._store[rank].get(key)
+        if rank < 0 or rank >= self.p:
+            self._check_rank(rank)
+        store = self._store[rank]
+        old = store.get(key)
         delta = value.size - (old.size if old is not None else 0)
         new_used = self._mem_used[rank] + delta
         if self.memory_limit is not None and new_used > self.memory_limit:
@@ -101,13 +117,15 @@ class Machine:
                 f"rank {rank} local memory exceeded: {new_used} > "
                 f"{self.memory_limit} words (storing {key!r})"
             )
-        self._store[rank][key] = value
+        store[key] = value
         self._mem_used[rank] = new_used
-        self.mem_peak[rank] = max(self.mem_peak[rank], new_used)
+        if new_used > self._mem_peak[rank]:
+            self._mem_peak[rank] = new_used
 
     def get(self, rank: int, key: str) -> np.ndarray:
         """Fetch a rank's local array (zero cost — locality is free)."""
-        self._check_rank(rank)
+        if rank < 0 or rank >= self.p:
+            self._check_rank(rank)
         try:
             return self._store[rank][key]
         except KeyError:
@@ -117,7 +135,7 @@ class Machine:
         """Remove and return a local array, releasing its memory."""
         arr = self.get(rank, key)
         del self._store[rank][key]
-        self._mem_used[rank] -= arr.size
+        self._mem_used[rank] -= int(arr.size)
         return arr
 
     def delete(self, rank: int, key: str) -> None:
@@ -196,17 +214,18 @@ class Machine:
 
     def flop(self, rank: int, count: int) -> None:
         """Charge ``count`` arithmetic operations to a rank (current phase)."""
-        self._check_rank(rank)
+        if rank < 0 or rank >= self.p:
+            self._check_rank(rank)
         if count < 0:
             raise ValueError("negative flop count")
-        self.flops[rank] += count
+        self._flops[rank] += count
         self._flop_phase[rank] += count
 
     def end_compute_phase(self) -> None:
         """Close a compute phase: the slowest rank's flops join the critical
         path (processors compute in parallel between communication rounds)."""
-        self.critical_flops += int(self._flop_phase.max())
-        self._flop_phase[:] = 0
+        self.critical_flops += max(self._flop_phase)
+        self._flop_phase = [0] * self.p
 
     # ------------------------------------------------------------------ #
     # results                                                             #
@@ -225,7 +244,7 @@ class Machine:
     @property
     def max_mem_peak(self) -> int:
         """max_r peak local-memory words — the machine's effective M."""
-        return int(self.mem_peak.max())
+        return max(self._mem_peak)
 
     def time(self, alpha: float | None = None, beta: float | None = None) -> float:
         """α–β critical-path *time*: ``Σ_steps max_r (α·msgs_r + β·words_r)``.
@@ -257,7 +276,7 @@ class Machine:
             "total_words": self.log.total_words,
             "supersteps": self.log.n_supersteps,
             "max_mem_peak": self.max_mem_peak,
-            "total_flops": int(self.flops.sum()),
+            "total_flops": sum(self._flops),
         }
 
     def _check_rank(self, rank: int) -> None:
@@ -280,7 +299,7 @@ class _ParallelRegion:
             return
         # Merge lanes positionally: the region's k-th superstep is the union
         # of every branch's k-th superstep (branches use disjoint ranks).
-        depth = max((len(l.steps) for l in self._lanes), default=0)
+        depth = max((len(lane.steps) for lane in self._lanes), default=0)
         target = self._m._log_stack[-1]
         for k in range(depth):
             merged = SuperstepRecord(label="par")

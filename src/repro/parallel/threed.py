@@ -79,40 +79,40 @@ class ThreeD(ParallelAlgorithm):
         distribute_blocks(m, A, "A", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
         distribute_blocks(m, B, "B", face, layer_rank=lambda i, j: grid.rank(i, j, 0))
 
-        # Routing: A_{il} must reach every (i, j, l).  One relay hop to the
+        # Routing: A_{il} must reach every (i, j, layer).  One relay hop to the
         # target layer, then a binomial broadcast along the layer's row —
         # each processor moves Θ(b²·lg q) words, never a q-way fan-out from
         # one rank.
         msgs = []
         for i in range(q):
-            for l in range(q):
-                src = grid.rank(i, l, 0)
-                dst = grid.rank(i, l, l)
+            for layer in range(q):
+                src = grid.rank(i, layer, 0)
+                dst = grid.rank(i, layer, layer)
                 msgs.append(Message(src, dst, "Ablk", m.get(src, "A")))
         m.exchange(msgs, label="relayA")
         broadcast_many(
             m,
-            [([grid.rank(i, j, l) for j in range(q)], grid.rank(i, l, l))
-             for i in range(q) for l in range(q)],
+            [([grid.rank(i, j, layer) for j in range(q)], grid.rank(i, layer, layer))
+             for i in range(q) for layer in range(q)],
             "Ablk",
             label="bcastA",
         )
         msgs = []
-        for l in range(q):
+        for layer in range(q):
             for j in range(q):
-                src = grid.rank(l, j, 0)
-                dst = grid.rank(l, j, l)
+                src = grid.rank(layer, j, 0)
+                dst = grid.rank(layer, j, layer)
                 msgs.append(Message(src, dst, "Bblk", m.get(src, "B")))
         m.exchange(msgs, label="relayB")
         broadcast_many(
             m,
-            [([grid.rank(i, j, l) for i in range(q)], grid.rank(l, j, l))
-             for l in range(q) for j in range(q)],
+            [([grid.rank(i, j, layer) for i in range(q)], grid.rank(layer, j, layer))
+             for layer in range(q) for j in range(q)],
             "Bblk",
             label="bcastB",
         )
 
-        # Local multiply: (i, j, l) computes A_{il} · B_{lj}.
+        # Local multiply: (i, j, layer) computes A_{il} · B_{lj}.
         for r in range(grid.p):
             prod = m.get(r, "Ablk") @ m.get(r, "Bblk")
             m.put(r, "Cpart", prod)

@@ -107,27 +107,27 @@ class Two5D(ParallelAlgorithm):
         broadcast_many(m, fibers, "A", label="replA")
         broadcast_many(m, fibers, "B", label="replB")
 
-        # Layer l performs Cannon rounds k = l·(q/c) .. (l+1)·(q/c) − 1.  The
-        # alignment for its first round uses A_{i, j+i+l·q/c} and
-        # B_{i+j+l·q/c, j}: a layer-dependent rotation, realized as one
+        # Layer layer performs Cannon rounds k = layer·(q/c) .. (layer+1)·(q/c) − 1.  The
+        # alignment for its first round uses A_{i, j+i+layer·q/c} and
+        # B_{i+j+layer·q/c, j}: a layer-dependent rotation, realized as one
         # permutation superstep across all layers (fully connected model).
         rounds = q // c
         if q > 1:
             msgs = []
-            for l in range(c):
-                off = l * rounds
+            for layer in range(c):
+                off = layer * rounds
                 for i in range(q):
                     for j in range(q):
-                        src = grid.rank(i, j, l)
-                        msgs.append(Message(src, grid.rank(i, j - i - off, l), "A", m.get(src, "A")))
+                        src = grid.rank(i, j, layer)
+                        msgs.append(Message(src, grid.rank(i, j - i - off, layer), "A", m.get(src, "A")))
             m.exchange(msgs, label="skewA")
             msgs = []
-            for l in range(c):
-                off = l * rounds
+            for layer in range(c):
+                off = layer * rounds
                 for i in range(q):
                     for j in range(q):
-                        src = grid.rank(i, j, l)
-                        msgs.append(Message(src, grid.rank(i - j - off, j, l), "B", m.get(src, "B")))
+                        src = grid.rank(i, j, layer)
+                        msgs.append(Message(src, grid.rank(i - j - off, j, layer), "B", m.get(src, "B")))
             m.exchange(msgs, label="skewB")
 
         for r in range(grid.p):
@@ -142,12 +142,12 @@ class Two5D(ParallelAlgorithm):
             if k < rounds - 1:
                 shift_many(
                     m,
-                    [[grid.rank(i, j, l) for j in range(q)] for l in range(c) for i in range(q)],
+                    [[grid.rank(i, j, layer) for j in range(q)] for layer in range(c) for i in range(q)],
                     "A", -1, label="shiftA",
                 )
                 shift_many(
                     m,
-                    [[grid.rank(i, j, l) for i in range(q)] for l in range(c) for j in range(q)],
+                    [[grid.rank(i, j, layer) for i in range(q)] for layer in range(c) for j in range(q)],
                     "B", -1, label="shiftB",
                 )
 

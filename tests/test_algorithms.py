@@ -1,6 +1,5 @@
 """Tests for sequential algorithms: in-core numerics and I/O-explicit runs."""
 
-import math
 
 import numpy as np
 import pytest

@@ -135,3 +135,52 @@ class TestStreaming:
 
     def test_streamed_add_cost_formula(self):
         assert streamed_add_cost(100, 3) == 400
+
+
+class TestBulkCounters:
+    """read_many/write_many must tally exactly like a loop of read/write."""
+
+    def test_bulk_matches_loop(self):
+        from repro.machine.counters import IOCounter
+
+        loop, bulk = IOCounter(), IOCounter()
+        for _ in range(7):
+            loop.read(13)
+            loop.write(5)
+        bulk.read_many(7, 13)
+        bulk.write_many(7, 5)
+        assert (loop.words_read, loop.messages_read) == (
+            bulk.words_read,
+            bulk.messages_read,
+        )
+        assert (loop.words_written, loop.messages_written) == (
+            bulk.words_written,
+            bulk.messages_written,
+        )
+
+    def test_bulk_zero_is_free(self):
+        from repro.machine.counters import IOCounter
+
+        c = IOCounter()
+        c.read_many(0, 10)
+        c.read_many(10, 0)
+        c.write_many(0, 10)
+        assert c.words == 0 and c.messages == 0
+
+    def test_bulk_negative_rejected(self):
+        import pytest as _pytest
+
+        from repro.machine.counters import IOCounter
+
+        c = IOCounter()
+        with _pytest.raises(ValueError):
+            c.read_many(-1, 5)
+        with _pytest.raises(ValueError):
+            c.write_many(1, -5)
+
+    def test_stream_charging_matches_message_model(self):
+        # 25 words in chunks of 10 -> messages of 10, 10, 5 (closed form)
+        fm = FastMemory(10)
+        fm.stream(read_sizes=[25], write_sizes=[], chunk=10)
+        assert fm.counter.messages_read == 3
+        assert fm.counter.words_read == 25

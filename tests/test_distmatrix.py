@@ -36,8 +36,8 @@ class TestGrid3D:
         g = Grid3D(3, 2)
         for i in range(3):
             for j in range(3):
-                for l in range(2):
-                    assert g.coords(g.rank(i, j, l)) == (i, j, l)
+                for layer in range(2):
+                    assert g.coords(g.rank(i, j, layer)) == (i, j, layer)
 
     def test_fiber_spans_layers(self):
         g = Grid3D(2, 4)

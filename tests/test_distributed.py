@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.machine.counters import CommLog, SuperstepRecord
-from repro.machine.distributed import Machine, Message
+from repro.machine.distributed import Machine
 
 
 class TestStorage:

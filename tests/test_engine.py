@@ -96,7 +96,7 @@ class TestCacheRoundTrip:
         assert delta["hits"] == 1 and delta["builds"] == 0
 
     def test_h_graph_roundtrip(self, cache, tmp_path):
-        hg1 = cached_h_graph("strassen", 2, cache=cache)
+        cached_h_graph("strassen", 2, cache=cache)
         cache2 = EngineCache(tmp_path / "cache")
         hg2 = cached_h_graph("strassen", 2, cache=cache2)
         assert cache2.stats.builds == 0
@@ -144,6 +144,38 @@ class TestCacheRoundTrip:
         removed = cache.clear()
         assert removed == info["entries"]
         assert cache.info()["entries"] == 0
+
+
+class TestStatsReset:
+    def test_reset_stats_zeroes_counters_and_returns_old(self, cache):
+        cached_dec_graph("strassen", 2, cache=cache)   # one build
+        cached_dec_graph("strassen", 2, cache=cache)   # one memory hit
+        before = cache.stats_snapshot()
+        assert before["builds"] == 1 and before["hits"] == 1
+        old = cache.reset_stats()
+        assert old == before
+        assert cache.stats.as_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "builds": 0,
+        }
+
+    def test_reset_preserves_cached_artifacts(self, cache):
+        g1 = cached_dec_graph("strassen", 2, cache=cache)
+        cache.reset_stats()
+        g2 = cached_dec_graph("strassen", 2, cache=cache)
+        assert g2 is g1  # still a decoded-object hit, not a rebuild
+        after = cache.stats.as_dict()
+        assert after["builds"] == 0 and after["hits"] == 1
+
+    def test_cold_warm_accounting_is_exact(self, cache):
+        # the bench harness's pattern: warm the cache, reset, then measure
+        cached_estimate("strassen", 2, cache=cache)
+        cache.reset_stats()
+        cached_estimate("strassen", 2, cache=cache)
+        stats = cache.stats.as_dict()
+        assert stats == {"hits": 1, "misses": 0, "stores": 0, "builds": 0}
 
 
 class TestEstimatePolicies:

@@ -7,13 +7,11 @@ bound formulas → simulated algorithms → Table I shapes.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.algorithms.io_strassen import dfs_io_model
 from repro.cdag.pebble import schedule_io
 from repro.cdag.schedule import dfs_topological_order
-from repro.cdag.schemes import get_scheme
 from repro.cdag.strassen_cdag import dec_graph, h_graph
 from repro.core.bounds import LG7, parallel_io_bound, sequential_io_bound
 from repro.core.dominator import minimum_dominator_size

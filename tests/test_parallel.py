@@ -246,7 +246,7 @@ class TestCaps:
         A, B = _pair(14)
         r = caps_multiply(A, B, 1, schedule="B")
         labels = [s.label for s in r.machine.log.steps]
-        assert all("caps-bfs" in l for l in labels)
+        assert all("caps-bfs" in lab for lab in labels)
         assert len(labels) == 2  # forward + inverse redistribution
 
     def test_dfs_step_is_communication_free(self):

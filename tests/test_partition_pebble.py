@@ -21,7 +21,6 @@ from repro.cdag.strassen_cdag import h_graph
 from repro.core.partition import (
     best_partition_bound,
     expansion_io_bound,
-    partition_bound,
     segment_stats,
 )
 

@@ -7,7 +7,6 @@ partition argument's soundness.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,7 +14,6 @@ from repro.algorithms.strassen import bilinear_multiply
 from repro.cdag.graph import CDAG
 from repro.cdag.pebble import schedule_io
 from repro.cdag.schedule import is_topological, random_topological_order
-from repro.cdag.schemes import get_scheme
 from repro.cdag.strassen_cdag import dec_graph
 from repro.core.bounds import parallel_io_bound, sequential_io_bound
 from repro.core.partition import best_partition_bound, segment_stats

@@ -7,7 +7,6 @@ constant factor of the declared analytic cost and never below
 and the strong-scaling floor crossover is pinned for one (n, M) pair.
 """
 
-import math
 
 import pytest
 

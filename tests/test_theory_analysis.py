@@ -12,7 +12,7 @@ from repro.cdag.analysis import (
     layer_profile,
     structure_report,
 )
-from repro.cdag.schemes import available_schemes, get_scheme
+from repro.cdag.schemes import available_schemes
 from repro.cdag.strassen_cdag import dec_graph
 from repro.core.expansion import decode_cone_mask
 from repro.core.theory import (
