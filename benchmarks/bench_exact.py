@@ -1,0 +1,46 @@
+"""E3′ — the exact-expansion engine v2 at its raised limit.
+
+Thin wrappers over the ``exact_v2`` / ``small_set_exact`` registry
+workloads (shared with ``python -m repro bench``): the timed bodies solve
+graphs beyond the pre-v2 22-vertex ceiling — a 26-vertex full enumeration,
+the 28-vertex ``Dec_2`` of a ⟨1,2,2⟩-type scheme under the "auto" policy,
+and exact ``h_s`` of a 40-vertex graph via the size-restricted walk.
+"""
+
+import pytest
+
+from repro.engine.bench import get_bench
+from repro.engine.cache import EngineCache
+
+
+def test_exact_v2_raised_limit(benchmark, emit):
+    w = get_bench("exact_v2")
+    payload = benchmark.pedantic(
+        lambda: w.call(cache=EngineCache(disk=False)), rounds=1, iterations=1
+    )
+    check = payload["check"]
+    emit(
+        f"[E3'] exact v2: h(n=22)={check['h_head']:.6f} "
+        f"h(n=26)={check['h_deep']:.6f} "
+        f"Dec2<1,2,2> method={check['dec2_method']} h={check['dec2_h']}"
+    )
+    # beyond the old EXACT_LIMIT=22 regime, solved exactly
+    assert check["dec2_method"] == "exact"
+    assert check["h_deep"] > 0
+    # witnesses obey Eq. 4's size constraint
+    assert 1 <= check["head_witness"] <= 11
+    assert 1 <= check["deep_witness"] <= 13
+
+
+def test_small_set_exact_40_vertices(benchmark, emit):
+    w = get_bench("small_set_exact")
+    payload = benchmark.pedantic(
+        lambda: w.call(cache=EngineCache(disk=False)), rounds=1, iterations=1
+    )
+    check = payload["check"]
+    emit(f"[E3'] exact h_s on V={check['V']}: {check['h_s']}")
+    assert check["V"] == 40
+    hs = check["h_s"]
+    # a larger size budget can only find a sparser cut
+    assert all(hs[i + 1] <= hs[i] for i in range(len(hs) - 1))
+    assert hs[-1] == pytest.approx(min(hs))

@@ -47,11 +47,17 @@ from repro.core.bounds import (
     sequential_io_upper,
     table1_rows,
 )
+from repro.core.exact import (
+    EXACT_LIMIT,
+    exact_edge_expansion_v2,
+    exact_small_set_expansion_v2,
+)
 from repro.core.expansion import (
     ExpansionEstimate,
     decode_cone_mask,
     estimate_expansion,
     exact_edge_expansion,
+    exact_small_set_expansion,
     expansion_of_cut,
 )
 from repro.core.partition import best_partition_bound, partition_bound, segment_stats
@@ -102,8 +108,10 @@ __all__ = [
     "LG7", "latency_bound", "memory_independent_bound", "parallel_io_bound",
     "perfect_scaling_limit", "scaling_regime", "sequential_io_bound",
     "sequential_io_upper", "table1_rows",
-    "ExpansionEstimate", "decode_cone_mask", "estimate_expansion",
-    "exact_edge_expansion", "expansion_of_cut",
+    "EXACT_LIMIT", "ExpansionEstimate", "decode_cone_mask", "estimate_expansion",
+    "exact_edge_expansion", "exact_edge_expansion_v2",
+    "exact_small_set_expansion", "exact_small_set_expansion_v2",
+    "expansion_of_cut",
     "best_partition_bound", "partition_bound", "segment_stats",
     "bilinear_multiply", "count_flops", "strassen_multiply",
     "dfs_io", "dfs_io_model",

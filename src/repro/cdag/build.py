@@ -11,7 +11,28 @@ import numpy as np
 
 from repro.cdag.graph import CDAG, VertexKind
 
-__all__ = ["GraphBuilder"]
+__all__ = ["GraphBuilder", "layered_circulant_cdag"]
+
+
+def layered_circulant_cdag(n: int, offsets: tuple[int, ...] = (1, 3, 7)) -> CDAG:
+    """A deterministic ``n``-vertex benchmark DAG: edges ``i → i+δ``.
+
+    The acyclic analogue of a circulant graph — connected (via ``δ=1``),
+    near-regular, and parameterized purely by ``n``, so the exact-expansion
+    benchmarks can pin check values on graphs of *any* size instead of being
+    restricted to the vertex counts the ``Dec_k C`` family happens to hit.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 vertices")
+    b = GraphBuilder()
+    b.add_vertices(n, VertexKind.ADD)
+    src, dst = [], []
+    for delta in offsets:
+        for i in range(n - delta):
+            src.append(i)
+            dst.append(i + delta)
+    b.add_edges(src, dst)
+    return b.freeze()
 
 
 class GraphBuilder:

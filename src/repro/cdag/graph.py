@@ -130,7 +130,7 @@ class CDAG:
     @cached_property
     def degree(self) -> np.ndarray:
         """Total (undirected) degree per vertex, counting multi-edges once."""
-        u, v = self._undirected_simple_edges()
+        u, v = self.undirected_edges
         d = np.bincount(u, minlength=self.n_vertices)
         d += np.bincount(v, minlength=self.n_vertices)
         return d.astype(np.int64)
@@ -159,20 +159,49 @@ class CDAG:
     # ------------------------------------------------------------------ #
 
     def _undirected_simple_edges(self) -> tuple[np.ndarray, np.ndarray]:
-        """Deduplicated undirected edges as (u, v) with u < v."""
+        """Deduplicated undirected edges as (u, v) with u < v, key-sorted.
+
+        One argsort of the composite key followed by a flag-diff dedup (keep
+        the first of each run of equal keys) — same output as ``np.unique``
+        on the key, without its second sort-and-gather pass or the
+        ``return_index`` temporary.  Every undirected consumer (``degree``,
+        ``adjacency``, the expansion kernels) goes through the cached
+        :attr:`undirected_edges`, so this runs exactly once per graph.
+        """
         if self.n_edges == 0:
             e = np.empty(0, dtype=np.int64)
             return e, e.copy()
         u = np.minimum(self.src, self.dst)
         v = np.maximum(self.src, self.dst)
         key = u * self.n_vertices + v
-        _, idx = np.unique(key, return_index=True)
-        return u[idx], v[idx]
+        key.sort(kind="stable")  # key is a fresh temporary: sort in place
+        keep = np.empty(len(key), dtype=bool)
+        keep[0] = True
+        np.not_equal(key[1:], key[:-1], out=keep[1:])
+        uniq = key[keep]
+        return uniq // self.n_vertices, uniq % self.n_vertices
 
     @cached_property
     def undirected_edges(self) -> tuple[np.ndarray, np.ndarray]:
         """Public accessor for the deduplicated undirected edge list."""
         return self._undirected_simple_edges()
+
+    @cached_property
+    def adjacency_bits(self) -> np.ndarray:
+        """Bitset-packed undirected adjacency: an ``(n, ⌈n/64⌉)`` uint64 array.
+
+        Row ``i`` holds the neighborhood of vertex ``i`` as packed words
+        (bit ``j`` of word ``j // 64`` set iff ``{i, j}`` is an edge), so the
+        exact-expansion kernels intersect neighborhoods with word-ANDs and
+        popcounts instead of scanning the edge list.
+        """
+        n = self.n_vertices
+        words = max(1, -(-n // 64))
+        bits = np.zeros((n, words), dtype=np.uint64)
+        u, v = self.undirected_edges
+        np.bitwise_or.at(bits, (u, v >> 6), np.uint64(1) << (v & 63).astype(np.uint64))
+        np.bitwise_or.at(bits, (v, u >> 6), np.uint64(1) << (u & 63).astype(np.uint64))
+        return bits
 
     @cached_property
     def adjacency(self) -> sp.csr_matrix:

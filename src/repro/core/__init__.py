@@ -11,6 +11,11 @@ from repro.core.bounds import (
     table1_cell,
     table1_rows,
 )
+from repro.core.exact import (
+    EXACT_LIMIT,
+    exact_edge_expansion_v2,
+    exact_small_set_expansion_v2,
+)
 from repro.core.expansion import (
     ExpansionEstimate,
     claim_2_1_small_set_bound,
@@ -33,6 +38,7 @@ from repro.core.partition import (
 from repro.core.dominator import hong_kung_2m_partition_bound, minimum_dominator_size
 
 __all__ = [
+    "EXACT_LIMIT", "exact_edge_expansion_v2", "exact_small_set_expansion_v2",
     "LG7", "Table1Cell", "latency_bound", "memory_regimes",
     "parallel_io_bound", "sequential_io_bound", "sequential_io_upper",
     "table1_cell", "table1_rows",

@@ -10,8 +10,13 @@ degree ``d`` (§2.0.2) — loops never cross a cut, so in practice we divide by
 
 Exact ``h`` is NP-hard, so the module offers a *sandwich*:
 
-* **exact enumeration** for tiny graphs (≤ ~22 vertices) — ground truth for
-  the test suite and for ``Dec₁C``;
+* **exact enumeration** for small graphs (≤ :data:`EXACT_LIMIT` = 28
+  vertices by default) — ground truth for the test suite and for the
+  ``Dec_k C`` base cases (``Dec₁C`` of every scheme, and ``Dec₂C`` of the
+  ⟨1,2,2⟩-type rectangular schemes).  The enumeration itself lives in
+  :mod:`repro.core.exact` (bitset kernels, Gray-style incremental scans, a
+  size-restricted walk for ``h_s``, optional process-parallel sharding);
+  this module keeps thin façades with the historical signatures;
 * **spectral (Cheeger) bounds** — ``λ₂/2 ≤ h(G) ≤ √(2 λ₂)`` for the
   loop-regularized graph, computed with sparse eigensolvers: a certified
   lower bound on one side;
@@ -39,6 +44,12 @@ import scipy.sparse.linalg as spla
 from repro.cdag.graph import CDAG
 from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.cdag.strassen_cdag import dec_level_sizes
+from repro.core.exact import (
+    EXACT_LIMIT,
+    exact_edge_expansion_v2,
+    exact_small_set_expansion_v2,
+)
+from repro.core.exact import _popcount as _popcount  # back-compat re-export
 
 __all__ = [
     "EXACT_LIMIT",
@@ -54,9 +65,9 @@ __all__ = [
     "claim_2_1_small_set_bound",
 ]
 
-#: 2^22 subsets is the practical enumeration ceiling; public because the
+#: The exact-enumeration ceiling (re-exported from :mod:`repro.core.exact`;
+#: 28 by default, overridable via ``REPRO_EXACT_LIMIT``).  Public because the
 #: engine's policy selection and the experiments branch on it.
-EXACT_LIMIT = 22
 _EXACT_LIMIT = EXACT_LIMIT  # backwards-compatible alias
 
 
@@ -93,62 +104,28 @@ def expansion_of_cut(g: CDAG, mask: np.ndarray, degree: int | None = None) -> fl
 
 
 # ---------------------------------------------------------------------- #
-# exact enumeration (tiny graphs)                                         #
+# exact enumeration (facades over repro.core.exact)                        #
 # ---------------------------------------------------------------------- #
 
 
-def _popcount(x: np.ndarray) -> np.ndarray:
-    """Vectorized popcount for non-negative int64 arrays."""
-    if hasattr(np, "bitwise_count"):  # numpy >= 2.0: a single hardware-backed ufunc
-        return np.bitwise_count(x).astype(np.int64)
-    x = x.copy()
-    count = np.zeros_like(x)
-    while np.any(x):
-        count += x & 1
-        x >>= 1
-    return count
-
-
-#: Subset-mask rows per boundary-evaluation chunk: bounds the (chunk, |V|)
-#: and (chunk, |E|) temporaries to a few MB while staying fully vectorized.
-_BOUNDARY_CHUNK = 1 << 15
-
-
-def exact_edge_expansion(g: CDAG, max_size: int | None = None) -> tuple[float, np.ndarray]:
+def exact_edge_expansion(
+    g: CDAG, max_size: int | None = None, *, jobs: int = 1
+) -> tuple[float, np.ndarray]:
     """Exact ``h(G)`` (or ``h_s`` when ``max_size`` given) by enumeration.
 
-    Returns ``(h, best_mask)``.  Only feasible for ``|V| ≤ 22``.
+    Returns ``(h, best_mask)`` — bit-identical to the seed brute-force
+    enumerator (same ``h``, smallest minimizing mask).  Feasible for
+    ``|V| <= EXACT_LIMIT`` (28 by default); with ``max_size`` set, the
+    size-restricted walk also solves much larger graphs as long as
+    ``C(n, <=max_size)`` stays enumerable.  ``jobs > 1`` shards the subset
+    space over worker processes without changing the result.
     """
-    n = g.n_vertices
-    if n > EXACT_LIMIT:
-        raise ValueError(f"exact enumeration limited to {EXACT_LIMIT} vertices; got {n}")
-    if n < 2:
-        raise ValueError("expansion undefined for graphs with < 2 vertices")
-    limit = n // 2 if max_size is None else min(max_size, n)
-    d = g.max_degree
-    masks = np.arange(1, 2**n, dtype=np.int64)
-    sizes = _popcount(masks)
-    ok = (sizes >= 1) & (sizes <= limit)
-    masks = masks[ok]
-    sizes = sizes[ok]
-    u, v = g.undirected_edges
-    shifts = np.arange(n, dtype=np.int64)
-    boundary = np.empty(len(masks), dtype=np.int64)
-    for lo in range(0, len(masks), _BOUNDARY_CHUNK):
-        chunk = masks[lo : lo + _BOUNDARY_CHUNK, None]
-        bits = ((chunk >> shifts) & 1).astype(bool)  # (chunk, n) membership
-        boundary[lo : lo + len(bits)] = np.count_nonzero(
-            bits[:, u] != bits[:, v], axis=1
-        )
-    ratios = boundary / (d * sizes)
-    best = int(np.argmin(ratios))
-    best_mask = ((int(masks[best]) >> shifts) & 1).astype(bool)
-    return float(ratios[best]), best_mask
+    return exact_edge_expansion_v2(g, max_size=max_size, jobs=jobs)
 
 
-def exact_small_set_expansion(g: CDAG, s: int) -> float:
-    """Exact ``h_s(G)`` (Eq. 5) by enumeration — tiny graphs only."""
-    h, _ = exact_edge_expansion(g, max_size=s)
+def exact_small_set_expansion(g: CDAG, s: int, *, jobs: int = 1) -> float:
+    """Exact ``h_s(G)`` (Eq. 5) via the size-restricted combinatorial walk."""
+    h, _ = exact_small_set_expansion_v2(g, s, jobs=jobs)
     return h
 
 
@@ -226,10 +203,10 @@ def fiedler_sweep_cut(g: CDAG, fiedler: np.ndarray | None = None) -> tuple[float
     u, v = g.undirected_edges
     lo = np.minimum(rank[u], rank[v])
     hi = np.maximum(rank[u], rank[v])
-    # cut(i) = number of edges with lo <= i < hi, for prefix of size i+1
-    diff = np.zeros(n + 1, dtype=np.int64)
-    np.add.at(diff, lo, 1)
-    np.add.at(diff, hi, -1)
+    # cut(i) = number of edges with lo <= i < hi, for prefix of size i+1.
+    # bincount beats np.add.at's unbuffered scatter by ~an order of magnitude
+    # and this difference array is rebuilt on every spectral estimate.
+    diff = np.bincount(lo, minlength=n + 1) - np.bincount(hi, minlength=n + 1)
     cut_sizes = np.cumsum(diff[:-1])
     prefix_sizes = np.arange(1, n + 1)
     valid = prefix_sizes <= n // 2
@@ -297,16 +274,35 @@ def decode_cone_upper_bound(g: CDAG, scheme: BilinearScheme | str, k: int) -> tu
     best_ratio = math.inf
     best_mask: np.ndarray | None = None
     half = g.n_vertices // 2
+    n_empty = 0
+    n_oversized = 0
     for branch in range(scheme.t0):
         mask = decode_cone_mask(scheme, k, branch)
-        if not (1 <= mask.sum() <= half):
+        size = int(mask.sum())
+        if size == 0:
+            n_empty += 1
+            continue
+        if size > half:
+            n_oversized += 1
             continue
         ratio = expansion_of_cut(g, mask)
         if ratio < best_ratio:
             best_ratio = ratio
             best_mask = mask
     if best_mask is None:
-        raise ValueError("no feasible decode cone (graph too small?)")
+        reasons = []
+        if n_oversized:
+            reasons.append(
+                f"{n_oversized} cone(s) exceed |V|/2 = {half} "
+                "(Eq. 4 needs the smaller side; the graph is too shallow "
+                "for this scheme's branch cones)"
+            )
+        if n_empty:
+            reasons.append(f"{n_empty} cone(s) are empty")
+        raise ValueError(
+            f"no feasible decode cone among {scheme.t0} branches of "
+            f"{scheme.name!r} at k={k}: " + "; ".join(reasons)
+        )
     return best_ratio, best_mask
 
 
@@ -319,16 +315,18 @@ def estimate_expansion(
     g: CDAG,
     scheme: BilinearScheme | str | None = None,
     k: int | None = None,
+    jobs: int = 1,
 ) -> ExpansionEstimate:
     """Two-sided expansion estimate.
 
-    Tiny graphs are solved exactly.  Larger graphs get the Cheeger lower
-    bound and the best of (Fiedler sweep, decode cones when ``scheme``/``k``
-    describe the graph as a ``Dec_k C``).
+    Graphs up to :data:`EXACT_LIMIT` vertices are solved exactly (``jobs``
+    shards the subset search over processes).  Larger graphs get the Cheeger
+    lower bound and the best of (Fiedler sweep, decode cones when
+    ``scheme``/``k`` describe the graph as a ``Dec_k C``).
     """
     d = g.max_degree
     if g.n_vertices <= EXACT_LIMIT:
-        h, mask = exact_edge_expansion(g)
+        h, mask = exact_edge_expansion(g, jobs=jobs)
         return ExpansionEstimate(
             lower=h,
             upper=h,

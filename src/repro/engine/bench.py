@@ -620,6 +620,65 @@ def _bench_expansion_exact(cache: EngineCache) -> dict:
 
 
 @register_bench(
+    "exact_v2",
+    "expansion",
+    params={"n_head": 22, "n_deep": 26, "dec2_scheme": "classical122"},
+    rounds=3,
+    quick_rounds=2,
+    cold=True,
+)
+def _bench_exact_v2(cache: EngineCache, n_head: int, n_deep: int, dec2_scheme: str) -> dict:
+    """Exact-expansion engine v2: bitset/Gray enumeration at the raised limit.
+
+    ``n_head`` is the headline graph the seed enumerator could still solve
+    (so ``--compare`` shows the speedup); ``n_deep`` (> 22) and the
+    ``Dec_2`` of a ⟨1,2,2⟩-type scheme (28 vertices, solved exactly under
+    the "auto" policy) were outside the pre-v2 exactly-solvable regime.
+    """
+    from repro.cdag.build import layered_circulant_cdag
+    from repro.core.expansion import exact_edge_expansion
+    from repro.engine.builders import cached_estimate
+
+    g_head = layered_circulant_cdag(n_head)
+    h_head, m_head = exact_edge_expansion(g_head)
+    g_deep = layered_circulant_cdag(n_deep)
+    h_deep, m_deep = exact_edge_expansion(g_deep)
+    est = cached_estimate(dec2_scheme, 2, policy="auto", cache=cache)
+    return {
+        "estimate": est,
+        "check": {
+            "h_head": h_head,
+            "head_witness": int(m_head.sum()),
+            "h_deep": h_deep,
+            "deep_witness": int(m_deep.sum()),
+            "dec2_method": est.method,
+            "dec2_h": est.upper,
+        },
+    }
+
+
+@register_bench(
+    "small_set_exact",
+    "expansion",
+    params={"n": 40, "s_max": 3},
+)
+def _bench_small_set_exact(cache: EngineCache, n: int, s_max: int) -> dict:
+    """Size-restricted exact h_s walk far beyond the full-enumeration limit."""
+    from repro.cdag.build import layered_circulant_cdag
+    from repro.core.expansion import exact_small_set_expansion
+
+    del cache
+    g = layered_circulant_cdag(n)
+    hs = [exact_small_set_expansion(g, s) for s in range(1, s_max + 1)]
+    return {
+        "check": {
+            "V": g.n_vertices,
+            "h_s": hs,
+        },
+    }
+
+
+@register_bench(
     "expansion_spectral",
     "expansion",
     params={"scheme": "strassen", "k": 4},

@@ -170,13 +170,13 @@ def cached_spectrum(
 
 
 def _compute_estimate(
-    scheme: BilinearScheme, k: int, policy: str, cache: EngineCache
+    scheme: BilinearScheme, k: int, policy: str, cache: EngineCache, jobs: int = 1
 ) -> ExpansionEstimate:
     g = cached_dec_graph(scheme, k, cache=cache)
     n = g.n_vertices
     d = g.max_degree
     if policy == "exact" or (policy == "auto" and n <= EXACT_LIMIT):
-        h, mask = exact_edge_expansion(g)
+        h, mask = exact_edge_expansion(g, jobs=jobs)
         return ExpansionEstimate(
             lower=h,
             upper=h,
@@ -222,14 +222,18 @@ def cached_estimate(
     k: int,
     policy: str = "auto",
     cache: EngineCache | None = None,
+    jobs: int = 1,
 ) -> ExpansionEstimate:
     """Two-sided expansion estimate of ``Dec_k C``, cached by (scheme, k, policy).
 
-    Policies: ``exact`` (enumeration, tiny graphs only), ``spectral``
-    (Cheeger lower + best of Fiedler sweep / decode cone), ``cone``
-    (decode-cone upper bound only, NaN lower), and ``auto`` (exact below
-    the enumeration limit, spectral below :data:`AUTO_SPECTRAL_LIMIT`,
-    cone-only beyond).
+    Policies: ``exact`` (enumeration, up to ``EXACT_LIMIT`` vertices —
+    ``Dec_2`` of the ⟨1,2,2⟩-type rectangular schemes now solves exactly
+    under ``auto``), ``spectral`` (Cheeger lower + best of Fiedler sweep /
+    decode cone), ``cone`` (decode-cone upper bound only, NaN lower), and
+    ``auto`` (exact below the enumeration limit, spectral below
+    :data:`AUTO_SPECTRAL_LIMIT`, cone-only beyond).  ``jobs`` shards the
+    exact subset search over processes; it never changes the result, so it
+    is not part of the cache key.
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
@@ -251,7 +255,7 @@ def cached_estimate(
         )
     else:
         cache.count_build()
-        est = _compute_estimate(scheme, k, policy, cache)
+        est = _compute_estimate(scheme, k, policy, cache, jobs=jobs)
         cache.put_arrays(
             key,
             {

@@ -55,7 +55,10 @@ __all__ = [
 #: full shape, so square-era entries must not be shared.
 #: v3: parallel scaling-sweep artifacts — keys may now carry a None scheme
 #: (classical grid algorithms), so the keyspace layout changed.
-CACHE_VERSION = 3
+#: v4: exact-expansion engine v2 — EXACT_LIMIT rose 22 → 28, so "auto"-policy
+#: estimates of 23..28-vertex graphs change method (spectral → exact); stale
+#: estimates from older builds must miss.
+CACHE_VERSION = 4
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 

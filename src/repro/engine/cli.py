@@ -188,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
     expansion.add_argument("--scheme", default="strassen")
     expansion.add_argument("--k", type=int, default=4)
     expansion.add_argument("--policy", default="auto", choices=POLICIES)
+    expansion.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the exact subset search (default 1: "
+            "serial and deterministic in CI; any value returns identical "
+            "results)"
+        ),
+    )
 
     structure = sub.add_parser(
         "structure", help="Figure 2 structural report for one (scheme, k)"
@@ -356,7 +366,9 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out) -> int:
-    est = cached_estimate(args.scheme, args.k, policy=args.policy, cache=cache)
+    est = cached_estimate(
+        args.scheme, args.k, policy=args.policy, cache=cache, jobs=args.jobs
+    )
     # Strict-JSON invariant (same as the sweep report): NaN → null.
     payload = {
         "scheme": args.scheme,

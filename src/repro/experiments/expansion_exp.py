@@ -27,12 +27,19 @@ def expansion_decay(
     k_max: int = 5,
     spectral_upto: int = 5,
     cache: EngineCache | None = None,
+    jobs: int = 1,
 ) -> dict:
     """Two-sided h(Dec_k C) estimates for k = 1..k_max plus decay fits.
 
+    Rows whose graph fits under :data:`EXACT_LIMIT` are solved exactly —
+    with the v2 engine (limit 28) that now reaches past ``Dec_1``: e.g.
+    ``Dec_2`` of the ⟨1,2,2⟩-type rectangular schemes gets an exact row
+    where it previously leaned on the spectral/cone sandwich alone.
     ``spectral_upto`` caps the eigen-solves (they dominate cold run time);
     deeper graphs get the decode-cone upper bound only, which is the quantity
-    the decay fit uses throughout.  ``cache`` overrides the process default.
+    the decay fit uses throughout.  ``cache`` overrides the process default;
+    ``jobs`` shards the exact rows' subset search (results are identical for
+    any value).
     """
     s = get_scheme(scheme)
     ratio = s.c_blocks / s.t0
@@ -46,7 +53,7 @@ def expansion_decay(
             policy = "spectral"
         else:
             policy = "cone"
-        est = cached_estimate(s, k, policy=policy, cache=cache)
+        est = cached_estimate(s, k, policy=policy, cache=cache, jobs=jobs)
         rows.append(
             {
                 "k": k,
@@ -61,8 +68,10 @@ def expansion_decay(
         )
         ks.append(k)
         uppers.append(est.upper)
-    # geometric-decay fit: upper ≈ C · r^k  →  log-linear in k
-    if len(ks) >= 2:
+    # geometric-decay fit: upper ≈ C · r^k  →  log-linear in k.  Disconnected
+    # Dec graphs (some rectangular schemes) have exact h = 0, which a log-log
+    # fit cannot ingest — report NaN instead of crashing the sweep.
+    if len(ks) >= 2 and all(u > 0 for u in uppers):
         e, _ = fit_power_law([math.e**k for k in ks], uppers)  # slope in log-k space
         decay = math.e**e
     else:
