@@ -26,7 +26,11 @@ def test_e7_caps_memory_bandwidth_tradeoff(caps_tradeoff_payload, emit):
     assert all(r["verified"] for r in result["rows"])
     # monotone frontier: BB (max memory, min words) ... DDBB (min memory, max words)
     assert rows["BB"]["mem_peak"] > rows["DBB"]["mem_peak"] > rows["DDBB"]["mem_peak"]
-    assert rows["BB"]["measured_words"] < rows["DBB"]["measured_words"] < rows["DDBB"]["measured_words"]
+    assert (
+        rows["BB"]["measured_words"]
+        < rows["DBB"]["measured_words"]
+        < rows["DDBB"]["measured_words"]
+    )
     # soundness against Cor 1.2 evaluated at each run's own peak memory
     assert all(r["measured/bound"] >= 1.0 for r in result["rows"])
     # tightness band: within a bounded constant of the bound across the
@@ -47,4 +51,6 @@ def test_e6_e7_table1_complete(benchmark, emit):
     # the Strassen-like bounds are strictly below classical per regime
     by = {(r["regime"], r["class"]): r for r in rows}
     for regime in ("2D", "3D", "2.5D"):
-        assert by[(regime, "strassen-like")]["p_exponent"] >= by[(regime, "classical")]["p_exponent"]
+        assert (
+            by[(regime, "strassen-like")]["p_exponent"] >= by[(regime, "classical")]["p_exponent"]
+        )

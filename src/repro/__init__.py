@@ -99,31 +99,79 @@ from repro.parallel import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "CDAG", "VertexKind",
-    "BilinearScheme", "available_schemes", "compose_schemes", "get_scheme",
-    "HGraph", "dec_graph", "enc_graph", "h_graph",
-    "classical_matmul_cdag", "matvec_cdag",
-    "exhaustive_min_io", "schedule_io",
-    "bfs_topological_order", "dfs_topological_order", "random_topological_order",
-    "LG7", "latency_bound", "memory_independent_bound", "parallel_io_bound",
-    "perfect_scaling_limit", "scaling_regime", "sequential_io_bound",
-    "sequential_io_upper", "table1_rows",
-    "EXACT_LIMIT", "ExpansionEstimate", "decode_cone_mask", "estimate_expansion",
-    "exact_edge_expansion", "exact_edge_expansion_v2",
-    "exact_small_set_expansion", "exact_small_set_expansion_v2",
+    "CDAG",
+    "VertexKind",
+    "BilinearScheme",
+    "available_schemes",
+    "compose_schemes",
+    "get_scheme",
+    "HGraph",
+    "dec_graph",
+    "enc_graph",
+    "h_graph",
+    "classical_matmul_cdag",
+    "matvec_cdag",
+    "exhaustive_min_io",
+    "schedule_io",
+    "bfs_topological_order",
+    "dfs_topological_order",
+    "random_topological_order",
+    "LG7",
+    "latency_bound",
+    "memory_independent_bound",
+    "parallel_io_bound",
+    "perfect_scaling_limit",
+    "scaling_regime",
+    "sequential_io_bound",
+    "sequential_io_upper",
+    "table1_rows",
+    "EXACT_LIMIT",
+    "ExpansionEstimate",
+    "decode_cone_mask",
+    "estimate_expansion",
+    "exact_edge_expansion",
+    "exact_edge_expansion_v2",
+    "exact_small_set_expansion",
+    "exact_small_set_expansion_v2",
     "expansion_of_cut",
-    "best_partition_bound", "partition_bound", "segment_stats",
-    "bilinear_multiply", "count_flops", "strassen_multiply",
-    "dfs_io", "dfs_io_model",
-    "blocked_io", "naive_io", "recursive_io",
-    "EngineCache", "GridPoint", "GridReport", "GridSpec",
-    "ScalingPoint", "ScalingReport", "ScalingSpec",
-    "cached_dec_graph", "cached_estimate", "cached_h_graph", "cached_spectrum",
-    "default_cache", "run_grid", "scaling_sweep",
-    "FastMemory", "Machine", "Message",
-    "AnalyticCost", "ParallelAlgorithm", "ParallelResult",
-    "available_parallel", "get_parallel", "run_parallel",
-    "cannon_multiply", "summa_multiply",
-    "threed_multiply", "two5d_multiply", "caps_multiply",
+    "best_partition_bound",
+    "partition_bound",
+    "segment_stats",
+    "bilinear_multiply",
+    "count_flops",
+    "strassen_multiply",
+    "dfs_io",
+    "dfs_io_model",
+    "blocked_io",
+    "naive_io",
+    "recursive_io",
+    "EngineCache",
+    "GridPoint",
+    "GridReport",
+    "GridSpec",
+    "ScalingPoint",
+    "ScalingReport",
+    "ScalingSpec",
+    "cached_dec_graph",
+    "cached_estimate",
+    "cached_h_graph",
+    "cached_spectrum",
+    "default_cache",
+    "run_grid",
+    "scaling_sweep",
+    "FastMemory",
+    "Machine",
+    "Message",
+    "AnalyticCost",
+    "ParallelAlgorithm",
+    "ParallelResult",
+    "available_parallel",
+    "get_parallel",
+    "run_parallel",
+    "cannon_multiply",
+    "summa_multiply",
+    "threed_multiply",
+    "two5d_multiply",
+    "caps_multiply",
     "__version__",
 ]

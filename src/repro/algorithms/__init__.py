@@ -26,9 +26,20 @@ from repro.algorithms.nonstationary import (
 )
 
 __all__ = [
-    "FlopCount", "bilinear_multiply", "count_flops", "strassen_multiply",
-    "StrassenIOReport", "canonical_base_size", "dfs_io", "dfs_io_model",
-    "blocked_io", "classical_io_bound_shape", "naive_io", "recursive_io",
-    "nonstationary_flops", "nonstationary_io", "nonstationary_multiply",
+    "FlopCount",
+    "bilinear_multiply",
+    "count_flops",
+    "strassen_multiply",
+    "StrassenIOReport",
+    "canonical_base_size",
+    "dfs_io",
+    "dfs_io_model",
+    "blocked_io",
+    "classical_io_bound_shape",
+    "naive_io",
+    "recursive_io",
+    "nonstationary_flops",
+    "nonstationary_io",
+    "nonstationary_multiply",
     "strassen_with_cutoff_levels",
 ]

@@ -155,8 +155,13 @@ def dfs_io(
     w_nnz = _nnz_rows(scheme.W)
     n_base = _dfs(fm, n, scheme, base, u_nnz, v_nnz, w_nnz)
     return StrassenIOReport(
-        n=n, M=M, scheme=scheme.name, counter=fm.counter,
-        base_size=base, n_base_multiplies=n_base, shape=(n, n, n),
+        n=n,
+        M=M,
+        scheme=scheme.name,
+        counter=fm.counter,
+        base_size=base,
+        n_base_multiplies=n_base,
+        shape=(n, n, n),
     )
 
 
@@ -255,8 +260,13 @@ def dfs_io_model(
         words_read=wr, words_written=ww, messages_read=mr, messages_written=mw
     )
     return StrassenIOReport(
-        n=n, M=M, scheme=scheme.name, counter=counter,
-        base_size=base, n_base_multiplies=mults, shape=(n, n, n),
+        n=n,
+        M=M,
+        scheme=scheme.name,
+        counter=counter,
+        base_size=base,
+        n_base_multiplies=mults,
+        shape=(n, n, n),
     )
 
 

@@ -176,8 +176,12 @@ def nonstationary_io(n: int, M: int, schemes) -> StrassenIOReport:
     mults = go(n, 0)
     label = "+".join(s.name for s in schemes)
     return StrassenIOReport(
-        n=n, M=M, scheme=f"nonstat[{label}]", counter=fm.counter,
-        base_size=-1, n_base_multiplies=mults,
+        n=n,
+        M=M,
+        scheme=f"nonstat[{label}]",
+        counter=fm.counter,
+        base_size=-1,
+        n_base_multiplies=mults,
     )
 
 

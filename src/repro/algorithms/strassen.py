@@ -91,7 +91,9 @@ def _recurse(A: np.ndarray, B: np.ndarray, scheme: BilinearScheme, cutoff: int) 
     return C
 
 
-def strassen_multiply(A: np.ndarray, B: np.ndarray, cutoff: int = 32, variant: str = "strassen") -> np.ndarray:
+def strassen_multiply(
+    A: np.ndarray, B: np.ndarray, cutoff: int = 32, variant: str = "strassen"
+) -> np.ndarray:
     """Strassen's algorithm (or Winograd's variant) with a classical cutoff."""
     if variant not in ("strassen", "winograd"):
         raise ValueError("variant must be 'strassen' or 'winograd'")

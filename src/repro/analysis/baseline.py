@@ -1,0 +1,79 @@
+"""The committed grandfather file for pre-existing findings.
+
+A new checker landing on an old codebase usually surfaces findings nobody
+can fix in the same PR.  Rather than weakening the checker or blocking the
+rollout, the offending findings are recorded in a baseline file: baselined
+findings are reported as such but do not fail the run, while any finding
+*not* in the baseline does.  The file is committed (``repro check
+--update-baseline`` rewrites it), so growing it is a visible diff a
+reviewer must justify.
+
+Entries key on :meth:`Finding.identity` — ``(code, path, message)`` — so
+unrelated line drift does not churn the file.  The schema is versioned;
+an unknown version is a hard error, not a silent re-grandfather.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.util.jsonutil import jsonable
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "split_baselined",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Where the committed baseline lives, relative to the repo root.
+DEFAULT_BASELINE_NAME = "repro_check_baseline.json"
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> Path:
+    """Write the baseline for ``findings`` (sorted, strict JSON)."""
+    entries = sorted({f.identity() for f in findings})
+    doc = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": [
+            {"code": code, "path": rel, "message": message}
+            for code, rel, message in entries
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(jsonable(doc), indent=2, allow_nan=False) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Load the baseline identities; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    doc = json.loads(path.read_text())
+    version = doc.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema_version {version!r}; "
+            f"this build reads {BASELINE_SCHEMA_VERSION}"
+        )
+    out = set()
+    for entry in doc.get("findings", []):
+        out.add((str(entry["code"]), str(entry["path"]), str(entry["message"])))
+    return out
+
+
+def split_baselined(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, grandfathered) against the baseline."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        (old if f.identity() in baseline else new).append(f)
+    return new, old

@@ -1,0 +1,44 @@
+"""The shipped domain checkers; importing this package registers them all.
+
+Catalog (stable codes):
+
+=======  =====================  ==============================================
+code     name                   invariant
+=======  =====================  ==============================================
+RC101    cache-fingerprint      every parameter of a ``cache_key``-calling
+                                builder flows into the key (or is exempt)
+RC102    cache-version-pin      result-producing modules may not change
+                                without a ``CACHE_VERSION`` bump or re-pin
+RC201    registry-parallel      ``@register_parallel`` classes declare
+                                validity + analytic-cost contracts
+RC202    registry-bench         ``@register_bench`` workloads declare quick
+                                param sets and a scalar ``check`` payload
+RC301    strict-json            no raw ``json.dump(s)`` on non-literal
+                                payloads outside ``util/jsonutil``
+RC401    spawn-pool             no lambdas/closures/bound methods submitted
+                                to multiprocessing pools
+RC402    spawn-order            no unordered-set iteration feeding work
+                                construction in multiprocessing modules
+RC501    bitset-dtype           uint64 bitset arrays never mix with
+                                signed/float operands
+RC601    broad-except           no new bare/broad ``except`` clauses
+=======  =====================  ==============================================
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (import-for-effect)
+    bitset_dtype,
+    broad_except,
+    cache_fingerprint,
+    registry_contracts,
+    spawn_pool,
+    strict_json,
+)
+
+__all__ = [
+    "bitset_dtype",
+    "broad_except",
+    "cache_fingerprint",
+    "registry_contracts",
+    "spawn_pool",
+    "strict_json",
+]

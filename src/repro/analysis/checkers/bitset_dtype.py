@@ -1,0 +1,168 @@
+"""Bitset dtype discipline for the exact-expansion kernels.
+
+The PR-5 exact engine keeps vertex adjacency as packed ``uint64`` words
+(``adjacency_bits``) and does popcount/Gray-code arithmetic on them.
+NumPy silently promotes ``uint64 (op) int64`` to ``float64`` — a promotion
+that *loses low bits* once values exceed 2**53 and turns bitwise kernels
+into garbage on large instances while small-instance tests still pass.
+
+**RC501** tracks, per function, which local names hold uint64 bitset
+arrays (constructed with ``dtype=np.uint64``, ``np.uint64(...)``,
+``.astype(np.uint64)``, or read from ``.adjacency_bits``) and which hold
+signed/float arrays, and flags any binary or augmented operation mixing
+the two families.  Plain int literals are neutral (NumPy keeps uint64 for
+scalar python ints in-range), as are names the tracker cannot classify.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Checker, Module, register_checker
+from repro.analysis.findings import Finding
+
+__all__ = ["BitsetDtypeChecker"]
+
+#: Dtype spellings that mark an expression as a uint64 bitset.
+_UNSIGNED_SPELLINGS = {"uint64", "u8"}
+
+#: Dtype spellings that mark an expression as signed/float (promotion bait).
+_SIGNED_SPELLINGS = {
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "intp",
+    "float16",
+    "float32",
+    "float64",
+    "double",
+}
+
+#: Attribute reads that yield packed-uint64 bitset arrays in this codebase.
+_BITSET_ATTRS = {"adjacency_bits"}
+
+_ARRAY_CTORS = {"array", "zeros", "ones", "empty", "full", "arange", "frombuffer"}
+
+
+def _dtype_spelling(node: ast.expr) -> str | None:
+    """The dtype name in ``np.uint64`` / ``"uint64"`` / ``uint64`` forms."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _classify_spelling(spelling: str | None) -> str | None:
+    if spelling in _UNSIGNED_SPELLINGS:
+        return "uint64"
+    if spelling in _SIGNED_SPELLINGS:
+        return "signed"
+    return None
+
+
+class _DtypeTracker:
+    """Best-effort per-function map of name -> {'uint64', 'signed'}."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.kinds: dict[str, str] = {}
+        self._seed_from_annotations(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                kind = self.classify(node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.kinds[target.id] = kind
+
+    def _seed_from_annotations(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                kind = self.classify(node.value) if node.value is not None else None
+                if kind is not None:
+                    self.kinds[node.target.id] = kind
+
+    def classify(self, node: ast.expr | None) -> str | None:
+        """'uint64' / 'signed' / None (unknown or neutral)."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Subscript):
+            return self.classify(node.value)
+        if isinstance(node, ast.Name):
+            return self.kinds.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in _BITSET_ATTRS:
+                return "uint64"
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            # x.astype(np.uint64) / np.uint64(...) / np.zeros(..., dtype=...)
+            if isinstance(func, ast.Attribute) and func.attr == "astype" and node.args:
+                return _classify_spelling(_dtype_spelling(node.args[0]))
+            spelling = _dtype_spelling(func)
+            direct = _classify_spelling(spelling)
+            if direct is not None:
+                return direct
+            if isinstance(func, ast.Attribute) and func.attr in _ARRAY_CTORS:
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        return _classify_spelling(_dtype_spelling(kw.value))
+            # popcount-style reductions keep their input family
+            if isinstance(func, ast.Attribute) and func.attr in ("sum", "copy"):
+                return self.classify(func.value)
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self.classify(node.left)
+            right = self.classify(node.right)
+            if left == right:
+                return left
+            return left or right
+        if isinstance(node, ast.UnaryOp):
+            return self.classify(node.operand)
+        return None
+
+
+@register_checker
+class BitsetDtypeChecker(Checker):
+    """RC501: uint64 bitset operands never meet signed/float operands."""
+
+    name = "bitset-dtype"
+    code = "RC501"
+    description = (
+        "uint64 bitset arrays must not mix with signed/float operands "
+        "(NumPy promotes the pair to float64, corrupting high bits)"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tracker = _DtypeTracker(node)
+            if not any(kind == "uint64" for kind in tracker.kinds.values()):
+                continue
+            for expr in ast.walk(node):
+                if isinstance(expr, ast.BinOp):
+                    left = tracker.classify(expr.left)
+                    right = tracker.classify(expr.right)
+                elif isinstance(expr, ast.AugAssign):
+                    left = tracker.classify(expr.target)
+                    right = tracker.classify(expr.value)
+                else:
+                    continue
+                if {left, right} == {"uint64", "signed"}:
+                    yield self.finding(
+                        module,
+                        expr.lineno,
+                        "uint64 bitset operand mixed with a signed/float "
+                        "operand (NumPy promotes to float64)",
+                        fix_hint=(
+                            "widen the scalar side with np.uint64(...) or "
+                            ".astype(np.uint64) before the operation"
+                        ),
+                    )

@@ -1,0 +1,64 @@
+"""Broad exception handlers.
+
+Every handler in the engine today names the concrete exceptions it can
+actually see (``OSError`` around artifact IO, ``ArpackNoConvergence``
+around the spectral solve, ``BrokenPipeError`` on CLI output, ...).  A
+bare ``except:`` or ``except Exception:`` in this codebase is almost
+always a swallowed science bug: a cache read that silently recomputes, a
+worker crash folded into an empty shard.  **RC601** keeps the tree that
+way by flagging any handler whose type is missing, ``Exception``,
+``BaseException``, or a tuple containing either.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Checker, Module, register_checker
+from repro.analysis.findings import Finding
+
+__all__ = ["BroadExceptChecker"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad class name a handler type names, if any."""
+    if node is None:
+        return "(bare except)"
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            hit = _broad_name(elt)
+            if hit is not None and hit != "(bare except)":
+                return hit
+    return None
+
+
+@register_checker
+class BroadExceptChecker(Checker):
+    """RC601: no bare/broad ``except`` clauses."""
+
+    name = "broad-except"
+    code = "RC601"
+    description = "no bare except / except Exception / except BaseException"
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node.type)
+            if broad is None:
+                continue
+            what = "bare except" if node.type is None else f"except {broad}"
+            yield self.finding(
+                module,
+                node.lineno,
+                f"{what} swallows unrelated failures",
+                fix_hint=(
+                    "catch the concrete exception types this block can see; "
+                    "if you only annotate and re-raise, still name them"
+                ),
+            )

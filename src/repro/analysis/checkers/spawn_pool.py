@@ -1,0 +1,170 @@
+"""Spawn-pool picklability and merge-order determinism.
+
+The engine fans work out with ``multiprocessing.get_context("spawn")``
+pools (grid sweeps, the exact-expansion shard search).  Spawn pickles the
+callable and every argument, and the deterministic-merge contract
+(results identical for every ``jobs`` value) requires the submitted task
+order to be reproducible.  Two checkers, active only in modules that
+import ``multiprocessing`` or ``concurrent.futures``:
+
+* **RC401** — lambdas, closures (functions defined inside the submitting
+  function), and ``self``-bound methods handed to pool submission
+  methods, or as ``Pool(initializer=...)``, fail to pickle under spawn —
+  usually only on the platform where CI isn't running.
+* **RC402** — ``for``/comprehension iteration directly over a ``set``
+  (display, call, or comprehension) has no deterministic order; when such
+  a loop builds the task list feeding a pool, results become
+  run-to-run unstable.  Sort first (``sorted(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import imports_module
+from repro.analysis.base import Checker, Module, register_checker
+from repro.analysis.findings import Finding
+
+__all__ = ["SpawnPicklabilityChecker", "SpawnOrderChecker"]
+
+#: Methods that submit a callable (first positional argument) to a pool.
+POOL_SUBMIT_METHODS = {
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "submit",
+}
+
+
+def _is_parallel_module(module: Module) -> bool:
+    return imports_module(module.tree, "multiprocessing") or imports_module(
+        module.tree, "concurrent.futures"
+    )
+
+
+def _nested_function_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names of functions defined *inside* ``func`` (closures under spawn)."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if node is not func and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.add(node.name)
+    return out
+
+
+@register_checker
+class SpawnPicklabilityChecker(Checker):
+    """RC401: pool-submitted callables must be module-level functions."""
+
+    name = "spawn-pool"
+    code = "RC401"
+    description = (
+        "no lambdas, closures, or self-bound methods submitted to "
+        "multiprocessing pools (spawn must pickle them)"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not _is_parallel_module(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in POOL_SUBMIT_METHODS:
+                if node.args:
+                    yield from self._check_callable(module, node, node.args[0])
+            for kw in node.keywords:
+                if kw.arg == "initializer":
+                    yield from self._check_callable(module, node, kw.value)
+
+    def _check_callable(
+        self, module: Module, call: ast.Call, target: ast.expr
+    ) -> Iterable[Finding]:
+        hint = (
+            "submit a module-level function (spawn workers re-import the "
+            "module; lambdas, closures, and bound methods do not pickle)"
+        )
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                module,
+                target.lineno,
+                "lambda submitted to a process pool",
+                fix_hint=hint,
+            )
+        elif isinstance(target, ast.Attribute) and (
+            isinstance(target.value, ast.Name) and target.value.id in ("self", "cls")
+        ):
+            yield self.finding(
+                module,
+                target.lineno,
+                f"bound method {ast.unparse(target)} submitted to a process pool",
+                fix_hint=hint,
+            )
+        elif isinstance(target, ast.Name):
+            for func, nested in self._scopes(module):
+                if target.id in nested and any(n is call for n in ast.walk(func)):
+                    yield self.finding(
+                        module,
+                        target.lineno,
+                        f"closure {target.id!r} (defined in "
+                        f"{getattr(func, 'name', '?')}()) submitted to a "
+                        "process pool",
+                        fix_hint=hint,
+                    )
+                    break
+
+    def _scopes(self, module: Module) -> list[tuple[ast.AST, set[str]]]:
+        return [
+            (f, _nested_function_names(f))
+            for f in ast.walk(module.tree)
+            if isinstance(f, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_checker
+class SpawnOrderChecker(Checker):
+    """RC402: no unordered-set iteration in multiprocessing modules."""
+
+    name = "spawn-order"
+    code = "RC402"
+    description = (
+        "iteration directly over a set in a multiprocessing module is "
+        "order-nondeterministic; sort before fanning work out"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not _is_parallel_module(module):
+            return
+        hint = "iterate sorted(...) so task construction and merges are reproducible"
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "for-loop iterates directly over an unordered set",
+                    fix_hint=hint,
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            "comprehension iterates directly over an unordered set",
+                            fix_hint=hint,
+                        )

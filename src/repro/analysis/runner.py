@@ -1,0 +1,189 @@
+"""File collection, checker dispatch, and report rendering.
+
+``run_check`` is the single entry point behind ``python -m repro check``
+and the test suite: collect ``.py`` files, parse them (a syntax error is
+itself a finding, not a crash), run the selected checkers' per-module and
+whole-program passes, drop inline-suppressed findings, split the rest
+against the committed baseline, and wrap everything in a
+:class:`CheckReport`.
+
+The JSON output is schema-versioned (``CHECK_SCHEMA_VERSION``) so CI
+consumers can parse it without sniffing; tests pin the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.base import Module, Program, available_checkers, get_checker
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_baselined,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.util.jsonutil import jsonable
+
+__all__ = ["CHECK_SCHEMA_VERSION", "CheckReport", "collect_files", "render_findings", "run_check"]
+
+CHECK_SCHEMA_VERSION = 1
+
+#: Directory names never descended into while collecting files.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+#: The finding identity used for unparsable files.
+_PARSE_CODE = "RC001"
+
+
+@dataclass
+class CheckReport:
+    """One ``repro check`` run's outcome."""
+
+    findings: list[Finding]  # new findings: these gate
+    baselined: list[Finding]  # grandfathered by the committed baseline
+    suppressed: int  # count of inline-suppressed findings
+    n_files: int
+    checkers: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run should exit 0 (warnings do not gate)."""
+        return not any(f.severity == Severity.ERROR for f in self.findings)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": CHECK_SCHEMA_VERSION,
+            "checkers": list(self.checkers),
+            "files": self.n_files,
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "suppressed": self.suppressed,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(jsonable(self.as_dict()), indent=indent, allow_nan=False)
+
+
+def collect_files(paths: Sequence[str | Path], root: Path) -> list[tuple[Path, str]]:
+    """Resolve ``paths`` to ``(abspath, repo-relative)`` python files.
+
+    Directories are walked recursively in sorted order; explicit file
+    arguments are taken verbatim.  Files outside ``root`` keep an
+    absolute-ish relative string so findings stay addressable.
+    """
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+
+    def rel_of(p: Path) -> str:
+        try:
+            return p.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return p.as_posix()
+
+    def add(p: Path) -> None:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            out.append((p, rel_of(p)))
+
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    add(f)
+        elif p.suffix == ".py":
+            add(p)
+        else:
+            raise ValueError(f"not a python file or directory: {p}")
+    return out
+
+
+def run_check(
+    paths: Sequence[str | Path] | None = None,
+    select: Iterable[str] | None = None,
+    root: str | Path | None = None,
+    baseline_path: str | Path | None = None,
+    use_baseline: bool = True,
+) -> CheckReport:
+    """Run the selected checkers over ``paths`` (default: ``<root>/src``).
+
+    ``root`` anchors repo-relative paths and the committed data files
+    (baseline, digest pins); it defaults to the working directory.
+    ``select`` narrows to named checkers (default: all registered).
+    """
+    import repro.analysis.checkers  # noqa: F401  (registers shipped checkers)
+
+    root = Path(root) if root is not None else Path.cwd()
+    if paths is None:
+        paths = [root / "src"]
+    names = sorted(select) if select is not None else available_checkers()
+    checkers = [get_checker(n) for n in names]
+
+    program = Program(root=root)
+    parse_failures: list[Finding] = []
+    for path, rel in collect_files(paths, root):
+        try:
+            program.modules.append(Module.parse(path, rel))
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    path=rel,
+                    line=int(exc.lineno or 0),
+                    code=_PARSE_CODE,
+                    checker="parse",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                    fix_hint="fix the syntax error; unparsable files are unchecked",
+                )
+            )
+
+    raw: list[Finding] = list(parse_failures)
+    for checker in checkers:
+        for module in program:
+            raw.extend(checker.check_module(module))
+        raw.extend(checker.check_program(program))
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in sorted(raw):
+        m = program.module(f.path)
+        if m is not None and m.is_suppressed(f):
+            suppressed += 1
+        else:
+            kept.append(f)
+
+    baseline: set[tuple[str, str, str]] = set()
+    if use_baseline:
+        baseline = load_baseline(
+            baseline_path
+            if baseline_path is not None
+            else root / DEFAULT_BASELINE_NAME
+        )
+    new, old = split_baselined(kept, baseline)
+    return CheckReport(
+        findings=new,
+        baselined=old,
+        suppressed=suppressed,
+        n_files=len(program.modules) + len(parse_failures),
+        checkers=names,
+    )
+
+
+def render_findings(report: CheckReport) -> str:
+    """Human-readable report (the CLI's ``--format text``)."""
+    lines = [f.render() for f in report.findings]
+    for f in report.baselined:
+        lines.append(f"{f.render()}  (baselined)")
+    verdict = "ok" if report.ok else "FAILED"
+    lines.append(
+        f"repro check: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed "
+        f"across {report.n_files} file(s) with {len(report.checkers)} "
+        f"checker(s): {verdict}"
+    )
+    return "\n".join(lines)

@@ -32,13 +32,32 @@ from repro.cdag.schedule import (
 )
 
 __all__ = [
-    "CDAG", "VertexKind", "GraphBuilder",
-    "BilinearScheme", "available_schemes", "classical_scheme",
-    "compose_schemes", "get_scheme", "strassen_scheme", "winograd_scheme",
-    "HGraph", "dec1_graph", "dec_graph", "dec_level_sizes",
-    "dec_vertex_count", "enc_graph", "h_graph", "recursion_tree_partition",
-    "classical_matmul_cdag", "matvec_cdag",
-    "ScheduleIO", "exhaustive_min_io", "schedule_io",
-    "bfs_topological_order", "dfs_topological_order", "is_topological",
-    "random_topological_order", "topological_order",
+    "CDAG",
+    "VertexKind",
+    "GraphBuilder",
+    "BilinearScheme",
+    "available_schemes",
+    "classical_scheme",
+    "compose_schemes",
+    "get_scheme",
+    "strassen_scheme",
+    "winograd_scheme",
+    "HGraph",
+    "dec1_graph",
+    "dec_graph",
+    "dec_level_sizes",
+    "dec_vertex_count",
+    "enc_graph",
+    "h_graph",
+    "recursion_tree_partition",
+    "classical_matmul_cdag",
+    "matvec_cdag",
+    "ScheduleIO",
+    "exhaustive_min_io",
+    "schedule_io",
+    "bfs_topological_order",
+    "dfs_topological_order",
+    "is_topological",
+    "random_topological_order",
+    "topological_order",
 ]

@@ -438,7 +438,9 @@ def _vec_interleave_perm(r1: int, c1: int, r2: int, c2: int) -> np.ndarray:
     return perm
 
 
-def compose_schemes(s1: BilinearScheme, s2: BilinearScheme, name: str | None = None) -> BilinearScheme:
+def compose_schemes(
+    s1: BilinearScheme, s2: BilinearScheme, name: str | None = None
+) -> BilinearScheme:
     """Tensor (Kronecker) composition: ⟨m₁m₂, n₁n₂, p₁p₂; t₁t₂⟩ from two
     schemes — shapes multiply componentwise.
 

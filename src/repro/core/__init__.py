@@ -38,15 +38,33 @@ from repro.core.partition import (
 from repro.core.dominator import hong_kung_2m_partition_bound, minimum_dominator_size
 
 __all__ = [
-    "EXACT_LIMIT", "exact_edge_expansion_v2", "exact_small_set_expansion_v2",
-    "LG7", "Table1Cell", "latency_bound", "memory_regimes",
-    "parallel_io_bound", "sequential_io_bound", "sequential_io_upper",
-    "table1_cell", "table1_rows",
-    "ExpansionEstimate", "claim_2_1_small_set_bound", "decode_cone_mask",
-    "decode_cone_upper_bound", "estimate_expansion", "exact_edge_expansion",
-    "exact_small_set_expansion", "expansion_of_cut", "fiedler_sweep_cut",
+    "EXACT_LIMIT",
+    "exact_edge_expansion_v2",
+    "exact_small_set_expansion_v2",
+    "LG7",
+    "Table1Cell",
+    "latency_bound",
+    "memory_regimes",
+    "parallel_io_bound",
+    "sequential_io_bound",
+    "sequential_io_upper",
+    "table1_cell",
+    "table1_rows",
+    "ExpansionEstimate",
+    "claim_2_1_small_set_bound",
+    "decode_cone_mask",
+    "decode_cone_upper_bound",
+    "estimate_expansion",
+    "exact_edge_expansion",
+    "exact_small_set_expansion",
+    "expansion_of_cut",
+    "fiedler_sweep_cut",
     "spectral_lower_bound",
-    "SegmentStats", "best_partition_bound", "expansion_io_bound",
-    "partition_bound", "segment_stats",
-    "hong_kung_2m_partition_bound", "minimum_dominator_size",
+    "SegmentStats",
+    "best_partition_bound",
+    "expansion_io_bound",
+    "partition_bound",
+    "segment_stats",
+    "hong_kung_2m_partition_bound",
+    "minimum_dominator_size",
 ]

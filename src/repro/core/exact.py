@@ -45,6 +45,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -54,6 +55,7 @@ __all__ = [
     "DEFAULT_EXACT_LIMIT",
     "EXACT_LIMIT",
     "COMB_SUBSET_LIMIT",
+    "effective_exact_limit",
     "exact_edge_expansion_v2",
     "exact_small_set_expansion_v2",
 ]
@@ -66,6 +68,17 @@ DEFAULT_EXACT_LIMIT = 28
 #: The active ceiling: ``REPRO_EXACT_LIMIT`` overrides the default, and every
 #: public entry point also accepts an explicit ``limit=``.
 EXACT_LIMIT = int(os.environ.get("REPRO_EXACT_LIMIT", DEFAULT_EXACT_LIMIT))
+
+
+def effective_exact_limit() -> int:
+    """The enumeration ceiling in force *right now*.
+
+    Reads ``REPRO_EXACT_LIMIT`` on every call (unlike :data:`EXACT_LIMIT`,
+    which is frozen at import time), so policy decisions — and the cache
+    keys derived from them — track the environment a test or sweep set
+    after this module was first imported.
+    """
+    return int(os.environ.get("REPRO_EXACT_LIMIT", DEFAULT_EXACT_LIMIT))
 
 #: Most subsets the size-restricted walk will visit (C(n, ≤s) must fit).
 COMB_SUBSET_LIMIT = 1 << 24
@@ -127,7 +140,7 @@ class _ScanCtx:
     every prefix (and, in parallel runs, rebuilt once per worker).
     """
 
-    def __init__(self, adj: list[int], deg: list[int], d: int, n: int, limit: int):
+    def __init__(self, adj: list[int], deg: list[int], d: int, n: int, limit: int) -> None:
         self.adj = adj
         self.deg = deg
         self.d = d
@@ -188,7 +201,7 @@ def _scan_span(
     p_lo: int,
     p_hi: int,
     best: tuple[float, int],
-    shared=None,
+    shared: Any = None,
 ) -> tuple[float, int]:
     """Scan prefixes ``[p_lo, p_hi)``; returns the lexicographic best
     ``(h, mask)`` including the incoming ``best``.
@@ -287,10 +300,12 @@ def _scan_span(
 # -- worker plumbing (spawn-safe module level) -------------------------- #
 
 _WORKER_CTX: _ScanCtx | None = None
-_WORKER_MIN = None
+_WORKER_MIN: Any = None
 
 
-def _exact_worker_init(adj, deg, d, n, limit, shared_min) -> None:
+def _exact_worker_init(
+    adj: list[int], deg: list[int], d: int, n: int, limit: int, shared_min: Any
+) -> None:
     global _WORKER_CTX, _WORKER_MIN
     _WORKER_CTX = _ScanCtx(adj, deg, d, n, limit)
     _WORKER_MIN = shared_min
@@ -298,6 +313,7 @@ def _exact_worker_init(adj, deg, d, n, limit, shared_min) -> None:
 
 def _exact_worker_span(span: tuple[int, int]) -> tuple[float, int]:
     p_lo, p_hi = span
+    assert _WORKER_CTX is not None  # set by _exact_worker_init in each worker
     return _scan_span(_WORKER_CTX, p_lo, p_hi, (math.inf, 0), shared=_WORKER_MIN)
 
 
@@ -335,7 +351,7 @@ def _full_scan(
 # ---------------------------------------------------------------------- #
 
 
-def _gosper_chunks(n: int, j: int, chunk: int):
+def _gosper_chunks(n: int, j: int, chunk: int) -> Iterator[np.ndarray]:
     """Yield uint64 arrays of all ``C(n, j)`` masks of popcount ``j``,
     in ascending order (Gosper's successor), ``chunk`` masks at a time."""
     m = (1 << j) - 1

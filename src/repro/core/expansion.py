@@ -46,6 +46,7 @@ from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.cdag.strassen_cdag import dec_level_sizes
 from repro.core.exact import (
     EXACT_LIMIT,
+    effective_exact_limit,
     exact_edge_expansion_v2,
     exact_small_set_expansion_v2,
 )
@@ -53,6 +54,7 @@ from repro.core.exact import _popcount as _popcount  # back-compat re-export
 
 __all__ = [
     "EXACT_LIMIT",
+    "effective_exact_limit",
     "ExpansionEstimate",
     "expansion_of_cut",
     "exact_edge_expansion",
@@ -222,7 +224,9 @@ def fiedler_sweep_cut(g: CDAG, fiedler: np.ndarray | None = None) -> tuple[float
 # ---------------------------------------------------------------------- #
 
 
-def decode_cone_mask(scheme: BilinearScheme | str, k: int, branch: int = 0, depth: int | None = None) -> np.ndarray:
+def decode_cone_mask(
+    scheme: BilinearScheme | str, k: int, branch: int = 0, depth: int | None = None
+) -> np.ndarray:
     """The decode cone of one outermost recursion branch of ``Dec_k C``.
 
     ``S`` = all vertices whose pending product prefix starts with outermost
@@ -263,7 +267,9 @@ def decode_cone_mask(scheme: BilinearScheme | str, k: int, branch: int = 0, dept
     return mask
 
 
-def decode_cone_upper_bound(g: CDAG, scheme: BilinearScheme | str, k: int) -> tuple[float, np.ndarray]:
+def decode_cone_upper_bound(
+    g: CDAG, scheme: BilinearScheme | str, k: int
+) -> tuple[float, np.ndarray]:
     """Best decode-cone cut over all outermost branches — upper bound on h.
 
     The best branch is one whose W column has the fewest nonzeros (its

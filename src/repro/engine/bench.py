@@ -66,7 +66,10 @@ except ImportError:  # non-POSIX platforms: RSS reporting degrades to 0
     resource = None
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:
+    from repro.engine.grid import GridReport, GridSpec
 
 import numpy as np
 
@@ -158,7 +161,7 @@ def register_bench(
     quick_rounds: int = 2,
     warmup: bool = False,
     cold: bool = False,
-):
+) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
     """Class-less registry decorator (mirrors ``@register_parallel``).
 
     The decorated function keeps working as a plain function; the registry
@@ -623,6 +626,7 @@ def _bench_expansion_exact(cache: EngineCache) -> dict:
     "exact_v2",
     "expansion",
     params={"n_head": 22, "n_deep": 26, "dec2_scheme": "classical122"},
+    quick_params={},
     rounds=3,
     quick_rounds=2,
     cold=True,
@@ -661,6 +665,7 @@ def _bench_exact_v2(cache: EngineCache, n_head: int, n_deep: int, dec2_scheme: s
     "small_set_exact",
     "expansion",
     params={"n": 40, "s_max": 3},
+    quick_params={},
 )
 def _bench_small_set_exact(cache: EngineCache, n: int, s_max: int) -> dict:
     """Size-restricted exact h_s walk far beyond the full-enumeration limit."""
@@ -757,6 +762,7 @@ def _bench_seq_io_sweep(
     "seq_io_models",
     "io",
     params={"n_m_sweep": 4096, "omega_depth": 9, "hybrid_levels": 6},
+    quick_params={},
 )
 def _bench_seq_io_models(
     cache: EngineCache,
@@ -896,7 +902,7 @@ def _bench_partition_bound(cache: EngineCache, deep: bool) -> dict:
     params={"M": 768, "ns": (128, 256, 512, 1024), "n_parallel": 64},
     quick_params={"ns": (128, 256, 512)},
 )
-def _bench_latency(cache: EngineCache, M: int, ns, n_parallel: int) -> dict:
+def _bench_latency(cache: EngineCache, M: int, ns: Sequence[int], n_parallel: int) -> dict:
     """Footnote 8: message counts vs bandwidth-bound/M, both machine models."""
     from repro.experiments.latency_exp import parallel_latency, sequential_latency
 
@@ -916,13 +922,13 @@ def _bench_latency(cache: EngineCache, M: int, ns, n_parallel: int) -> dict:
 _GRID_MEMORIES = (48, 192, 768, 3072)
 
 
-def _grid_spec(schemes, k_max):
+def _grid_spec(schemes: Sequence[str], k_max: int) -> GridSpec:
     from repro.engine.grid import GridSpec
 
     return GridSpec.from_ranges(schemes=schemes, k_max=k_max, memories=_GRID_MEMORIES)
 
 
-def _grid_check(report) -> dict:
+def _grid_check(report: GridReport) -> dict:
     last = report.rows[-1]
     return {
         "points": len(report.rows),
@@ -940,7 +946,7 @@ def _grid_check(report) -> dict:
     quick_params={"k_max": 4},
     cold=True,
 )
-def _bench_grid_sweep_cold(cache: EngineCache, schemes, k_max: int) -> dict:
+def _bench_grid_sweep_cold(cache: EngineCache, schemes: Sequence[str], k_max: int) -> dict:
     """Cold (scheme × k × M) sweep: every graph, spectrum, estimate rebuilt."""
     from repro.engine.grid import run_grid
 
@@ -955,7 +961,7 @@ def _bench_grid_sweep_cold(cache: EngineCache, schemes, k_max: int) -> dict:
     quick_params={"k_max": 4},
     warmup=True,
 )
-def _bench_grid_sweep_warm(cache: EngineCache, schemes, k_max: int) -> dict:
+def _bench_grid_sweep_warm(cache: EngineCache, schemes: Sequence[str], k_max: int) -> dict:
     """Warm sweep over the same grid: the steady state must rebuild nothing."""
     from repro.engine.grid import run_grid
 
@@ -972,7 +978,7 @@ def _bench_grid_sweep_warm(cache: EngineCache, schemes, k_max: int) -> dict:
     quick_params={"p_max": 16, "cs": (1, 2)},
     cold=True,
 )
-def _bench_scaling_sweep(cache: EngineCache, n: int, p_max: int, cs) -> dict:
+def _bench_scaling_sweep(cache: EngineCache, n: int, p_max: int, cs: Sequence[int]) -> dict:
     """Cold strong-scaling sweep over every registered parallel algorithm."""
     from repro.engine.scaling import ScalingSpec, scaling_sweep
     from repro.parallel.base import available_parallel
@@ -995,7 +1001,7 @@ def _bench_scaling_sweep(cache: EngineCache, n: int, p_max: int, cs) -> dict:
     params={"n": 64, "q": 8, "cs": (1, 2, 4, 8)},
     quick_params={"cs": (1, 2, 4)},
 )
-def _bench_memory_sweep(cache: EngineCache, n: int, q: int, cs) -> dict:
+def _bench_memory_sweep(cache: EngineCache, n: int, q: int, cs: Sequence[int]) -> dict:
     """2.5D replication sweep (§6.1's regime knob) plus the ω₀-free numerator."""
     from repro.core.bounds import LG7, table1_cell
     from repro.experiments.table1 import two5d_c_sweep
@@ -1047,9 +1053,9 @@ def _bench_memory_sweep(cache: EngineCache, n: int, q: int, cs) -> dict:
 def _bench_table1_scaling(
     cache: EngineCache,
     n: int,
-    qs2d,
-    qs3d,
-    ells,
+    qs2d: Sequence[int],
+    qs3d: Sequence[int],
+    ells: Sequence[int],
     n0_factor: int,
 ) -> dict:
     """Table I scaling rows: 2D/3D exponent fits and CAPS all-BFS shape."""
@@ -1094,7 +1100,7 @@ def _bench_caps_tradeoff(cache: EngineCache, n: int, ell: int) -> dict:
     }
 
 
-@register_bench("table1", "parallel", params={"n": 64})
+@register_bench("table1", "parallel", params={"n": 64}, quick_params={})
 def _bench_table1(cache: EngineCache, n: int) -> dict:
     """The full six-cell Table I: attaining algorithms beside every bound."""
     from repro.experiments.table1 import table1_summary

@@ -16,9 +16,9 @@ from repro.cdag.graph import CDAG
 from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.cdag.strassen_cdag import HGraph, dec_graph, h_graph
 from repro.core.expansion import (
-    EXACT_LIMIT,
     ExpansionEstimate,
     decode_cone_upper_bound,
+    effective_exact_limit,
     exact_edge_expansion,
     fiedler_sweep_cut,
     spectral_lower_bound,
@@ -175,7 +175,7 @@ def _compute_estimate(
     g = cached_dec_graph(scheme, k, cache=cache)
     n = g.n_vertices
     d = g.max_degree
-    if policy == "exact" or (policy == "auto" and n <= EXACT_LIMIT):
+    if policy == "exact" or (policy == "auto" and n <= effective_exact_limit()):
         h, mask = exact_edge_expansion(g, jobs=jobs)
         return ExpansionEstimate(
             lower=h,
@@ -239,7 +239,17 @@ def cached_estimate(
         raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
     scheme = _resolve(scheme)
     cache = cache if cache is not None else default_cache()
-    key = cache_key("estimate", scheme, k=k, policy=policy)
+    if policy == "auto":
+        # The auto policy's method choice depends on the enumeration ceiling
+        # in force (REPRO_EXACT_LIMIT), so the ceiling is part of what the
+        # artifact *is* — omit it and changing the env var returns stale
+        # estimates computed under a different ceiling.  Fixed policies are
+        # ceiling-independent and keep the shorter key.
+        key = cache_key(
+            "estimate", scheme, k=k, policy=policy, exact_limit=effective_exact_limit()
+        )
+    else:
+        key = cache_key("estimate", scheme, k=k, policy=policy)
     est = cache.get_object(key)
     if est is not None:
         return est

@@ -58,7 +58,10 @@ __all__ = [
 #: v4: exact-expansion engine v2 — EXACT_LIMIT rose 22 → 28, so "auto"-policy
 #: estimates of 23..28-vertex graphs change method (spectral → exact); stale
 #: estimates from older builds must miss.
-CACHE_VERSION = 4
+#: v5: "auto"-policy estimate keys now carry the effective exact-enumeration
+#: ceiling (exact_limit=...), closing the stale-read when REPRO_EXACT_LIMIT
+#: changes between runs; old auto-estimate entries keyed without it must miss.
+CACHE_VERSION = 5
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 

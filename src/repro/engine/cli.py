@@ -19,10 +19,12 @@ import argparse
 import json
 import os
 import sys
+from typing import TextIO
 
 from repro.engine.builders import POLICIES, cached_estimate
 from repro.engine.cache import EngineCache, default_cache
 from repro.engine.grid import GridSpec, run_grid
+from repro.util.jsonutil import jsonable
 
 __all__ = ["main", "build_parser"]
 
@@ -117,7 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--p-max", type=int, default=64, help="processor budget per algorithm"
     )
     scaling.add_argument(
-        "--cs", nargs="+", type=int, default=[1, 2, 4], metavar="C",
+        "--cs",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4],
+        metavar="C",
         help="replication factors offered to 2.5D-style algorithms",
     )
     scaling.add_argument(
@@ -212,6 +218,47 @@ def build_parser() -> argparse.ArgumentParser:
     cache_cmd = sub.add_parser("cache", help="inspect or clear the artifact cache")
     cache_cmd.add_argument("action", choices=["info", "clear"])
 
+    check = sub.add_parser(
+        "check", help="run the domain-invariant static-analysis checkers"
+    )
+    check.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        help="files or directories to analyze (default: src/ under the repo root)",
+    )
+    check.add_argument(
+        "--select",
+        nargs="+",
+        default=None,
+        metavar="CHECKER",
+        help="checker names or RC codes to run (default: all registered)",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings rendering (default: text)",
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report grandfathered findings too, instead of filtering them",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed baseline to grandfather current findings",
+    )
+    check.add_argument(
+        "--repin",
+        action="store_true",
+        help="re-record the RC102 module-digest pins at the current CACHE_VERSION",
+    )
+    check.add_argument(
+        "--list", action="store_true", help="list registered checkers and exit"
+    )
+
     return parser
 
 
@@ -223,7 +270,7 @@ def _make_cache(args: argparse.Namespace) -> EngineCache:
     return default_cache()
 
 
-def _cmd_sweep(args: argparse.Namespace, cache: EngineCache, out) -> int:
+def _cmd_sweep(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int:
     from repro.experiments.report import render_table
 
     spec = GridSpec.from_ranges(
@@ -255,7 +302,7 @@ def _cmd_sweep(args: argparse.Namespace, cache: EngineCache, out) -> int:
     return 0
 
 
-def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out) -> int:
+def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int:
     from repro.experiments.report import render_table
     from repro.engine.scaling import ScalingSpec, scaling_sweep
     from repro.parallel.base import available_parallel
@@ -294,7 +341,7 @@ def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace, out) -> int:
+def _cmd_bench(args: argparse.Namespace, out: TextIO) -> int:
     from repro.engine.bench import (
         compare_benchmarks,
         get_bench,
@@ -333,7 +380,7 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     path = args.out if args.out is not None else f"BENCH_{args.tag}.json"
     write_bench_file(doc, path)
     if args.json:
-        print(json.dumps(doc, indent=2, allow_nan=False), file=out)
+        print(json.dumps(jsonable(doc), indent=2, allow_nan=False), file=out)
     else:
         rows = [
             {
@@ -365,7 +412,7 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 1 if cmp.failed(strict_checks=not args.no_strict_checks) else 0
 
 
-def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out) -> int:
+def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int:
     est = cached_estimate(
         args.scheme, args.k, policy=args.policy, cache=cache, jobs=args.jobs
     )
@@ -381,20 +428,25 @@ def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out) -> int:
         "degree": est.degree,
         "method": est.method,
     }
-    from repro.util.jsonutil import jsonable
-
     print(json.dumps(jsonable(payload), indent=2, allow_nan=False), file=out)
     return 0
 
 
-def _cmd_structure(args: argparse.Namespace, cache: EngineCache, out) -> int:
+def _cmd_structure(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int:
     from repro.experiments.structure_exp import figure2_report
 
-    print(json.dumps(figure2_report(args.scheme, args.k, cache=cache), indent=2), file=out)
+    print(
+        json.dumps(
+            jsonable(figure2_report(args.scheme, args.k, cache=cache)),
+            indent=2,
+            allow_nan=False,
+        ),
+        file=out,
+    )
     return 0
 
 
-def _cmd_schemes(out) -> int:
+def _cmd_schemes(out: TextIO) -> int:
     from repro.cdag.schemes import available_schemes, get_scheme
     from repro.experiments.report import render_table
 
@@ -417,7 +469,7 @@ def _cmd_schemes(out) -> int:
     return 0
 
 
-def _cmd_algorithms(out) -> int:
+def _cmd_algorithms(out: TextIO) -> int:
     from repro.experiments.report import render_table
     from repro.parallel.base import available_parallel, get_parallel
 
@@ -439,13 +491,62 @@ def _cmd_algorithms(out) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace, cache: EngineCache, out) -> int:
+def _cmd_cache(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artifacts from {cache.root}", file=out)
     else:
-        print(json.dumps(cache.info(), indent=2), file=out)
+        print(json.dumps(jsonable(cache.info()), indent=2, allow_nan=False), file=out)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace, out: TextIO) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        available_checkers,
+        get_checker,
+        render_findings,
+        run_check,
+        write_baseline,
+    )
+    from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+    from repro.analysis.checkers.cache_fingerprint import write_pins
+
+    root = Path.cwd()
+    if args.list:
+        for name in available_checkers():
+            checker = get_checker(name)
+            print(f"{checker.code}  {checker.name:<18} {checker.description}", file=out)
+        return 0
+    if args.repin:
+        pins = write_pins(root)
+        print(f"pinned result-module digests -> {pins}", file=out)
+    select = None
+    if args.select:
+        by_code = {get_checker(n).code: n for n in available_checkers()}
+        select = [by_code.get(s, s) for s in args.select]
+    report = run_check(
+        paths=args.paths,
+        select=select,
+        root=root,
+        use_baseline=not args.no_baseline,
+    )
+    if args.update_baseline:
+        baseline = write_baseline(
+            report.findings + report.baselined, root / DEFAULT_BASELINE_NAME
+        )
+        print(
+            f"baselined {len(report.findings) + len(report.baselined)} "
+            f"finding(s) -> {baseline}",
+            file=out,
+        )
+        return 0
+    if args.format == "json":
+        print(report.to_json(), file=out)
+    else:
+        print(render_findings(report), file=out)
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -469,6 +570,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_algorithms(out)
         if args.command == "cache":
             return _cmd_cache(args, cache, out)
+        if args.command == "check":
+            return _cmd_check(args, out)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, and point
         # stdout at devnull so interpreter shutdown doesn't re-raise.

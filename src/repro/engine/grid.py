@@ -21,6 +21,7 @@ import math
 import multiprocessing
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.cdag.schemes import get_scheme
 from repro.core.bounds import rect_sequential_io_bound, sequential_io_bound
@@ -51,7 +52,7 @@ class GridSpec:
     memories: tuple[int, ...]
     policies: tuple[str, ...] = ("auto",)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "schemes", tuple(self.schemes))
         object.__setattr__(self, "ks", tuple(self.ks))
         object.__setattr__(self, "memories", tuple(self.memories))
@@ -60,10 +61,10 @@ class GridSpec:
     @classmethod
     def from_ranges(
         cls,
-        schemes,
+        schemes: Sequence[str],
         k_max: int,
-        memories,
-        policies=("auto",),
+        memories: Sequence[int],
+        policies: Sequence[str] = ("auto",),
         k_min: int = 1,
     ) -> "GridSpec":
         return cls(
@@ -100,20 +101,21 @@ class GridReport:
     def to_json(self, indent: int | None = None) -> str:
         # NaN/Inf (e.g. h_lower of cone-only rows) are not valid JSON; map
         # them to null so strict parsers can consume the output.
-        rows = jsonable(self.rows)
         return json.dumps(
-            {
-                "spec": {
-                    "schemes": list(self.spec.schemes),
-                    "ks": list(self.spec.ks),
-                    "memories": list(self.spec.memories),
-                    "policies": list(self.spec.policies),
-                },
-                "rows": rows,
-                "stats": self.stats,
-                "wall_time": self.wall_time,
-                "workers": self.workers,
-            },
+            jsonable(
+                {
+                    "spec": {
+                        "schemes": list(self.spec.schemes),
+                        "ks": list(self.spec.ks),
+                        "memories": list(self.spec.memories),
+                        "policies": list(self.spec.policies),
+                    },
+                    "rows": self.rows,
+                    "stats": self.stats,
+                    "wall_time": self.wall_time,
+                    "workers": self.workers,
+                }
+            ),
             indent=indent,
             allow_nan=False,
         )

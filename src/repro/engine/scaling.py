@@ -73,7 +73,7 @@ class ScalingSpec:
     alpha: float = 1.0
     beta: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "algos", tuple(self.algos))
         object.__setattr__(self, "cs", tuple(self.cs))
 
@@ -107,23 +107,24 @@ class ScalingReport:
     wall_time: float
 
     def to_json(self, indent: int | None = None) -> str:
-        rows = jsonable(self.rows)
         return json.dumps(
-            {
-                "spec": {
-                    "algos": list(self.spec.algos),
-                    "n": self.spec.n,
-                    "p_max": self.spec.p_max,
-                    "cs": list(self.spec.cs),
-                    "scheme": self.spec.scheme,
-                    "seed": self.spec.seed,
-                    "alpha": self.spec.alpha,
-                    "beta": self.spec.beta,
-                },
-                "rows": rows,
-                "stats": self.stats,
-                "wall_time": self.wall_time,
-            },
+            jsonable(
+                {
+                    "spec": {
+                        "algos": list(self.spec.algos),
+                        "n": self.spec.n,
+                        "p_max": self.spec.p_max,
+                        "cs": list(self.spec.cs),
+                        "scheme": self.spec.scheme,
+                        "seed": self.spec.seed,
+                        "alpha": self.spec.alpha,
+                        "beta": self.spec.beta,
+                    },
+                    "rows": self.rows,
+                    "stats": self.stats,
+                    "wall_time": self.wall_time,
+                }
+            ),
             indent=indent,
             allow_nan=False,
         )

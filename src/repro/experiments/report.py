@@ -24,7 +24,9 @@ def format_value(v: Any) -> str:
     return str(v)
 
 
-def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:
+def render_table(
+    rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = ""
+) -> str:
     """Render a list of dict rows as an aligned monospace table."""
     if not rows:
         return f"{title}\n(empty)\n" if title else "(empty)\n"

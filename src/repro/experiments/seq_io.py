@@ -16,7 +16,9 @@ from repro.util.numutil import fit_power_law
 __all__ = ["n_sweep", "m_sweep", "omega_sweep", "cutoff_ablation"]
 
 
-def n_sweep(scheme: str = "strassen", M: int = 192, t_range=range(4, 10), simulate_upto: int = 512) -> dict:
+def n_sweep(
+    scheme: str = "strassen", M: int = 192, t_range=range(4, 10), simulate_upto: int = 512
+) -> dict:
     """IO(n) at fixed M: measured vs ``(n/√M)^ω₀·M`` (Thm 1.1 / 1.3).
 
     Uses the full simulation where affordable and the exact model beyond

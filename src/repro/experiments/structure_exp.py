@@ -34,8 +34,10 @@ def figure2_report(
     return structure_report(
         scheme,
         k,
-        build_dec=lambda s, kk: cached_dec_graph(s, kk, cache=cache),
-        build_h=lambda s, kk: cached_h_graph(s, kk, cache=cache),
+        build_dec=lambda s,
+        kk: cached_dec_graph(s, kk, cache=cache),
+        build_h=lambda s,
+        kk: cached_h_graph(s, kk, cache=cache),
     )
 
 

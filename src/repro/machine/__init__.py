@@ -18,10 +18,26 @@ from repro.machine.collectives import (
 from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
 
 __all__ = [
-    "FastMemory", "Region", "streamed_add_cost",
-    "CommLog", "IOCounter", "SuperstepRecord",
-    "Machine", "Message",
-    "allgather", "broadcast", "broadcast_many", "gather", "reduce",
-    "reduce_many", "reduce_scatter", "scatter", "shift", "shift_many",
-    "Grid2D", "Grid3D", "distribute_blocks", "gather_blocks",
+    "FastMemory",
+    "Region",
+    "streamed_add_cost",
+    "CommLog",
+    "IOCounter",
+    "SuperstepRecord",
+    "Machine",
+    "Message",
+    "allgather",
+    "broadcast",
+    "broadcast_many",
+    "gather",
+    "reduce",
+    "reduce_many",
+    "reduce_scatter",
+    "scatter",
+    "shift",
+    "shift_many",
+    "Grid2D",
+    "Grid3D",
+    "distribute_blocks",
+    "gather_blocks",
 ]

@@ -156,7 +156,9 @@ class FastMemory:
     # streaming (element-wise) operations                                 #
     # ------------------------------------------------------------------ #
 
-    def stream(self, read_sizes: list[int], write_sizes: list[int], chunk: int | None = None) -> None:
+    def stream(
+        self, read_sizes: list[int], write_sizes: list[int], chunk: int | None = None
+    ) -> None:
         """Charge a streaming pass: read the operand regions and write the
         results chunk-by-chunk through fast memory.
 

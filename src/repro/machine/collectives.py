@@ -59,7 +59,14 @@ def broadcast(m: Machine, group: list[int], root: int, key: str, label: str = "b
         step *= 2
 
 
-def reduce(m: Machine, group: list[int], root: int, key: str, out_key: str | None = None, label: str = "reduce") -> None:
+def reduce(
+    m: Machine,
+    group: list[int],
+    root: int,
+    key: str,
+    out_key: str | None = None,
+    label: str = "reduce",
+) -> None:
     """Binomial-tree sum-reduction of ``key`` onto ``root``.
 
     The mirror of :func:`broadcast`: with ``step`` halving, root-relative
@@ -95,7 +102,9 @@ def reduce(m: Machine, group: list[int], root: int, key: str, out_key: str | Non
     m.put(root, out_key, partial[0])
 
 
-def allgather(m: Machine, group: list[int], key: str, out_key: str, label: str = "allgather") -> None:
+def allgather(
+    m: Machine, group: list[int], key: str, out_key: str, label: str = "allgather"
+) -> None:
     """Recursive-doubling allgather: every rank ends with the concatenation
     (in group order) of all ranks' ``key`` arrays under ``out_key``.
 
@@ -141,7 +150,9 @@ def allgather(m: Machine, group: list[int], key: str, out_key: str, label: str =
         m.put(group[i], out_key, full)
 
 
-def reduce_scatter(m: Machine, group: list[int], key: str, out_key: str, label: str = "reduce_scatter") -> None:
+def reduce_scatter(
+    m: Machine, group: list[int], key: str, out_key: str, label: str = "reduce_scatter"
+) -> None:
     """Pairwise-exchange reduce-scatter: ``key`` holds g equal slabs on every
     rank; rank i ends with the group-sum of slab i under ``out_key``.
 
@@ -166,7 +177,9 @@ def reduce_scatter(m: Machine, group: list[int], key: str, out_key: str, label: 
         m.put(group[i], out_key, acc[i])
 
 
-def scatter(m: Machine, group: list[int], root: int, key: str, out_key: str, label: str = "scatter") -> None:
+def scatter(
+    m: Machine, group: list[int], root: int, key: str, out_key: str, label: str = "scatter"
+) -> None:
     """Root splits ``key`` into g equal slabs and sends slab i to group[i]."""
     g = len(group)
     data = m.get(root, key)
@@ -180,7 +193,9 @@ def scatter(m: Machine, group: list[int], root: int, key: str, out_key: str, lab
     m.exchange(msgs, label=label)
 
 
-def gather(m: Machine, group: list[int], root: int, key: str, out_key: str, label: str = "gather") -> None:
+def gather(
+    m: Machine, group: list[int], root: int, key: str, out_key: str, label: str = "gather"
+) -> None:
     """Inverse of scatter: root concatenates all ranks' ``key`` arrays."""
     msgs = []
     parts: dict[int, np.ndarray] = {}
@@ -226,7 +241,9 @@ def _assert_disjoint(groups: list[list[int]]) -> None:
             seen.add(r)
 
 
-def shift_many(m: Machine, groups: list[list[int]], key: str, offset: int, label: str = "shift") -> None:
+def shift_many(
+    m: Machine, groups: list[list[int]], key: str, offset: int, label: str = "shift"
+) -> None:
     """Simultaneous cyclic shifts in many disjoint groups (one superstep)."""
     _assert_disjoint(groups)
     msgs = []
@@ -238,7 +255,9 @@ def shift_many(m: Machine, groups: list[list[int]], key: str, offset: int, label
     m.exchange(msgs, label=label)
 
 
-def broadcast_many(m: Machine, groups_roots: list[tuple[list[int], int]], key: str, label: str = "bcast") -> None:
+def broadcast_many(
+    m: Machine, groups_roots: list[tuple[list[int], int]], key: str, label: str = "bcast"
+) -> None:
     """Simultaneous binomial broadcasts in many disjoint groups.
 
     Rounds are shared: in round ``step`` every group whose size exceeds
@@ -265,7 +284,13 @@ def broadcast_many(m: Machine, groups_roots: list[tuple[list[int], int]], key: s
         step *= 2
 
 
-def reduce_many(m: Machine, groups_roots: list[tuple[list[int], int]], key: str, out_key: str | None = None, label: str = "reduce") -> None:
+def reduce_many(
+    m: Machine,
+    groups_roots: list[tuple[list[int], int]],
+    key: str,
+    out_key: str | None = None,
+    label: str = "reduce",
+) -> None:
     """Simultaneous binomial sum-reductions in many disjoint groups."""
     _assert_disjoint([g for g, _ in groups_roots])
     out_key = out_key or key

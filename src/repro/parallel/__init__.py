@@ -28,9 +28,18 @@ from repro.parallel.two5d import two5d_multiply
 from repro.parallel.caps import caps_multiply, quadtree_permutation, validate_caps_geometry
 
 __all__ = [
-    "AnalyticCost", "ParallelAlgorithm", "ParallelResult",
-    "available_parallel", "get_parallel", "register_parallel", "run_parallel",
-    "cannon_multiply", "summa_multiply", "threed_multiply",
-    "two5d_multiply", "caps_multiply", "quadtree_permutation",
+    "AnalyticCost",
+    "ParallelAlgorithm",
+    "ParallelResult",
+    "available_parallel",
+    "get_parallel",
+    "register_parallel",
+    "run_parallel",
+    "cannon_multiply",
+    "summa_multiply",
+    "threed_multiply",
+    "two5d_multiply",
+    "caps_multiply",
+    "quadtree_permutation",
     "validate_caps_geometry",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -154,12 +155,26 @@ class ParallelAlgorithm(abc.ABC):
         return 3.0
 
     @abc.abstractmethod
-    def validate(self, n: int, p: int, *, c: int = 1,
-                 scheme: BilinearScheme | None = None, **options) -> None:
+    def validate(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        **options: Any,
+    ) -> None:
         """Raise ``ValueError`` when (n, p, c, scheme) is not runnable."""
 
-    def is_valid(self, n: int, p: int, *, c: int = 1,
-                 scheme: BilinearScheme | str | None = None, **options) -> bool:
+    def is_valid(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | str | None = None,
+        **options: Any,
+    ) -> bool:
         """Predicate form of :meth:`validate`."""
         try:
             self.validate(n, p, c=c, scheme=self._resolve_scheme(scheme), **options)
@@ -168,25 +183,46 @@ class ParallelAlgorithm(abc.ABC):
         return True
 
     @abc.abstractmethod
-    def analytic_costs(self, n: int, p: int, *, c: int = 1,
-                       scheme: BilinearScheme | None = None,
-                       **options) -> AnalyticCost:
+    def analytic_costs(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        **options: Any,
+    ) -> AnalyticCost:
         """Declared per-processor (words, messages, memory) formulas."""
 
-    def default_configs(self, n: int, p_max: int, cs=(1,),
-                        scheme: BilinearScheme | None = None) -> list[dict]:
+    def default_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: BilinearScheme | None = None,
+    ) -> list[dict]:
         """Valid ``{"p": ..., "c": ...}`` configurations with ``p ≤ p_max``."""
         return []
 
     # -- execution ------------------------------------------------------- #
 
     @abc.abstractmethod
-    def _execute(self, m: Machine, A: np.ndarray, B: np.ndarray, *, p: int,
-                 c: int, scheme: BilinearScheme | None, **options) -> np.ndarray:
+    def _execute(
+        self,
+        m: Machine,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int,
+        scheme: BilinearScheme | None,
+        **options: Any,
+    ) -> np.ndarray:
         """The algorithm's supersteps; returns the gathered C."""
 
-    def result_label(self, *, p: int, c: int = 1,
-                     scheme: BilinearScheme | None = None, **options) -> str:
+    def result_label(
+        self, *, p: int, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> str:
         """The ``ParallelResult.algorithm`` label (subclasses may refine)."""
         return self.name
 
@@ -213,7 +249,7 @@ class ParallelAlgorithm(abc.ABC):
         memory_limit: int | None = None,
         scheme: BilinearScheme | str | None = None,
         verify: bool = False,
-        **options,
+        **options: Any,
     ) -> ParallelResult:
         """Uniform entry point: validate, simulate, account, assemble.
 
@@ -296,8 +332,9 @@ def available_parallel() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def run_parallel(name: str, A: np.ndarray, B: np.ndarray, *, p: int,
-                 **kwargs) -> ParallelResult:
+def run_parallel(
+    name: str, A: np.ndarray, B: np.ndarray, *, p: int, **kwargs: Any
+) -> ParallelResult:
     """Convenience: ``get_parallel(name).run(A, B, p=p, **kwargs)``."""
     return get_parallel(name).run(A, B, p=p, **kwargs)
 

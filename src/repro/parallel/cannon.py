@@ -11,9 +11,11 @@ attaining the classical 2D lower bound ``Ω(n²/p^(1/2))``.
 from __future__ import annotations
 
 import math
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.cdag.schemes import BilinearScheme
 from repro.machine.collectives import shift_many
 from repro.machine.distmatrix import Grid2D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine, Message
@@ -40,11 +42,15 @@ class Cannon(ParallelAlgorithm):
     requirement = "p = q² (square grid), q | n"
     attains = "Ω(n²/p^(1/2)) at M = Θ(n²/p)  [Table I row 1, classical]"
 
-    def validate(self, n, p, *, c=1, scheme=None, **options):
+    def validate(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> None:
         q = square_grid_side(self.name, p)
         check_block_divisibility(self.name, n, q)
 
-    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+    def analytic_costs(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> AnalyticCost:
         # 2 skew permutations (2b² each) + 2(q−1) shift rounds (2b² each)
         # = exactly 4b²q = 4n²/√p critical words; 2 messages per superstep.
         q = math.isqrt(p)
@@ -53,14 +59,30 @@ class Cannon(ParallelAlgorithm):
             return AnalyticCost(words=0.0, messages=0.0, memory=3.0 * b2)
         return AnalyticCost(words=4.0 * q * b2, messages=4.0 * q, memory=3.0 * b2)
 
-    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+    def default_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: BilinearScheme | None = None,
+    ) -> list[dict]:
         return [
             {"p": q * q, "c": 1}
             for q in range(2, math.isqrt(p_max) + 1)
             if n % q == 0
         ]
 
-    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+    def _execute(
+        self,
+        m: Machine,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int,
+        scheme: BilinearScheme | None,
+        **options: Any,
+    ) -> np.ndarray:
         n = A.shape[0]
         q = math.isqrt(p)
         grid = Grid2D(q)
@@ -105,6 +127,8 @@ class Cannon(ParallelAlgorithm):
         return gather_blocks(m, "C", grid, n)
 
 
-def cannon_multiply(A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None) -> ParallelResult:
+def cannon_multiply(
+    A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None
+) -> ParallelResult:
     """Run Cannon's algorithm on a q×q simulated grid (registry wrapper)."""
     return get_parallel("cannon").run(A, B, p=q * q, memory_limit=memory_limit)

@@ -37,6 +37,8 @@ each group of g processors owns the elements of its current block
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 import numpy as np
 
 from repro.cdag.schemes import BilinearScheme, get_scheme
@@ -155,7 +157,16 @@ class Caps(ParallelAlgorithm):
     default_scheme = "strassen"
     option_names = ("schedule",)
 
-    def validate(self, n, p, *, c=1, scheme=None, schedule=None, **options):
+    def validate(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        schedule: str | None = None,
+        **options: Any,
+    ) -> None:
         scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
         if not scheme.is_square:
             raise ValueError(
@@ -167,7 +178,16 @@ class Caps(ParallelAlgorithm):
             schedule = "B" * ell
         validate_caps_geometry(n, p, schedule, scheme)
 
-    def analytic_costs(self, n, p, *, c=1, scheme=None, schedule=None, **options):
+    def analytic_costs(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        schedule: str | None = None,
+        **options: Any,
+    ) -> AnalyticCost:
         # Walk the schedule.  A BFS step at state (s, g) redistributes, per
         # rank, 2(t₀−1) chunks out and 2(t₀−1) lanes in forward plus
         # (t₀−1)·seg each way backward, seg = (s/n₀)²/g — 6(t₀−1)·seg words
@@ -214,7 +234,13 @@ class Caps(ParallelAlgorithm):
         memory = chain + 2.0 * s * s + dfs_extra
         return AnalyticCost(words=words, messages=msgs, memory=memory)
 
-    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+    def default_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: BilinearScheme | None = None,
+    ) -> list[dict]:
         scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
         out = []
         ell = 1
@@ -229,13 +255,32 @@ class Caps(ParallelAlgorithm):
             ell += 1
         return out
 
-    def result_label(self, *, p, c=1, scheme=None, schedule=None, **options):
+    def result_label(
+        self,
+        *,
+        p: int,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        schedule: str | None = None,
+        **options: Any,
+    ) -> str:
         scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
         if schedule is None:
             schedule = "B" * _bfs_count(scheme, p)
         return f"caps({schedule})"
 
-    def _execute(self, m: Machine, A, B, *, p, c, scheme, schedule=None, **options):
+    def _execute(
+        self,
+        m: Machine,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int,
+        scheme: BilinearScheme | None,
+        schedule: str | None = None,
+        **options: Any,
+    ) -> np.ndarray:
         n = A.shape[0]
         if schedule is None:
             schedule = "B" * _bfs_count(scheme, p)
@@ -283,8 +328,12 @@ def caps_multiply(
             f"{scheme.name!r} has shape {scheme.shape}"
         )
     return get_parallel("caps").run(
-        A, B, p=scheme.t0**ell, memory_limit=memory_limit,
-        scheme=scheme, schedule=schedule,
+        A,
+        B,
+        p=scheme.t0**ell,
+        memory_limit=memory_limit,
+        scheme=scheme,
+        schedule=schedule,
     )
 
 
@@ -305,7 +354,17 @@ def _lin_combo(m: Machine, rank: int, coeffs: np.ndarray, segments: list[np.ndar
     return out
 
 
-def _caps(m, group, key_a, key_b, key_c, s, schedule, si, scheme) -> None:
+def _caps(
+    m: Machine,
+    group: Sequence[int],
+    key_a: str,
+    key_b: str,
+    key_c: str,
+    s: int,
+    schedule: str,
+    si: int,
+    scheme: BilinearScheme,
+) -> None:
     g = len(group)
     if si == len(schedule):
         assert g == 1, "recursion must bottom out on a single processor"
@@ -398,8 +457,15 @@ def _caps(m, group, key_a, key_b, key_c, s, schedule, si, scheme) -> None:
         for r in range(t0):
             with par.branch():
                 _caps(
-                    m, subgroups[r], f"{key_a}.s{r}", f"{key_b}.t{r}",
-                    f"{key_c}.q{r}", s // n0, schedule, si + 1, scheme,
+                    m,
+                    subgroups[r],
+                    f"{key_a}.s{r}",
+                    f"{key_b}.t{r}",
+                    f"{key_c}.q{r}",
+                    s // n0,
+                    schedule,
+                    si + 1,
+                    scheme,
                 )
     for r in range(t0):
         for rank in subgroups[r]:

@@ -11,9 +11,11 @@ algorithm, not the memory regime.
 from __future__ import annotations
 
 import math
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.cdag.schemes import BilinearScheme
 from repro.machine.collectives import broadcast_many
 from repro.machine.distmatrix import Grid2D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine
@@ -40,11 +42,15 @@ class Summa(ParallelAlgorithm):
     requirement = "p = q² (square grid), q | n"
     attains = "O(n²·lg p/p^(1/2)) at M = Θ(n²/p)  [2D cell up to the lg factor]"
 
-    def validate(self, n, p, *, c=1, scheme=None, **options):
+    def validate(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> None:
         q = square_grid_side(self.name, p)
         check_block_divisibility(self.name, n, q)
 
-    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+    def analytic_costs(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> AnalyticCost:
         # Per round k: two batched binomial broadcasts of one b² panel each,
         # ⌈lg q⌉ supersteps apiece with critical charge b² (disjoint
         # sender/receiver sets within a superstep); q rounds total.
@@ -57,14 +63,30 @@ class Summa(ParallelAlgorithm):
             memory=5.0 * b2,  # A, B, C + the two in-flight panels
         )
 
-    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+    def default_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: BilinearScheme | None = None,
+    ) -> list[dict]:
         return [
             {"p": q * q, "c": 1}
             for q in range(2, math.isqrt(p_max) + 1)
             if n % q == 0
         ]
 
-    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+    def _execute(
+        self,
+        m: Machine,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int,
+        scheme: BilinearScheme | None,
+        **options: Any,
+    ) -> np.ndarray:
         n = A.shape[0]
         q = math.isqrt(p)
         grid = Grid2D(q)
@@ -99,6 +121,8 @@ class Summa(ParallelAlgorithm):
         return gather_blocks(m, "C", grid, n)
 
 
-def summa_multiply(A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None) -> ParallelResult:
+def summa_multiply(
+    A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None
+) -> ParallelResult:
     """Run SUMMA on a q×q simulated grid (registry wrapper)."""
     return get_parallel("summa").run(A, B, p=q * q, memory_limit=memory_limit)

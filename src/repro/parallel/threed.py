@@ -13,7 +13,11 @@ final reductions are the *entire* communication.
 from __future__ import annotations
 
 import math
+from typing import Any, Sequence
 
+import numpy as np
+
+from repro.cdag.schemes import BilinearScheme
 from repro.machine.collectives import broadcast_many, reduce_many
 from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine, Message
@@ -40,11 +44,15 @@ class ThreeD(ParallelAlgorithm):
     requirement = "p = q³ (processor cube), q | n"
     attains = "Ω(n²/p^(2/3)) at M = Θ(n²/p^(2/3))  [Table I row 2, classical]"
 
-    def validate(self, n, p, *, c=1, scheme=None, **options):
+    def validate(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> None:
         q = cube_grid_side(self.name, p)
         check_block_divisibility(self.name, n, q)
 
-    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+    def analytic_costs(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> AnalyticCost:
         # One relay superstep per input (b² critical) + a batched binomial
         # broadcast (⌈lg q⌉ × b²) per input + the fiber reduction
         # (⌈lg q⌉ × b²): (2 + 3·⌈lg q⌉)·b² with b² = n²/p^(2/3).
@@ -58,7 +66,13 @@ class ThreeD(ParallelAlgorithm):
             memory=5.0 * b2,  # layer-0 ranks: A, B + Ablk, Bblk + Cpart
         )
 
-    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+    def default_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: BilinearScheme | None = None,
+    ) -> list[dict]:
         out = []
         q = 2
         while q**3 <= p_max:
@@ -67,7 +81,17 @@ class ThreeD(ParallelAlgorithm):
             q += 1
         return out
 
-    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+    def _execute(
+        self,
+        m: Machine,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int,
+        scheme: BilinearScheme | None,
+        **options: Any,
+    ) -> np.ndarray:
         n = A.shape[0]
         q = cube_grid_side(self.name, p)
         grid = Grid3D(q, q)
@@ -133,6 +157,8 @@ class ThreeD(ParallelAlgorithm):
         return gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
 
 
-def threed_multiply(A, B, q: int, memory_limit: int | None = None) -> ParallelResult:
+def threed_multiply(
+    A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None
+) -> ParallelResult:
     """Run the 3D algorithm on a q×q×q simulated grid (registry wrapper)."""
     return get_parallel("3d").run(A, B, p=q**3, memory_limit=memory_limit)

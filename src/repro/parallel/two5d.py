@@ -13,9 +13,11 @@ c=p^(1/3) it matches 3D, which is the §6.1 story the E10 sweep reproduces.
 from __future__ import annotations
 
 import math
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.cdag.schemes import BilinearScheme
 from repro.machine.collectives import broadcast_many, reduce_many, shift_many
 from repro.machine.distmatrix import Grid2D, Grid3D, distribute_blocks, gather_blocks
 from repro.machine.distributed import Machine, Message
@@ -58,7 +60,9 @@ class Two5D(ParallelAlgorithm):
     attains = "Ω(n²/(c^(1/2)·p^(1/2))) at M = Θ(c·n²/p)  [Table I row 3, classical]"
     supports_replication = True
 
-    def validate(self, n, p, *, c=1, scheme=None, **options):
+    def validate(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> None:
         q = _grid_side(self.name, p, c)
         if q % c != 0:
             raise ValueError(
@@ -67,7 +71,9 @@ class Two5D(ParallelAlgorithm):
             )
         check_block_divisibility(self.name, n, q)
 
-    def analytic_costs(self, n, p, *, c=1, scheme=None, **options):
+    def analytic_costs(
+        self, n: int, p: int, *, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> AnalyticCost:
         # Replication broadcasts + reduction: 3·⌈lg c⌉ supersteps of b²;
         # skew (2 × 2b²) + shifts (2(q/c − 1) × 2b²) = 4(q/c)·b² — at c=1
         # exactly Cannon's 4b²q.
@@ -81,7 +87,13 @@ class Two5D(ParallelAlgorithm):
             memory=4.0 * b2,  # A, B, Cpart, C — b² = c·n²/p per block
         )
 
-    def default_configs(self, n, p_max, cs=(1,), scheme=None):
+    def default_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: BilinearScheme | None = None,
+    ) -> list[dict]:
         out = []
         for c in sorted(set(cs)):
             for q in range(2, math.isqrt(max(p_max // c, 0)) + 1):
@@ -89,10 +101,22 @@ class Two5D(ParallelAlgorithm):
                     out.append({"p": q * q * c, "c": c})
         return out
 
-    def result_label(self, *, p, c=1, scheme=None, **options):
+    def result_label(
+        self, *, p: int, c: int = 1, scheme: BilinearScheme | None = None, **options: Any
+    ) -> str:
         return f"2.5d(c={c})"
 
-    def _execute(self, m: Machine, A, B, *, p, c, scheme, **options):
+    def _execute(
+        self,
+        m: Machine,
+        A: np.ndarray,
+        B: np.ndarray,
+        *,
+        p: int,
+        c: int,
+        scheme: BilinearScheme | None,
+        **options: Any,
+    ) -> np.ndarray:
         n = A.shape[0]
         q = _grid_side(self.name, p, c)
         grid = Grid3D(q, c)
@@ -119,7 +143,9 @@ class Two5D(ParallelAlgorithm):
                 for i in range(q):
                     for j in range(q):
                         src = grid.rank(i, j, layer)
-                        msgs.append(Message(src, grid.rank(i, j - i - off, layer), "A", m.get(src, "A")))
+                        msgs.append(
+                            Message(src, grid.rank(i, j - i - off, layer), "A", m.get(src, "A"))
+                        )
             m.exchange(msgs, label="skewA")
             msgs = []
             for layer in range(c):
@@ -127,7 +153,9 @@ class Two5D(ParallelAlgorithm):
                 for i in range(q):
                     for j in range(q):
                         src = grid.rank(i, j, layer)
-                        msgs.append(Message(src, grid.rank(i - j - off, j, layer), "B", m.get(src, "B")))
+                        msgs.append(
+                            Message(src, grid.rank(i - j - off, j, layer), "B", m.get(src, "B"))
+                        )
             m.exchange(msgs, label="skewB")
 
         for r in range(grid.p):
@@ -142,13 +170,25 @@ class Two5D(ParallelAlgorithm):
             if k < rounds - 1:
                 shift_many(
                     m,
-                    [[grid.rank(i, j, layer) for j in range(q)] for layer in range(c) for i in range(q)],
-                    "A", -1, label="shiftA",
+                    [
+                        [grid.rank(i, j, layer) for j in range(q)]
+                        for layer in range(c)
+                        for i in range(q)
+                    ],
+                    "A",
+                    -1,
+                    label="shiftA",
                 )
                 shift_many(
                     m,
-                    [[grid.rank(i, j, layer) for i in range(q)] for layer in range(c) for j in range(q)],
-                    "B", -1, label="shiftB",
+                    [
+                        [grid.rank(i, j, layer) for i in range(q)]
+                        for layer in range(c)
+                        for j in range(q)
+                    ],
+                    "B",
+                    -1,
+                    label="shiftB",
                 )
 
         # Reduce C partials across layers onto layer 0 (all fibers at once).

@@ -58,7 +58,9 @@ def hilbert_like(n: int) -> np.ndarray:
     return 1.0 / (i + j + 1.0)
 
 
-def integer_matrix(n: int, m: int | None = None, lo: int = -4, hi: int = 5, seed: int = 0) -> np.ndarray:
+def integer_matrix(
+    n: int, m: int | None = None, lo: int = -4, hi: int = 5, seed: int = 0
+) -> np.ndarray:
     """Small-integer matrix (as float64).
 
     Products of small-integer matrices are exactly representable, so

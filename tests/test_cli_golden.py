@@ -20,10 +20,19 @@ SCALING_GOLDEN_PATH = Path(__file__).parent / "data" / "scaling_golden.json"
 
 SWEEP_ARGV = [
     "sweep",
-    "--schemes", "strassen", "classical122", "strassen122",
-    "--k-min", "1", "--k-max", "2",
-    "--memories", "48", "192",
-    "--policies", "auto",
+    "--schemes",
+    "strassen",
+    "classical122",
+    "strassen122",
+    "--k-min",
+    "1",
+    "--k-max",
+    "2",
+    "--memories",
+    "48",
+    "192",
+    "--policies",
+    "auto",
     "--json",
 ]
 
@@ -48,7 +57,13 @@ ROW_SCHEMA = {
     "measured/lower": (int, float, type(None)),
 }
 
-REPORT_SCHEMA = {"spec": dict, "rows": list, "stats": dict, "wall_time": (int, float), "workers": int}
+REPORT_SCHEMA = {
+    "spec": dict,
+    "rows": list,
+    "stats": dict,
+    "wall_time": (int, float),
+    "workers": int,
+}
 
 
 def _strict_loads(text: str):
@@ -252,9 +267,18 @@ class TestGoldenNanNull:
         # k=5 strassen exceeds the spectral auto-limit: h_lower is NaN in
         # memory and must appear as null in strict JSON
         argv = [
-            "--cache-dir", str(tmp_path / "c"),
-            "sweep", "--schemes", "strassen", "--k-min", "5", "--k-max", "5",
-            "--memories", "2", "--json",
+            "--cache-dir",
+            str(tmp_path / "c"),
+            "sweep",
+            "--schemes",
+            "strassen",
+            "--k-min",
+            "5",
+            "--k-max",
+            "5",
+            "--memories",
+            "2",
+            "--json",
         ]
         assert main(argv) == 0
         out = capsys.readouterr().out

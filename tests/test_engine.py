@@ -197,6 +197,34 @@ class TestEstimatePolicies:
         with pytest.raises(ValueError, match="policy"):
             cached_estimate("strassen", 2, policy="bogus", cache=cache)
 
+    def test_auto_estimates_track_exact_limit_changes(self, cache, monkeypatch):
+        """Changing REPRO_EXACT_LIMIT must never replay a stale auto estimate.
+
+        The auto policy's method choice depends on the enumeration ceiling,
+        so the effective ceiling is part of the estimate's cache key; before
+        that, lowering the env var after a warm run kept returning the
+        exact-method artifact computed under the old ceiling.
+        """
+        warm = cached_estimate("strassen", 1, policy="auto", cache=cache)
+        assert warm.method == "exact"  # 11 vertices, default ceiling 28
+
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "1")
+        shrunk = cached_estimate("strassen", 1, policy="auto", cache=cache)
+        assert shrunk.method.startswith("spectral")  # not the stale exact entry
+
+        monkeypatch.delenv("REPRO_EXACT_LIMIT")
+        restored = cached_estimate("strassen", 1, policy="auto", cache=cache)
+        assert restored.method == "exact"
+        assert restored == warm
+
+    def test_fixed_policies_are_limit_independent(self, cache, monkeypatch):
+        warm = cached_estimate("strassen", 1, policy="exact", cache=cache)
+        hits_before = cache.stats.hits
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "1")
+        again = cached_estimate("strassen", 1, policy="exact", cache=cache)
+        assert again == warm
+        assert cache.stats.hits > hits_before  # same key: served from cache
+
 
 class TestGrid:
     SPEC = GridSpec.from_ranges(
@@ -255,9 +283,16 @@ class TestCLI:
 
     def test_sweep_smoke(self, tmp_path, capsys):
         argv = [
-            "--cache-dir", str(tmp_path / "c"),
-            "sweep", "--schemes", "strassen", "--k-max", "2",
-            "--memories", "48", "192",
+            "--cache-dir",
+            str(tmp_path / "c"),
+            "sweep",
+            "--schemes",
+            "strassen",
+            "--k-max",
+            "2",
+            "--memories",
+            "48",
+            "192",
         ]
         assert main(argv) == 0
         first = capsys.readouterr().out
@@ -270,9 +305,16 @@ class TestCLI:
         assert (
             main(
                 [
-                    "--cache-dir", str(tmp_path / "c"),
-                    "sweep", "--schemes", "strassen", "--k-max", "1",
-                    "--memories", "48", "--json",
+                    "--cache-dir",
+                    str(tmp_path / "c"),
+                    "sweep",
+                    "--schemes",
+                    "strassen",
+                    "--k-max",
+                    "1",
+                    "--memories",
+                    "48",
+                    "--json",
                 ]
             )
             == 0
@@ -284,8 +326,13 @@ class TestCLI:
         assert (
             main(
                 [
-                    "--cache-dir", str(tmp_path / "c"),
-                    "expansion", "--scheme", "strassen", "--k", "2",
+                    "--cache-dir",
+                    str(tmp_path / "c"),
+                    "expansion",
+                    "--scheme",
+                    "strassen",
+                    "--k",
+                    "2",
                 ]
             )
             == 0

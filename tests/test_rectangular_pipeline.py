@@ -129,9 +129,17 @@ class TestEngineLayer:
 
     def test_cli_sweep_json_with_rect_scheme(self, tmp_path, capsys):
         argv = [
-            "--cache-dir", str(tmp_path / "c"),
-            "sweep", "--schemes", SCHEME, "classical122",
-            "--k-max", "2", "--memories", "48", "--json",
+            "--cache-dir",
+            str(tmp_path / "c"),
+            "sweep",
+            "--schemes",
+            SCHEME,
+            "classical122",
+            "--k-max",
+            "2",
+            "--memories",
+            "48",
+            "--json",
         ]
         assert main(argv) == 0
         decoded = json.loads(capsys.readouterr().out)
@@ -140,8 +148,13 @@ class TestEngineLayer:
 
     def test_cli_expansion_with_dynamic_rect_name(self, tmp_path, capsys):
         argv = [
-            "--cache-dir", str(tmp_path / "c"),
-            "expansion", "--scheme", "classical1x2x3", "--k", "2",
+            "--cache-dir",
+            str(tmp_path / "c"),
+            "expansion",
+            "--scheme",
+            "classical1x2x3",
+            "--k",
+            "2",
         ]
         assert main(argv) == 0
         decoded = json.loads(capsys.readouterr().out)

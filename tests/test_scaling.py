@@ -51,7 +51,10 @@ class TestSweep:
                 row["memory_dependent_bound"], row["memory_independent_bound"]
             )
             assert row["measured_words"] >= row["lower_bound"], (
-                row["label"], row["p"], row["measured_words"], row["lower_bound"],
+                row["label"],
+                row["p"],
+                row["measured_words"],
+                row["lower_bound"],
             )
             seen.add(row["algorithm"])
         assert {"cannon", "2.5d", "caps"} <= seen
