@@ -1,0 +1,31 @@
+"""S1 — the serving layer under concurrent load.
+
+Thin wrapper over the ``serve_load`` registry workload (shared with
+``python -m repro bench``): boots the asyncio HTTP service on a free
+port, fires a wave of identical ``/expansion`` requests from every
+client at once, then a mixed ``/bounds`` + ``/healthz`` rotation.  The
+assertions pin the single-flight invariant — however many clients race
+the same question, the cache builds its artifact chain exactly once.
+"""
+
+from repro.engine.bench import get_bench
+from repro.engine.cache import EngineCache
+
+
+def test_serve_load_single_flight(benchmark, emit):
+    w = get_bench("serve_load")
+    cache = EngineCache(disk=False)
+    payload = benchmark.pedantic(lambda: w.call(cache=cache, quick=True), rounds=1, iterations=1)
+    check = payload["check"]
+    metrics = payload["metrics"]
+    emit(
+        f"[S1] serve: {metrics['requests']} requests "
+        f"@ {metrics['requests_per_s']:.0f} req/s "
+        f"p50={metrics['latency_p50_ms']:.2f}ms "
+        f"p99={metrics['latency_p99_ms']:.2f}ms builds={check['builds']}"
+    )
+    assert check["errors"] == 0
+    assert check["responses_ok"] == metrics["requests"]
+    # 8 clients raced the identical /expansion; single-flight means one
+    # build chain (dec graph + spectrum + estimate) total, not one each
+    assert check["builds"] == 3

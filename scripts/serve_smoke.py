@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""CI smoke test for ``python -m repro serve``: boot, hammer, verify, stop.
+
+Boots the real CLI entry point as a subprocess on a free port, fires a
+concurrent request mix (an identical-``/expansion`` wave to exercise
+single-flight, plus ``/bounds``, ``/sweep`` and ``/healthz``), and checks
+every response plus the ``/cache/info`` counters.  Exits non-zero on any
+failure; prints one summary line on success.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve.http import fetch_json  # noqa: E402
+
+CLIENTS = 8
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return int(s.getsockname()[1])
+
+
+def wait_until_up(port: int, proc: subprocess.Popen, deadline_s: float = 30.0) -> None:
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if proc.poll() is not None:
+            raise SystemExit(f"serve process exited early with rc={proc.returncode}")
+        try:
+            status, body = asyncio.run(fetch_json("127.0.0.1", port, "/healthz", timeout=5.0))
+        except OSError:
+            time.sleep(0.2)
+            continue
+        if status == 200 and body == {"status": "ok"}:
+            return
+        raise SystemExit(f"unexpected /healthz answer: {status} {body!r}")
+    raise SystemExit("service did not come up within the deadline")
+
+
+async def hammer(port: int) -> dict:
+    expansion = "/expansion?scheme=strassen&k=2"
+    mix = [expansion] * CLIENTS  # the identical wave: single-flight's job
+    mix += [
+        "/bounds?n=4096&M=256&p=64",
+        "/sweep?schemes=strassen&k_min=1&k_max=2&memories=48",
+        expansion,
+        "/healthz",
+    ]
+    results = await asyncio.gather(*(fetch_json("127.0.0.1", port, t) for t in mix))
+    failures = [(t, s) for t, (s, _) in zip(mix, results) if s != 200]
+    if failures:
+        raise SystemExit(f"non-200 responses: {failures}")
+    bodies = [body for _, body in results[:CLIENTS]]
+    if any(body != bodies[0] for body in bodies):
+        raise SystemExit("identical /expansion requests returned differing payloads")
+    status, info = await fetch_json("127.0.0.1", port, "/cache/info")
+    if status != 200:
+        raise SystemExit(f"/cache/info answered {status}")
+    return info
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0, help="serve --workers value")
+    args = parser.parse_args()
+
+    port = free_port()
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as cache_dir:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "--cache-dir",
+                cache_dir,
+                "serve",
+                "--port",
+                str(port),
+                "--workers",
+                str(args.workers),
+            ],
+            env=env,
+        )
+        try:
+            wait_until_up(port, proc)
+            info = asyncio.run(hammer(port))
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    service = info["service"]
+    stats = info["stats"]
+    if service["errors"] != 0:
+        raise SystemExit(f"service counted {service['errors']} errors")
+    if args.workers == 0 and stats["builds"] == 0:
+        raise SystemExit("expected at least one build through the shared cache")
+    print(
+        f"serve smoke ok: {service['requests']} requests, "
+        f"{service['deduped']} deduped, builds={stats['builds']}, "
+        f"workers={service['workers']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ RC401    spawn-pool             no lambdas/closures/bound methods submitted
                                 to multiprocessing pools
 RC402    spawn-order            no unordered-set iteration feeding work
                                 construction in multiprocessing modules
+RC403    async-cache-lock       async handlers touch the shared engine
+                                cache only inside a lock block
 RC501    bitset-dtype           uint64 bitset arrays never mix with
                                 signed/float operands
 RC601    broad-except           no new bare/broad ``except`` clauses
@@ -26,6 +28,7 @@ RC601    broad-except           no new bare/broad ``except`` clauses
 """
 
 from repro.analysis.checkers import (  # noqa: F401  (import-for-effect)
+    async_cache,
     bitset_dtype,
     broad_except,
     cache_fingerprint,
@@ -35,6 +38,7 @@ from repro.analysis.checkers import (  # noqa: F401  (import-for-effect)
 )
 
 __all__ = [
+    "async_cache",
     "bitset_dtype",
     "broad_except",
     "cache_fingerprint",

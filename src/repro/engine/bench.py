@@ -11,7 +11,7 @@ result is a machine-readable ``BENCH_<tag>.json`` that
 ``benchmarks/bench_*.py`` pytest files are thin wrappers over the same
 registry, so the CLI and pytest-benchmark share one workload definition.
 
-``BENCH_*.json`` schema (``BENCH_SCHEMA_VERSION = 1``)
+``BENCH_*.json`` schema (``BENCH_SCHEMA_VERSION = 2``)
 ------------------------------------------------------
 
 Top level::
@@ -27,7 +27,7 @@ Top level::
 Per workload::
 
     group            str    — registry group (cdag | expansion | io |
-                              engine | parallel)
+                              engine | parallel | serve)
     params           object — the exact parameter set the run used
     rounds           int    — number of *timed* rounds
     warmup           bool   — one untimed warm-up call ran first
@@ -38,7 +38,11 @@ Per workload::
                               (ru_maxrss; monotone across the process, so
                               comparable only within one run's ordering)
     cache            object — engine-cache counter increments during the
-                              timed rounds: hits, misses, stores, builds
+                              timed rounds: hits, misses, stores, builds,
+                              disk_errors, evictions (v2: two new counters)
+    metrics          object — optional workload-reported numbers (the serve
+                              load test's requests/sec and p50/p99 latency
+                              land here); informational, never gated
     check            object — scalar "science" outputs of the workload
                               (JSON numbers/strings/bools, possibly nested
                               in lists/objects).  --compare verifies these
@@ -73,7 +77,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
-from repro.engine.cache import EngineCache
+from repro.engine.cache import CacheStats, EngineCache
 from repro.util.jsonutil import jsonable as _jsonable
 
 __all__ = [
@@ -96,10 +100,13 @@ __all__ = [
 ]
 
 #: Version of the BENCH_*.json document layout (see the module docstring).
-BENCH_SCHEMA_VERSION = 1
+#: v2: the per-workload ``cache`` block gained the ``disk_errors`` and
+#: ``evictions`` counters, and workloads may attach an ungated ``metrics``
+#: object (the serve load test's throughput/latency numbers).
+BENCH_SCHEMA_VERSION = 2
 
 #: The groups a workload may declare, in display order.
-BENCH_GROUPS = ("cdag", "expansion", "io", "engine", "parallel")
+BENCH_GROUPS = ("cdag", "expansion", "io", "engine", "parallel", "serve")
 
 
 @dataclass(frozen=True)
@@ -288,7 +295,9 @@ def run_bench(
 
     raw: list[float] = []
     payload: dict = {}
-    cache_stats = {"hits": 0, "misses": 0, "stores": 0, "builds": 0}
+    # Initialize from the dataclass so new CacheStats counters are summed
+    # (not KeyError'd) the day they are added.
+    cache_stats = CacheStats().as_dict()
     for _ in range(n_rounds):
         if w.cold:
             cache = EngineCache(disk=False)
@@ -303,7 +312,7 @@ def run_bench(
 
     if not isinstance(payload, dict) or "check" not in payload:
         raise TypeError(f"workload {name!r} must return a dict payload with a 'check' key")
-    return {
+    record = {
         "group": w.group,
         "params": _jsonable(params),
         "rounds": n_rounds,
@@ -314,6 +323,12 @@ def run_bench(
         "cache": cache_stats,
         "check": _jsonable(payload["check"]),
     }
+    if "metrics" in payload:
+        # Workload-reported numbers (throughput, latency percentiles): kept
+        # in the document for humans and dashboards, never compared — the
+        # timing gate is the ``seconds`` block.
+        record["metrics"] = _jsonable(payload["metrics"])
+    return record
 
 
 def host_fingerprint() -> dict[str, Any]:
@@ -1111,5 +1126,96 @@ def _bench_table1(cache: EngineCache, n: int) -> dict:
         "rows": rows,
         "check": {
             "measured": {f"{r['regime']}/{r['class']}": r["measured_words"] for r in rows},
+        },
+    }
+
+
+async def _serve_load_drive(
+    cache: EngineCache, clients: int, repeats: int, scheme: str, k: int
+) -> dict[str, Any]:
+    """Boot the service on a free port and fire the concurrent request mix.
+
+    Wave 0 is ``clients`` *identical* ``/expansion`` requests in flight at
+    once — the single-flight invariant under test (exactly one build chain
+    however many clients ask).  Later waves mix in ``/bounds`` and
+    ``/healthz`` so the measured throughput covers cheap and CPU-bound
+    endpoints alike.
+    """
+    import asyncio
+
+    from repro.serve.http import fetch_json
+    from repro.serve.service import ExpansionService, ServeConfig
+
+    expansion = f"/expansion?scheme={scheme}&k={k}"
+    rotation = (expansion, "/bounds?n=4096&M=256&p=64", expansion, "/healthz")
+    service = ExpansionService(ServeConfig(host="127.0.0.1", port=0, workers=0), cache=cache)
+    await service.start()
+    port = service.port
+    statuses: list[int] = []
+    latencies: list[float] = []
+
+    async def one_client(idx: int) -> None:
+        for r in range(repeats):
+            # wave 0: everyone asks the identical expansion question at once
+            target = expansion if r == 0 else rotation[(idx + r) % len(rotation)]
+            t0 = time.perf_counter()
+            status, _body = await fetch_json("127.0.0.1", port, target)
+            latencies.append(time.perf_counter() - t0)
+            statuses.append(status)
+
+    t_start = time.perf_counter()
+    try:
+        await asyncio.gather(*(one_client(i) for i in range(clients)))
+    finally:
+        await service.stop()
+    wall = time.perf_counter() - t_start
+    lat = np.asarray(sorted(latencies), dtype=np.float64)
+    return {
+        "ok": sum(1 for s in statuses if s == 200),
+        "errors": sum(1 for s in statuses if s != 200),
+        "total": len(statuses),
+        "wall": wall,
+        "requests_per_s": len(statuses) / wall if wall > 0 else 0.0,
+        "latency_p50_ms": float(np.percentile(lat, 50)) * 1e3,
+        "latency_p99_ms": float(np.percentile(lat, 99)) * 1e3,
+    }
+
+
+@register_bench(
+    "serve_load",
+    "serve",
+    params={"clients": 8, "repeats": 6, "scheme": "strassen", "k": 2},
+    quick_params={"clients": 8, "repeats": 3},
+    rounds=3,
+    quick_rounds=2,
+    cold=True,
+)
+def _bench_serve_load(cache: EngineCache, clients: int, repeats: int, scheme: str, k: int) -> dict:
+    """Concurrent HTTP load against the serving layer (single-flight path).
+
+    Every round boots a fresh in-process service over the harness's cold
+    cache, so the reported ``builds`` counter is exact: the identical
+    ``/expansion`` wave must produce one build chain (graph + spectrum +
+    estimate = 3 builds at the spectral depth used here) no matter how
+    many clients race it.  Throughput and latency land in the ungated
+    ``metrics`` block; the ``check`` block pins what must not drift —
+    every response 200, zero errors, exactly 3 builds.
+    """
+    import asyncio
+
+    result = asyncio.run(_serve_load_drive(cache, clients, repeats, scheme, k))
+    builds = cache.stats.builds
+    return {
+        "load": result,
+        "metrics": {
+            "requests": result["total"],
+            "requests_per_s": result["requests_per_s"],
+            "latency_p50_ms": result["latency_p50_ms"],
+            "latency_p99_ms": result["latency_p99_ms"],
+        },
+        "check": {
+            "responses_ok": result["ok"],
+            "errors": result["errors"],
+            "builds": builds,
         },
     }

@@ -22,15 +22,26 @@ directory without locks.  The root defaults to ``~/.cache/repro-engine``
 and is overridable with ``$REPRO_CACHE_DIR`` or per-instance.  A bounded
 in-memory layer holds the decoded objects so repeat lookups inside one
 process skip both the disk and array re-validation.
+
+Concurrency: every public method is safe to call from multiple threads of
+one process (the serving layer's executor threads share one instance).
+Cross-thread build deduplication is explicit — :meth:`EngineCache.lock`
+hands out one mutex per key and :meth:`EngineCache.single_flight` wraps the
+check/build/store cycle in it, so N concurrent identical requests run the
+build exactly once.  Cross-*process* writers need no locks at all: the
+atomic-rename protocol makes concurrent same-key writers idempotent.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import sys
 import tempfile
+import threading
 import zipfile
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
@@ -61,9 +72,21 @@ __all__ = [
 #: v5: "auto"-policy estimate keys now carry the effective exact-enumeration
 #: ceiling (exact_limit=...), closing the stale-read when REPRO_EXACT_LIMIT
 #: changes between runs; old auto-estimate entries keyed without it must miss.
+#:
+#: Numeric-key normalization (PR 7) deliberately did NOT bump the version:
+#: normalized keys are byte-identical to the keys plain-Python (and
+#: NumPy 1.x) callers always produced, so every canonical entry stays valid.
+#: The only orphaned entries are the *fragmented duplicates* NumPy 2.x
+#: scalars created via ``repr(np.float64(1.5)) == 'np.float64(1.5)'`` — those
+#: held the same artifact content as their canonical twins, so leaving them
+#: unreachable cannot serve a stale result.
 CACHE_VERSION = 5
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Attempts per put_arrays call before the call is abandoned (transient
+#: OSErrors — e.g. one ENOSPC mid-sweep — must not poison later stores).
+_DISK_WRITE_ATTEMPTS = 2
 
 
 @dataclass
@@ -74,6 +97,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     builds: int = 0  # full artifact constructions (cache could not help)
+    disk_errors: int = 0  # put_arrays calls that exhausted their retries
+    evictions: int = 0  # decoded objects dropped by the memory-tier caps
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
@@ -82,6 +107,11 @@ class CacheStats:
         """Counter increments since ``snapshot`` (an ``as_dict()`` result)."""
         now = self.as_dict()
         return {k: now[k] - snapshot.get(k, 0) for k in now}
+
+    def merge(self, delta: dict[str, int]) -> None:
+        """Fold a ``delta_since`` result from another process into this one."""
+        for name, value in delta.items():
+            setattr(self, name, getattr(self, name) + int(value))
 
 
 def scheme_fingerprint(scheme: BilinearScheme) -> str:
@@ -100,15 +130,40 @@ def scheme_fingerprint(scheme: BilinearScheme) -> str:
     return h.hexdigest()[:16]
 
 
+def _normalize_param(value: Any) -> Any:
+    """Decay NumPy scalars (recursively through tuples/lists) to Python ones.
+
+    ``cache_key`` hashes ``repr(value)``, and NumPy 2.x changed scalar reprs
+    (``repr(np.float64(1.5)) == 'np.float64(1.5)'``), so without this an
+    ``np.int64`` recursion depth and the equal plain ``int`` would land in
+    *different* cache entries.  Booleans are checked before integers because
+    ``np.bool_`` is not an ``np.integer`` but plain ``bool`` *is* an ``int``
+    — ``True`` and ``1`` must keep their distinct reprs.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    if isinstance(value, (tuple, list)):
+        return type(value)(_normalize_param(v) for v in value)
+    return value
+
+
 def cache_key(kind: str, scheme: BilinearScheme | None, **params: Any) -> str:
     """Content-addressed key for one artifact of one scheme.
 
     ``scheme=None`` is allowed for artifacts with no bilinear scheme behind
-    them (e.g. classical grid-algorithm scaling runs).
+    them (e.g. classical grid-algorithm scaling runs).  Numeric parameters
+    are normalized first so NumPy scalars and equal Python numbers share a
+    key (see :func:`_normalize_param`).
     """
     fp = scheme_fingerprint(scheme) if scheme is not None else "none"
     parts = [f"v{CACHE_VERSION}", kind, fp]
-    parts.extend(f"{name}={params[name]!r}" for name in sorted(params))
+    parts.extend(f"{name}={_normalize_param(params[name])!r}" for name in sorted(params))
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
@@ -117,6 +172,37 @@ def default_cache_root() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-engine"
+
+
+def _approx_nbytes(obj: Any, _seen: set[int] | None = None) -> int:
+    """Rough decoded-object footprint: array payloads plus container skin.
+
+    Exact accounting is impossible for arbitrary graph objects; what matters
+    for the memory-tier byte cap is that ndarray payloads (the only thing
+    that gets large here) are counted fully and everything else is bounded
+    below by ``sys.getsizeof``.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return 0
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + sys.getsizeof(obj, 0)
+    total = sys.getsizeof(obj, 64)
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            total += _approx_nbytes(k, _seen) + _approx_nbytes(v, _seen)
+    elif isinstance(obj, (tuple, list, frozenset)):
+        for item in obj:
+            total += _approx_nbytes(item, _seen)
+    elif hasattr(obj, "__dict__"):
+        for v in vars(obj).values():
+            total += _approx_nbytes(v, _seen)
+    elif hasattr(obj, "__slots__"):
+        for name in obj.__slots__:
+            total += _approx_nbytes(getattr(obj, name, None), _seen)
+    return total
 
 
 class EngineCache:
@@ -131,6 +217,10 @@ class EngineCache:
         When False, never touch the filesystem (memory-only cache).
     memory_items:
         Decoded-object LRU capacity (whole CDAGs can be large; keep small).
+    memory_bytes:
+        Optional byte cap on the decoded-object tier (approximate, see
+        :func:`_approx_nbytes`).  Objects larger than the cap are served but
+        never retained; retained entries evict LRU-first until under the cap.
     """
 
     def __init__(
@@ -139,37 +229,101 @@ class EngineCache:
         *,
         disk: bool = True,
         memory_items: int = 32,
+        memory_bytes: int | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.stats = CacheStats()
         self._disk = disk
+        self._disk_degraded = False  # last put_arrays exhausted its retries
         self._memory_items = memory_items
+        self._memory_bytes = memory_bytes
         self._objects: OrderedDict[str, Any] = OrderedDict()
+        self._object_sizes: dict[str, int] = {}
+        self._objects_nbytes = 0
+        # One re-entrant lock covers counters and the memory tier; the
+        # per-key locks below serialize whole build cycles instead.
+        self._lock = threading.RLock()
+        self._key_locks: dict[str, threading.Lock] = {}
 
     @property
     def disk_enabled(self) -> bool:
         return self._disk
 
+    @property
+    def disk_degraded(self) -> bool:
+        """True while the most recent disk write failed (cleared on success)."""
+        return self._disk_degraded
+
     # ------------------------------------------------------------------ #
-    # decoded-object layer                                                #
+    # decoded-object layer                                                 #
     # ------------------------------------------------------------------ #
 
     def get_object(self, key: str) -> Any | None:
-        """In-process decoded object for ``key`` (counts a hit when present)."""
-        if key in self._objects:
-            self._objects.move_to_end(key)
-            self.stats.hits += 1
-            return self._objects[key]
-        return None
+        """In-process decoded object for ``key`` (counts a hit or a miss)."""
+        with self._lock:
+            if key in self._objects:
+                self._objects.move_to_end(key)
+                self.stats.hits += 1
+                return self._objects[key]
+            self.stats.misses += 1
+            return None
 
     def put_object(self, key: str, obj: Any) -> None:
-        self._objects[key] = obj
-        self._objects.move_to_end(key)
-        while len(self._objects) > self._memory_items:
-            self._objects.popitem(last=False)
+        size = _approx_nbytes(obj) if self._memory_bytes is not None else 0
+        with self._lock:
+            if self._memory_bytes is not None and size > self._memory_bytes:
+                # Larger than the whole tier: serve it, don't retain it.
+                self._evict_key(key)
+                return
+            self._evict_key(key)
+            self._objects[key] = obj
+            self._object_sizes[key] = size
+            self._objects_nbytes += size
+            while len(self._objects) > self._memory_items or (
+                self._memory_bytes is not None and self._objects_nbytes > self._memory_bytes
+            ):
+                evicted, _ = self._objects.popitem(last=False)
+                self._objects_nbytes -= self._object_sizes.pop(evicted, 0)
+                self.stats.evictions += 1
+
+    def _evict_key(self, key: str) -> None:
+        """Drop ``key`` from the memory tier without counting an eviction."""
+        if key in self._objects:
+            del self._objects[key]
+            self._objects_nbytes -= self._object_sizes.pop(key, 0)
 
     # ------------------------------------------------------------------ #
-    # array (disk) layer                                                  #
+    # build coordination                                                   #
+    # ------------------------------------------------------------------ #
+
+    def lock(self, key: str) -> threading.Lock:
+        """The per-key mutex serializing concurrent builds of one artifact."""
+        with self._lock:
+            lk = self._key_locks.get(key)
+            if lk is None:
+                lk = self._key_locks[key] = threading.Lock()
+            return lk
+
+    def single_flight(self, key: str, build: Callable[[], Any]) -> Any:
+        """Return the decoded object for ``key``, building at most once.
+
+        Concurrent callers with the same key block on the per-key lock; the
+        first runs ``build()`` and stores the result, the rest re-check the
+        memory tier and hit.  ``build`` must return a non-None object.
+        """
+        obj = self.get_object(key)
+        if obj is not None:
+            return obj
+        with self.lock(key):
+            obj = self.get_object(key)
+            if obj is not None:
+                return obj
+            obj = build()
+            self.put_object(key, obj)
+            return obj
+
+    # ------------------------------------------------------------------ #
+    # array (disk) layer                                                   #
     # ------------------------------------------------------------------ #
 
     def _path(self, key: str) -> Path:
@@ -178,7 +332,8 @@ class EngineCache:
     def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
         """Load the stored array bundle for ``key``, or None on a miss."""
         if not self._disk:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         try:
             with np.load(self._path(key), allow_pickle=False) as z:
@@ -186,42 +341,62 @@ class EngineCache:
         except (OSError, ValueError, EOFError, zipfile.BadZipFile):
             # Missing file, unreadable directory, or a truncated/corrupt
             # entry: all are misses — the artifact is simply rebuilt.
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
         return data
 
     def put_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
-        """Atomically persist an array bundle (best-effort: disk errors
-        degrade the cache to memory-only rather than failing the build)."""
-        self.stats.stores += 1
+        """Atomically persist an array bundle (best-effort).
+
+        Disk failures are *per call*: each store gets
+        ``_DISK_WRITE_ATTEMPTS`` tries, and an exhausted call only marks the
+        cache degraded (``disk_degraded`` / ``stats.disk_errors``) — the next
+        store retries the disk and clears the flag on success.  A transient
+        ENOSPC mid-sweep therefore costs the entries written while full, not
+        every later entry of the process's lifetime.
+        """
+        with self._lock:
+            self.stats.stores += 1
         if not self._disk:
             return
         path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        for attempt in range(_DISK_WRITE_ATTEMPTS):
             try:
-                with os.fdopen(fd, "wb") as f:
-                    np.savez(f, **arrays)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-        except OSError:
-            self._disk = False
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as f:
+                        np.savez(f, **arrays)
+                    os.replace(tmp, path)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+            except OSError:
+                if attempt + 1 == _DISK_WRITE_ATTEMPTS:
+                    with self._lock:
+                        self.stats.disk_errors += 1
+                        self._disk_degraded = True
+            else:
+                with self._lock:
+                    self._disk_degraded = False
+                return
 
     def count_build(self) -> None:
         """Record one full artifact construction (called by the builders)."""
-        self.stats.builds += 1
+        with self._lock:
+            self.stats.builds += 1
 
     # ------------------------------------------------------------------ #
-    # stats accounting                                                    #
+    # stats accounting                                                     #
     # ------------------------------------------------------------------ #
 
     def stats_snapshot(self) -> dict[str, int]:
         """Current counter values as a plain dict (for ``delta_since``)."""
-        return self.stats.as_dict()
+        with self._lock:
+            return self.stats.as_dict()
 
     def reset_stats(self) -> dict[str, int]:
         """Zero the hit/miss/store/build counters; returns the old values.
@@ -232,18 +407,39 @@ class EngineCache:
         impossible to read off directly — resetting between phases makes
         each phase's counters exact.  Cached artifacts are untouched.
         """
-        old = self.stats.as_dict()
-        self.stats = CacheStats()
-        return old
+        with self._lock:
+            old = self.stats.as_dict()
+            self.stats = CacheStats()
+            return old
+
+    def merge_stats(self, delta: dict[str, int]) -> None:
+        """Fold counter increments from a worker process into this instance.
+
+        The grid runner and the serving layer's process pool both execute
+        builds in workers whose caches are separate objects; each worker
+        reports ``stats.delta_since(snapshot)`` and the parent merges it here
+        so ``info()`` reflects the whole fleet.
+        """
+        with self._lock:
+            self.stats.merge(delta)
 
     # ------------------------------------------------------------------ #
-    # maintenance                                                         #
+    # maintenance                                                          #
     # ------------------------------------------------------------------ #
 
     def clear(self) -> int:
         """Drop the memory layer and delete all on-disk entries; returns the
-        number of files removed."""
-        self._objects.clear()
+        number of files removed.
+
+        Honest after degradation: a failed *write* never hides existing
+        on-disk entries from ``clear()`` — only a cache constructed with
+        ``disk=False`` skips the filesystem.  Emptied shard directories are
+        pruned, and the degraded flag resets (nothing left to degrade).
+        """
+        with self._lock:
+            self._objects.clear()
+            self._object_sizes.clear()
+            self._objects_nbytes = 0
         removed = 0
         if self._disk and self.root.is_dir():
             for path in self.root.glob("*/*.npz"):
@@ -252,6 +448,14 @@ class EngineCache:
                     removed += 1
                 except OSError:
                     pass
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # refuses non-empty shards
+                    except OSError:
+                        pass
+        with self._lock:
+            self._disk_degraded = False
         return removed
 
     def info(self) -> dict[str, Any]:
@@ -265,13 +469,21 @@ class EngineCache:
                     n_files += 1
                 except OSError:
                     pass
-        return {
-            "root": str(self.root),
-            "disk_enabled": self._disk,
-            "entries": n_files,
-            "bytes": n_bytes,
-            "stats": self.stats.as_dict(),
-        }
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "disk_enabled": self._disk,
+                "disk_degraded": self._disk_degraded,
+                "entries": n_files,
+                "bytes": n_bytes,
+                "memory": {
+                    "items": len(self._objects),
+                    "bytes": self._objects_nbytes,
+                    "max_items": self._memory_items,
+                    "max_bytes": self._memory_bytes,
+                },
+                "stats": self.stats.as_dict(),
+            }
 
 
 _DEFAULT: EngineCache | None = None

@@ -11,6 +11,7 @@ Subcommands:
 * ``schemes``   — the validated scheme registry
 * ``algorithms``— the parallel-algorithm registry
 * ``cache``     — inspect or clear the on-disk artifact cache
+* ``serve``     — long-running concurrent HTTP/JSON service over the cache
 """
 
 from __future__ import annotations
@@ -217,6 +218,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_cmd = sub.add_parser("cache", help="inspect or clear the artifact cache")
     cache_cmd.add_argument("action", choices=["info", "clear"])
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve /expansion /bounds /sweep /scaling over HTTP (asyncio + worker pool)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default loopback)")
+    serve.add_argument(
+        "--port", type=int, default=8077, help="TCP port (0 picks a free one; default 8077)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "build executor: 0 (default) runs builds on in-process threads "
+            "sharing one cache; N > 0 spawns N worker processes over the "
+            "same cache directory"
+        ),
+    )
+    serve.add_argument(
+        "--memory-items",
+        type=int,
+        default=64,
+        help="decoded-object LRU entry cap for the serving cache (default 64)",
+    )
+    serve.add_argument(
+        "--memory-mb",
+        type=int,
+        default=512,
+        help="decoded-object LRU byte cap in MiB; 0 disables the cap (default 512)",
+    )
 
     check = sub.add_parser(
         "check", help="run the domain-invariant static-analysis checkers"
@@ -500,6 +532,21 @@ def _cmd_cache(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.service import ServeConfig, run
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        disk=not args.no_cache,
+        memory_items=args.memory_items,
+        memory_bytes=args.memory_mb * 1024 * 1024 if args.memory_mb > 0 else None,
+    )
+    return run(config)
+
+
 def _cmd_check(args: argparse.Namespace, out: TextIO) -> int:
     from pathlib import Path
 
@@ -570,6 +617,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_algorithms(out)
         if args.command == "cache":
             return _cmd_cache(args, cache, out)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "check":
             return _cmd_check(args, out)
     except BrokenPipeError:

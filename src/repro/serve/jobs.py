@@ -1,0 +1,326 @@
+"""Job model for the serving layer: parse, key, and execute one request.
+
+A :class:`Job` is the canonical form of one analysis request — a kind
+(``expansion`` / ``bounds`` / ``sweep`` / ``scaling``) plus a sorted,
+hashable parameter tuple.  Canonicalizing *before* keying is what makes
+single-flight deduplication work: two clients asking for
+``?k=4&scheme=strassen`` and ``?scheme=strassen&k=4`` produce the same
+:meth:`Job.key`, so the second request rides the first one's build.
+
+Execution comes in two shapes, mirroring :mod:`repro.engine.grid`'s worker
+plumbing: :func:`run_job_inline` runs in the serving process (thread
+executor) against the shared cache, and :func:`run_job_in_worker` runs in
+a spawned process against a per-worker cache over the same disk root,
+returning the payload together with the worker's cache-counter delta so
+the parent can :meth:`~repro.engine.cache.EngineCache.merge_stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.bounds import LG7
+from repro.engine.builders import POLICIES, cached_estimate
+from repro.engine.cache import EngineCache, cache_key, default_cache
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "build_payload",
+    "init_worker",
+    "parse_job",
+    "run_job_in_worker",
+    "run_job_inline",
+]
+
+JOB_KINDS = ("expansion", "bounds", "sweep", "scaling")
+
+#: Guardrails on the expensive dimensions; a service must bound the work
+#: one query can demand (the CLI, run by the operator, has no such caps).
+MAX_K = 7
+MAX_SWEEP_POINTS = 256
+MAX_SCALING_P = 256
+
+
+@dataclass(frozen=True)
+class Job:
+    """One canonical request: ``kind`` plus sorted (name, value) params."""
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+
+    def key(self) -> str:
+        """Content-addressed payload key (namespaced apart from artifacts).
+
+        The whole params tuple goes in as one ``params=`` kwarg: job params
+        legitimately include names like ``scheme`` that collide with
+        :func:`cache_key`'s own positional parameters, and the tuple form
+        keeps the (name, value) ordering the parsers canonicalized.
+        """
+        return cache_key(f"serve:{self.kind}", None, params=self.params)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+def _make_job(kind: str, params: dict[str, Any]) -> Job:
+    return Job(kind=kind, params=tuple(sorted(params.items())))
+
+
+def _as_int(raw: dict[str, str], name: str, default: int, lo: int, hi: int) -> int:
+    try:
+        value = int(raw.get(name, default))
+    except ValueError:
+        raise ValueError(f"parameter {name!r} must be an integer") from None
+    if not lo <= value <= hi:
+        raise ValueError(f"parameter {name!r} must lie in [{lo}, {hi}]")
+    return value
+
+
+def _as_float(raw: dict[str, str], name: str, default: float, lo: float, hi: float) -> float:
+    try:
+        value = float(raw.get(name, default))
+    except ValueError:
+        raise ValueError(f"parameter {name!r} must be a number") from None
+    if not lo <= value <= hi:
+        raise ValueError(f"parameter {name!r} must lie in [{lo}, {hi}]")
+    return value
+
+
+def _as_names(raw: dict[str, str], name: str, default: str) -> tuple[str, ...]:
+    """A comma-separated name list; empty entries rejected."""
+    items = tuple(s.strip() for s in raw.get(name, default).split(","))
+    if not items or any(not s for s in items):
+        raise ValueError(f"parameter {name!r} must be a comma-separated name list")
+    return items
+
+
+def _parse_expansion(raw: dict[str, str]) -> dict[str, Any]:
+    policy = raw.get("policy", "auto")
+    if policy not in POLICIES:
+        raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
+    return {
+        "scheme": raw.get("scheme", "strassen"),
+        "k": _as_int(raw, "k", 4, 1, MAX_K),
+        "policy": policy,
+    }
+
+
+def _parse_bounds(raw: dict[str, str]) -> dict[str, Any]:
+    return {
+        "n": _as_float(raw, "n", 4096.0, 1.0, 1e12),
+        "M": _as_float(raw, "M", 4096.0, 3.0, 1e12),
+        "p": _as_int(raw, "p", 1, 1, 1_000_000),
+        "omega0": _as_float(raw, "omega0", LG7, 2.0, 3.0),
+    }
+
+
+def _parse_sweep(raw: dict[str, str]) -> dict[str, Any]:
+    try:
+        memories = tuple(int(m) for m in _as_names(raw, "memories", "48,192"))
+    except ValueError:
+        raise ValueError("parameter 'memories' must be comma-separated integers") from None
+    params = {
+        "schemes": _as_names(raw, "schemes", "strassen"),
+        "k_min": _as_int(raw, "k_min", 1, 1, MAX_K),
+        "k_max": _as_int(raw, "k_max", 3, 1, MAX_K),
+        "memories": memories,
+        "policies": _as_names(raw, "policies", "auto"),
+    }
+    if params["k_min"] > params["k_max"]:
+        raise ValueError("k_min must not exceed k_max")
+    for policy in params["policies"]:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
+    n_points = (
+        len(params["schemes"])
+        * (params["k_max"] - params["k_min"] + 1)
+        * len(memories)
+        * len(params["policies"])
+    )
+    if n_points > MAX_SWEEP_POINTS:
+        raise ValueError(f"sweep of {n_points} points exceeds the cap of {MAX_SWEEP_POINTS}")
+    return params
+
+
+def _parse_scaling(raw: dict[str, str]) -> dict[str, Any]:
+    try:
+        cs = tuple(int(c) for c in _as_names(raw, "cs", "1,2"))
+    except ValueError:
+        raise ValueError("parameter 'cs' must be comma-separated integers") from None
+    return {
+        "algos": _as_names(raw, "algos", "all"),
+        "n": _as_int(raw, "n", 28, 4, 512),
+        "p_max": _as_int(raw, "p_max", 16, 1, MAX_SCALING_P),
+        "cs": cs,
+        "scheme": raw.get("scheme", "strassen"),
+    }
+
+
+_PARSERS = {
+    "expansion": _parse_expansion,
+    "bounds": _parse_bounds,
+    "sweep": _parse_sweep,
+    "scaling": _parse_scaling,
+}
+
+
+def parse_job(kind: str, raw: dict[str, str]) -> Job:
+    """Validate one request's query parameters into a canonical Job.
+
+    Raises ``ValueError`` (mapped to a 400 by the service) on unknown
+    kinds, unknown parameters, bad types, or over-cap work sizes.
+    """
+    parser = _PARSERS.get(kind)
+    if parser is None:
+        raise ValueError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+    params = parser(raw)
+    unknown = sorted(set(raw) - set(params))
+    if unknown:
+        raise ValueError(f"unknown parameter(s) {unknown} for {kind!r}")
+    return _make_job(kind, params)
+
+
+# ---------------------------------------------------------------------- #
+# payload builders (module-level: spawn workers must pickle the entry)     #
+# ---------------------------------------------------------------------- #
+
+
+def _expansion_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, Any]:
+    est = cached_estimate(params["scheme"], params["k"], policy=params["policy"], cache=cache)
+    return {
+        "scheme": params["scheme"],
+        "k": params["k"],
+        "policy": params["policy"],
+        "lower": est.lower,
+        "upper": est.upper,
+        "witness_size": est.witness_size,
+        "witness_boundary": est.witness_boundary,
+        "degree": est.degree,
+        "method": est.method,
+    }
+
+
+def _bounds_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, Any]:
+    from repro.core.bounds import (
+        memory_independent_bound,
+        parallel_io_bound,
+        scaling_regime,
+        sequential_io_bound,
+    )
+
+    del cache  # closed-form Section 1 bounds; nothing to build or store
+    n, M, p = params["n"], params["M"], params["p"]
+    omega0 = params["omega0"]
+    regime = scaling_regime(n, p, M, omega0=omega0)
+    return {
+        "n": n,
+        "M": M,
+        "p": p,
+        "omega0": omega0,
+        "sequential_io_bound": sequential_io_bound(n, M, omega0=omega0),
+        "parallel_io_bound": parallel_io_bound(n, M, p, omega0=omega0),
+        "memory_independent_bound": memory_independent_bound(n, p, omega0=omega0),
+        "binding": regime.binding,
+        "perfect_scaling_limit": regime.p_limit,
+    }
+
+
+def _sweep_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, Any]:
+    from repro.engine.grid import GridSpec, run_grid
+
+    spec = GridSpec.from_ranges(
+        schemes=params["schemes"],
+        k_min=params["k_min"],
+        k_max=params["k_max"],
+        memories=params["memories"],
+        policies=params["policies"],
+    )
+    report = run_grid(spec, workers=1, cache=cache)
+    return {
+        "spec": {
+            "schemes": list(spec.schemes),
+            "ks": list(spec.ks),
+            "memories": list(spec.memories),
+            "policies": list(spec.policies),
+        },
+        "points": len(report.rows),
+        "rows": report.rows,
+        "stats": report.stats,
+    }
+
+
+def _scaling_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, Any]:
+    from repro.engine.scaling import ScalingSpec, scaling_sweep
+    from repro.parallel.base import available_parallel
+
+    algos = params["algos"]
+    if algos == ("all",):
+        algos = tuple(available_parallel())
+    spec = ScalingSpec(
+        algos=algos,
+        n=params["n"],
+        p_max=params["p_max"],
+        cs=params["cs"],
+        scheme=params["scheme"],
+    )
+    report = scaling_sweep(spec, cache=cache)
+    return {
+        "algos": list(algos),
+        "n": params["n"],
+        "points": len(report.rows),
+        "rows": report.rows,
+        "stats": report.stats,
+    }
+
+
+_BUILDERS = {
+    "expansion": _expansion_payload,
+    "bounds": _bounds_payload,
+    "sweep": _sweep_payload,
+    "scaling": _scaling_payload,
+}
+
+
+def build_payload(job: Job, cache: EngineCache) -> dict[str, Any]:
+    """Compute one job's response payload against ``cache`` (no dedup)."""
+    return _BUILDERS[job.kind](job.as_dict(), cache)
+
+
+def run_job_inline(job: Job, cache: EngineCache) -> dict[str, Any]:
+    """Thread-executor path: single-flight build against the shared cache."""
+    payload = cache.single_flight(job.key(), lambda: build_payload(job, cache))
+    assert isinstance(payload, dict)
+    return payload
+
+
+# ---------------------------------------------------------------------- #
+# process-pool plumbing (the grid runner's idiom)                          #
+# ---------------------------------------------------------------------- #
+
+_WORKER_CACHE: EngineCache | None = None
+
+
+def init_worker(root: str | None) -> None:
+    """ProcessPoolExecutor initializer: one cache per worker process.
+
+    Workers share the parent's *disk* root (atomic writes make concurrent
+    population safe) but keep private memory tiers and counters.
+    """
+    global _WORKER_CACHE
+    _WORKER_CACHE = EngineCache(root) if root is not None else EngineCache(disk=False)
+
+
+def run_job_in_worker(job: Job) -> tuple[dict[str, Any], dict[str, int]]:
+    """Worker entry point: ``(payload, cache-counter delta)``.
+
+    The delta covers exactly this job (the worker cache's counters are
+    snapshotted around the build), so the parent can merge per-job
+    increments regardless of how jobs interleave across the pool.
+    """
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else default_cache()
+    before = cache.stats_snapshot()
+    payload = cache.single_flight(job.key(), lambda: build_payload(job, cache))
+    assert isinstance(payload, dict)
+    return payload, cache.stats.delta_since(before)

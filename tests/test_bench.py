@@ -117,7 +117,14 @@ class TestHarness:
         assert len(rec["seconds"]["raw"]) == 3
         assert rec["seconds"]["min"] <= rec["seconds"]["p50"] <= rec["seconds"]["max"]
         assert rec["check"] == {"product": 20}
-        assert rec["cache"] == {"hits": 0, "misses": 0, "stores": 0, "builds": 0}
+        assert rec["cache"] == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "builds": 0,
+            "disk_errors": 0,
+            "evictions": 0,
+        }
         assert rec["peak_rss_kb"] > 0
 
     def test_quick_uses_quick_params_and_rounds(self, scratch_workload):
@@ -221,7 +228,14 @@ def _doc(seconds_by_name: dict[str, float], checks: dict | None = None) -> dict:
                     "p90": s,
                 },
                 "peak_rss_kb": 1,
-                "cache": {"hits": 0, "misses": 0, "stores": 0, "builds": 0},
+                "cache": {
+                    "hits": 0,
+                    "misses": 0,
+                    "stores": 0,
+                    "builds": 0,
+                    "disk_errors": 0,
+                    "evictions": 0,
+                },
                 "check": (checks or {}).get(name, {"v": 1}),
             }
             for name, s in seconds_by_name.items()

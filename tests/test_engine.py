@@ -159,6 +159,8 @@ class TestStatsReset:
             "misses": 0,
             "stores": 0,
             "builds": 0,
+            "disk_errors": 0,
+            "evictions": 0,
         }
 
     def test_reset_preserves_cached_artifacts(self, cache):
@@ -175,7 +177,14 @@ class TestStatsReset:
         cache.reset_stats()
         cached_estimate("strassen", 2, cache=cache)
         stats = cache.stats.as_dict()
-        assert stats == {"hits": 1, "misses": 0, "stores": 0, "builds": 0}
+        assert stats == {
+            "hits": 1,
+            "misses": 0,
+            "stores": 0,
+            "builds": 0,
+            "disk_errors": 0,
+            "evictions": 0,
+        }
 
 
 class TestEstimatePolicies:

@@ -506,6 +506,102 @@ class TestBitsetDtype:
 
 
 # --------------------------------------------------------------------- #
+# RC403 async-cache-lock                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestAsyncCacheLock:
+    def test_unlocked_cache_call_in_coroutine(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            class Service:
+                async def handle(self, key):
+                    cached = self.cache.get_object(key)
+                    if cached is None:
+                        self.cache.put_object(key, {"v": 1})
+                    return cached
+            """,
+            select=["async-cache-lock"],
+        )
+        assert sorted(codes(report)) == ["RC403", "RC403"]
+
+    def test_locked_cache_call_is_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            class Service:
+                async def handle(self, key):
+                    async with self._lock:
+                        cached = self.cache.get_object(key)
+                        if cached is None:
+                            self.cache.put_object(key, {"v": 1})
+                    return cached
+            """,
+            select=["async-cache-lock"],
+        )
+        assert codes(report) == []
+
+    def test_per_key_sync_lock_also_counts(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            class Service:
+                async def handle(self, key):
+                    with self.cache.lock(key):
+                        return self.cache.get_object(key)
+            """,
+            select=["async-cache-lock"],
+        )
+        assert codes(report) == []
+
+    def test_sync_function_is_out_of_scope(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            def warm(cache, key, obj):
+                cache.put_object(key, obj)
+            """,
+            select=["async-cache-lock"],
+        )
+        assert codes(report) == []
+
+    def test_module_without_asyncio_is_out_of_scope(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            class Service:
+                async def handle(self, key):
+                    return self.cache.get_object(key)
+            """,
+            select=["async-cache-lock"],
+        )
+        assert codes(report) == []
+
+    def test_non_cache_receiver_is_out_of_scope(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            class Service:
+                async def handle(self, key):
+                    return self.registry.get_object(key)
+            """,
+            select=["async-cache-lock"],
+        )
+        assert codes(report) == []
+
+
+# --------------------------------------------------------------------- #
 # RC601 broad-except                                                    #
 # --------------------------------------------------------------------- #
 
@@ -627,10 +723,11 @@ class TestFramework:
         assert rc == 0
         assert "0 finding(s)" in capsys.readouterr().out
 
-    def test_all_nine_checkers_are_registered(self):
+    def test_all_ten_checkers_are_registered(self):
         names = available_checkers()
         assert names == sorted(names)
         assert set(names) == {
+            "async-cache-lock",
             "bitset-dtype",
             "broad-except",
             "cache-fingerprint",

@@ -1,0 +1,364 @@
+"""Tests for the serving layer: job grammar, endpoints, single-flight.
+
+The acceptance invariant lives in ``TestSingleFlight``: N concurrent
+identical ``/expansion`` requests must produce exactly one build chain —
+``CacheStats.builds`` is the proof, not response timing.  Everything runs
+on loopback with ``port=0`` (the OS picks a free port) and an injected
+memory-only cache, so the suite is hermetic and parallel-safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    LG7,
+    memory_independent_bound,
+    parallel_io_bound,
+    sequential_io_bound,
+)
+from repro.engine.builders import cached_estimate
+from repro.engine.cache import EngineCache
+from repro.serve import (
+    JOB_KINDS,
+    ExpansionService,
+    Job,
+    ServeConfig,
+    fetch_json,
+    parse_job,
+    run_job_inline,
+)
+from repro.serve.http import Request
+from repro.serve.jobs import MAX_K, MAX_SWEEP_POINTS
+
+
+@pytest.fixture
+def cache():
+    return EngineCache(disk=False)
+
+
+def _run_with_service(cache, scenario, workers=0):
+    """Boot a service on a free loopback port, run ``scenario(svc)``, stop."""
+
+    async def _main():
+        svc = ExpansionService(
+            ServeConfig(host="127.0.0.1", port=0, workers=workers), cache=cache
+        )
+        await svc.start()
+        try:
+            return await scenario(svc)
+        finally:
+            await svc.stop()
+
+    return asyncio.run(_main())
+
+
+def _get(svc, target):
+    return fetch_json("127.0.0.1", svc.port, target)
+
+
+class TestJobGrammar:
+    def test_param_order_is_canonicalized(self):
+        a = parse_job("expansion", {"scheme": "strassen", "k": "2"})
+        b = parse_job("expansion", {"k": "2", "scheme": "strassen"})
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_defaults_fill_in(self):
+        job = parse_job("expansion", {})
+        assert job.as_dict() == {"scheme": "strassen", "k": 4, "policy": "auto"}
+
+    def test_kinds_are_distinct_key_namespaces(self):
+        # same (empty) raw query, different kinds: keys must never collide
+        keys = {parse_job(kind, {}).key() for kind in ("expansion", "bounds")}
+        assert len(keys) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            parse_job("spectra", {})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_job("expansion", {"kk": "2"})
+
+    def test_type_and_range_validation(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            parse_job("expansion", {"k": "two"})
+        with pytest.raises(ValueError, match=rf"\[1, {MAX_K}\]"):
+            parse_job("expansion", {"k": str(MAX_K + 1)})
+        with pytest.raises(ValueError, match="policy"):
+            parse_job("expansion", {"policy": "bogus"})
+
+    def test_sweep_point_cap(self):
+        with pytest.raises(ValueError, match=str(MAX_SWEEP_POINTS)):
+            parse_job(
+                "sweep",
+                {"k_min": "1", "k_max": "7", "memories": ",".join(["48"] * 40)},
+            )
+        with pytest.raises(ValueError, match="k_min"):
+            parse_job("sweep", {"k_min": "3", "k_max": "1"})
+
+    def test_all_kinds_parse_their_defaults(self):
+        for kind in JOB_KINDS:
+            job = parse_job(kind, {})
+            assert isinstance(job, Job) and job.kind == kind
+
+
+class TestEndpoints:
+    def test_healthz(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/healthz")
+
+        status, body = _run_with_service(cache, scenario)
+        assert (status, body) == (200, {"status": "ok"})
+
+    def test_expansion_matches_direct_computation(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/expansion?scheme=strassen&k=2")
+
+        status, body = _run_with_service(cache, scenario)
+        est = cached_estimate("strassen", 2, cache=EngineCache(disk=False))
+        assert status == 200
+        assert body["method"] == est.method
+        assert body["upper"] == pytest.approx(est.upper)
+        assert body["lower"] == pytest.approx(est.lower)
+
+    def test_cone_only_nan_serializes_as_null(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/expansion?scheme=strassen&k=5")
+
+        status, body = _run_with_service(cache, scenario)
+        est = cached_estimate("strassen", 5, cache=EngineCache(disk=False))
+        assert status == 200 and est.method == "cone-only" and math.isnan(est.lower)
+        assert body["lower"] is None  # strict JSON: NaN -> null, never a NaN token
+
+    def test_bounds_matches_closed_forms(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/bounds?n=4096&M=256&p=64")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 200
+        assert body["sequential_io_bound"] == pytest.approx(
+            sequential_io_bound(4096.0, 256.0, omega0=LG7)
+        )
+        assert body["parallel_io_bound"] == pytest.approx(
+            parallel_io_bound(4096.0, 256.0, 64, omega0=LG7)
+        )
+        assert body["memory_independent_bound"] == pytest.approx(
+            memory_independent_bound(4096.0, 64, omega0=LG7)
+        )
+        assert body["binding"] in ("memory-dependent", "memory-independent")
+
+    def test_sweep_runs_and_reports_points(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/sweep?schemes=strassen&k_min=1&k_max=2&memories=48")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 200
+        assert body["points"] == 2 == len(body["rows"])
+        assert body["spec"]["schemes"] == ["strassen"]
+
+    def test_scaling_runs_and_reports_points(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/scaling?n=16&p_max=4&cs=1,2")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 200
+        assert body["points"] == len(body["rows"]) > 0
+
+    def test_unknown_route_404(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/spectra")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 404 and "no route" in body["error"]
+
+    def test_domain_error_400(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/expansion?scheme=strassen&k=99")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 400 and "k" in body["error"]
+
+    def test_unknown_scheme_400_not_500(self, cache):
+        # KeyError from the scheme registry is the client's fault
+        async def scenario(svc):
+            return await _get(svc, "/expansion?scheme=nope&k=1")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 400
+
+    def test_post_405(self, cache):
+        async def post(svc):
+            return await fetch_json("127.0.0.1", svc.port, "/expansion", method="POST")
+
+        status, body = _run_with_service(cache, post)
+        assert status == 405 and "POST" in body["error"]
+
+    def test_malformed_request_line_400(self, cache):
+        async def scenario(svc):
+            reader, writer = await asyncio.open_connection("127.0.0.1", svc.port)
+            try:
+                writer.write(b"GARBAGE\r\n\r\n")
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), timeout=10)
+            finally:
+                writer.close()
+            return raw
+
+        raw = _run_with_service(cache, scenario)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_keep_alive_serves_sequential_requests(self, cache):
+        async def scenario(svc):
+            reader, writer = await asyncio.open_connection("127.0.0.1", svc.port)
+            try:
+                statuses = []
+                for _ in range(2):
+                    writer.write(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+                    await writer.drain()
+                    line = await reader.readuntil(b"\r\n")
+                    statuses.append(line.decode().split()[1])
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = next(
+                        int(h.split(":", 1)[1])
+                        for h in head.decode().lower().split("\r\n")
+                        if h.startswith("content-length")
+                    )
+                    await reader.readexactly(length)
+                return statuses
+            finally:
+                writer.close()
+
+        assert _run_with_service(cache, scenario) == ["200", "200"]
+
+    def test_cache_info_includes_service_block(self, cache):
+        async def scenario(svc):
+            await _get(svc, "/expansion?scheme=strassen&k=1")
+            return await _get(svc, "/cache/info")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 200
+        assert body["service"]["requests"] == 2
+        assert body["service"]["workers"] == 0
+        assert "disk_degraded" in body and "memory" in body
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_build_once(self, cache):
+        """The acceptance criterion: 8 racing clients, one build chain."""
+        clients = 8
+
+        async def scenario(svc):
+            results = await asyncio.gather(
+                *(_get(svc, "/expansion?scheme=strassen&k=2") for _ in range(clients))
+            )
+            return results
+
+        results = _run_with_service(cache, scenario)
+        assert all(status == 200 for status, _ in results)
+        bodies = [body for _, body in results]
+        assert all(body == bodies[0] for body in bodies)
+        # strassen k=2 at auto policy resolves spectrally: dec graph +
+        # spectrum + estimate = 3 builds, total — not 3 per client.
+        assert cache.stats.builds == 3
+
+    def test_submit_dedup_is_exact(self, cache):
+        """Driving handle() directly (no sockets): followers dedup exactly."""
+        clients = 8
+        request = Request(
+            method="GET",
+            target="/expansion?scheme=strassen&k=2",
+            path="/expansion",
+            query={"scheme": "strassen", "k": "2"},
+            headers={},
+        )
+
+        async def scenario(svc):
+            responses = await asyncio.gather(*(svc.handle(request) for _ in range(clients)))
+            return responses, svc.deduped, svc.errors
+
+        responses, deduped, errors = _run_with_service(cache, scenario)
+        assert [r.status for r in responses] == [200] * clients
+        assert errors == 0
+        assert deduped == clients - 1  # one leader, everyone else rode along
+        assert cache.stats.builds == 3
+
+    def test_warm_key_answers_without_new_flight(self, cache):
+        async def scenario(svc):
+            first = await _get(svc, "/expansion?scheme=strassen&k=1")
+            second = await _get(svc, "/expansion?scheme=strassen&k=1")
+            return first, second, svc.deduped, dict(svc._inflight)
+
+        first, second, deduped, inflight = _run_with_service(cache, scenario)
+        assert first == second
+        assert deduped == 0  # sequential: the second hit the cache, not a flight
+        assert inflight == {}  # nothing leaked in the in-flight map
+
+    def test_distinct_keys_do_not_dedup(self, cache):
+        async def scenario(svc):
+            await asyncio.gather(
+                _get(svc, "/expansion?scheme=strassen&k=1"),
+                _get(svc, "/expansion?scheme=strassen&k=2"),
+            )
+            return svc.deduped
+
+        assert _run_with_service(cache, scenario) == 0
+
+
+class TestWorkerPool:
+    def test_process_pool_merges_worker_stats(self, tmp_path):
+        cache = EngineCache(tmp_path / "serve-cache")
+
+        async def scenario(svc):
+            status, body = await _get(svc, "/expansion?scheme=strassen&k=1")
+            info_status, info = await _get(svc, "/cache/info")
+            return status, body, info
+
+        status, body, info = _run_with_service(cache, scenario, workers=1)
+        assert status == 200 and body["method"] == "exact"
+        # the worker's counter delta was merged into the parent's stats
+        assert info["stats"]["builds"] >= 1
+        assert info["service"]["workers"] == 1
+
+
+class TestCliWiring:
+    def test_serve_flags_construct_config(self, monkeypatch):
+        import repro.serve.service as service_mod
+        from repro.engine.cli import main
+
+        captured = {}
+
+        def fake_run(config):
+            captured["config"] = config
+            return 0
+
+        monkeypatch.setattr(service_mod, "run", fake_run)
+        rc = main(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--memory-items",
+                "8",
+                "--memory-mb",
+                "0",
+            ]
+        )
+        assert rc == 0
+        config = captured["config"]
+        assert config.port == 0 and config.workers == 2
+        assert config.memory_items == 8 and config.memory_bytes is None
+
+    def test_run_job_inline_counts_one_build_per_payload(self, cache):
+        job = parse_job("bounds", {})
+        first = run_job_inline(job, cache)
+        builds_after_first = cache.stats.builds
+        second = run_job_inline(job, cache)
+        assert first == second
+        assert builds_after_first == cache.stats.builds  # warm path: no rebuild
