@@ -33,37 +33,53 @@ successor + one incremental flip per step in the scalar backend), which
 makes ``h_s`` of a 40-vertex graph a few thousand evaluations instead of a
 ``2^40`` enumeration.
 
-Together these lift the exactly-solvable regime from 22 to
-:data:`DEFAULT_EXACT_LIMIT` = 28 vertices (override with the
-``REPRO_EXACT_LIMIT`` environment variable or the ``limit=`` parameter).
-All kernels return results bit-identical to the seed enumerator: the same
-``h`` float and the *smallest* minimizing subset mask.
+A fourth backend pushes the same scan to native speed: ``backend="native"``
+runs the prefix-sharded doubling walk inside a small C kernel
+(:mod:`repro.core._native`, one ``.c`` file compiled with the system
+compiler at first use and loaded through ``ctypes``).  It is auto-selected
+whenever the compiled library is importable and the graph fits in packed
+single-word rows (n ≤ 64); when the compiler is missing or ``REPRO_NATIVE=0``
+is set, everything silently falls back to the numpy bitset kernels — the
+native path is a pure accelerator, never a dependency, and its ``(h, mask)``
+results are bit-identical to the bitset backend's for every ``jobs`` value.
+
+Together these lift the exactly-solvable regime from 22 (seed) to 28
+(numpy kernels) to :data:`DEFAULT_EXACT_LIMIT` = 32 vertices with the
+native kernel (override with the ``REPRO_EXACT_LIMIT`` environment variable
+or the ``limit=`` parameter).  All kernels return results bit-identical to
+the seed enumerator: the same ``h`` float and the *smallest* minimizing
+subset mask.
 """
 
 from __future__ import annotations
 
+import ctypes
 import math
 import multiprocessing
 import os
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 import numpy as np
 
 from repro.cdag.graph import CDAG
+from repro.core import _native
 
 __all__ = [
     "DEFAULT_EXACT_LIMIT",
     "EXACT_LIMIT",
     "COMB_SUBSET_LIMIT",
+    "EXACT_BACKENDS",
     "effective_exact_limit",
+    "native_backend_available",
     "exact_edge_expansion_v2",
     "exact_small_set_expansion_v2",
 ]
 
-#: The policy-selected enumeration ceiling.  2^28 subsets through the
-#: bit-parallel kernel is ~1 s single-process; the seed's O(E)-per-subset
-#: scan would have needed ~20 minutes for the same space.
-DEFAULT_EXACT_LIMIT = 28
+#: The policy-selected enumeration ceiling.  2^32 subsets through the native
+#: kernel solve in seconds; the numpy fallback still handles the same space,
+#: just slower (raise/lower via REPRO_EXACT_LIMIT for the machine at hand).
+DEFAULT_EXACT_LIMIT = 32
 
 #: The active ceiling: ``REPRO_EXACT_LIMIT`` overrides the default, and every
 #: public entry point also accepts an explicit ``limit=``.
@@ -82,6 +98,18 @@ def effective_exact_limit() -> int:
 
 #: Most subsets the size-restricted walk will visit (C(n, ≤s) must fit).
 COMB_SUBSET_LIMIT = 1 << 24
+
+#: The selectable enumeration backends (``"auto"`` picks native when the
+#: compiled kernel is importable, bitset otherwise).
+EXACT_BACKENDS = ("auto", "native", "bitset", "gray")
+
+#: The native kernel packs each adjacency row into one uint64 word.
+_NATIVE_MAX_VERTICES = 64
+
+
+def native_backend_available() -> bool:
+    """True when the compiled C kernel can back ``backend="native"`` runs."""
+    return _native.native_available()
 
 #: Low-block width: the vectorized kernel enumerates 2^_LOW_BITS subsets per
 #: prefix.  16 keeps every scratch table L2-resident while leaving ≥ 2^(n-16)
@@ -347,6 +375,143 @@ def _full_scan(
 
 
 # ---------------------------------------------------------------------- #
+# the native (C kernel) scan                                              #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _NativeCtx:
+    """The packed tables one native scan call reads (per process).
+
+    The low-block doubling tables are the same ones :class:`_ScanCtx`
+    builds for the numpy kernel — the C scan consumes them directly, so the
+    two backends share one definition of the enumeration space.
+    """
+
+    n: int
+    b: int
+    limit: int
+    d: int
+    adj: np.ndarray  # (n,) uint64 — one packed word per vertex (n <= 64)
+    deg: np.ndarray  # (n,) int64
+    low_cut: np.ndarray  # (2^b,) int32: vol(L) - 2 e(L)
+    low_sizes: np.ndarray  # (2^b,) uint8: |L|
+
+    def n_prefixes(self) -> int:
+        return 1 << (self.n - self.b)
+
+
+def _native_ctx(adj: list[int], deg: list[int], d: int, n: int, limit: int) -> _NativeCtx:
+    if n > _NATIVE_MAX_VERTICES:
+        raise ValueError(
+            f"native backend packs rows into single uint64 words (n <= "
+            f"{_NATIVE_MAX_VERTICES}); got {n}"
+        )
+    scan = _ScanCtx(adj, deg, d, n, limit)
+    return _NativeCtx(
+        n=n,
+        b=scan.b,
+        limit=limit,
+        d=d,
+        adj=np.array(adj, dtype=np.uint64),
+        deg=np.array(deg, dtype=np.int64),
+        low_cut=np.ascontiguousarray(scan.low_cut, dtype=np.int32),
+        low_sizes=np.ascontiguousarray(scan.low_sizes, dtype=np.uint8),
+    )
+
+
+def _native_scan_span(
+    ctx: _NativeCtx,
+    p_lo: int,
+    p_hi: int,
+    best: tuple[float, int],
+    shared_addr: int | None = None,
+) -> tuple[float, int]:
+    """One C-kernel call over prefixes ``[p_lo, p_hi)`` — same contract as
+    :func:`_scan_span` (lexicographic best including the incoming seed)."""
+    lib = _native.load()
+    if lib is None:  # pragma: no cover - callers gate on availability first
+        raise RuntimeError(
+            "native exact backend unavailable: "
+            f"{_native.native_build_error() or 'not loaded'}"
+        )
+    out_r = ctypes.c_double(math.inf)
+    out_m = ctypes.c_uint64(0)
+    rc = lib.repro_exact_scan(
+        ctx.n,
+        ctx.b,
+        ctx.limit,
+        ctx.d,
+        ctx.adj.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+        ctx.deg.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+        ctx.low_cut.ctypes.data_as(ctypes.POINTER(ctypes.c_int32)),
+        ctx.low_sizes.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+        p_lo,
+        p_hi,
+        best[0],
+        best[1],
+        shared_addr,
+        ctypes.byref(out_r),
+        ctypes.byref(out_m),
+    )
+    if rc != 0:
+        raise MemoryError("native exact scan could not allocate its scratch tables")
+    return float(out_r.value), int(out_m.value)
+
+
+# -- native worker plumbing (spawn-safe module level) -------------------- #
+
+_NATIVE_WORKER_CTX: _NativeCtx | None = None
+_NATIVE_WORKER_MIN: Any = None
+
+
+def _native_worker_init(
+    adj: list[int], deg: list[int], d: int, n: int, limit: int, shared_min: Any
+) -> None:
+    global _NATIVE_WORKER_CTX, _NATIVE_WORKER_MIN
+    _NATIVE_WORKER_CTX = _native_ctx(adj, deg, d, n, limit)
+    _NATIVE_WORKER_MIN = shared_min
+
+
+def _native_worker_span(span: tuple[int, int]) -> tuple[float, int]:
+    p_lo, p_hi = span
+    assert _NATIVE_WORKER_CTX is not None  # set by _native_worker_init per worker
+    addr = ctypes.addressof(_NATIVE_WORKER_MIN.get_obj())
+    return _native_scan_span(
+        _NATIVE_WORKER_CTX, p_lo, p_hi, (math.inf, 0), shared_addr=addr
+    )
+
+
+def _full_scan_native(
+    adj: list[int], deg: list[int], d: int, n: int, limit: int, jobs: int
+) -> tuple[float, int]:
+    """:func:`_full_scan` on the C kernel — identical spans, pool, and merge."""
+    ctx = _native_ctx(adj, deg, d, n, limit)
+    best = _seed_singletons(_ScanCtx(adj, deg, d, n, limit))
+    n_pref = ctx.n_prefixes()
+    jobs = max(1, min(jobs, n_pref))
+    if jobs == 1:
+        return _native_scan_span(ctx, 0, n_pref, best)
+    mp = multiprocessing.get_context("spawn")
+    shared_min = mp.Value("d", best[0])
+    spans = []
+    n_spans = min(n_pref, jobs * 4)
+    step = -(-n_pref // n_spans)
+    for lo in range(0, n_pref, step):
+        spans.append((lo, min(lo + step, n_pref)))
+    with mp.Pool(
+        processes=jobs,
+        initializer=_native_worker_init,
+        initargs=(adj, deg, d, n, limit, shared_min),
+    ) as pool:
+        results = pool.map(_native_worker_span, spans)
+    for r, m in results:
+        if r < best[0] or (r == best[0] and m < best[1]):
+            best = (r, m)
+    return best
+
+
+# ---------------------------------------------------------------------- #
 # the size-restricted combinatorial walk                                  #
 # ---------------------------------------------------------------------- #
 
@@ -490,15 +655,33 @@ def exact_edge_expansion_v2(
     Bit-identical to the seed enumerator on every input it could solve: the
     same ``h`` and the smallest minimizing subset mask.  ``jobs > 1`` shards
     the subset space over processes (identical results for any ``jobs``).
-    ``backend`` selects ``"bitset"`` (vectorized kernels, the default under
-    ``"auto"``) or ``"gray"`` (the scalar Gray-walk reference).
+    ``backend`` selects ``"native"`` (the compiled C kernel), ``"bitset"``
+    (vectorized numpy kernels), or ``"gray"`` (the scalar Gray-walk
+    reference); ``"auto"`` picks native when the compiled library is
+    importable and the graph fits single-word rows, bitset otherwise.  All
+    backends return bit-identical ``(h, mask)``.
     """
     n = g.n_vertices
     if n < 2:
         raise ValueError("expansion undefined for graphs with < 2 vertices")
-    lim = EXACT_LIMIT if limit is None else limit
-    if backend not in ("auto", "bitset", "gray"):
-        raise ValueError(f"unknown exact backend {backend!r}")
+    # Per-call read, not the import-time constant: REPRO_EXACT_LIMIT flipped
+    # at runtime must move this gate in lockstep with the auto-policy cache
+    # keys (which already call effective_exact_limit()).
+    lim = effective_exact_limit() if limit is None else limit
+    if backend not in EXACT_BACKENDS:
+        raise ValueError(f"unknown exact backend {backend!r}; choose from {EXACT_BACKENDS}")
+    if backend == "native":
+        if n > _NATIVE_MAX_VERTICES:
+            raise ValueError(
+                f"native backend packs rows into single uint64 words "
+                f"(n <= {_NATIVE_MAX_VERTICES}); got {n}"
+            )
+        if not _native.native_available():
+            raise RuntimeError(
+                "native exact backend unavailable "
+                f"({_native.native_build_error() or 'compile not attempted'}); "
+                'use backend="bitset" or fix the C toolchain'
+            )
     size_cap = n // 2 if max_size is None else min(max_size, n)
     if size_cap < 1:
         raise ValueError("max_size must be at least 1")
@@ -536,12 +719,18 @@ def exact_edge_expansion_v2(
 
     # Cost-based choice between the full doubling scan and the combinatorial
     # walk; both are exact and tie-break identically, so this is pure perf.
+    # (The size-restricted walk shares the bitset machinery regardless of
+    # backend — the native kernel only accelerates the full scan.)
     use_comb = comb_feasible and (n > lim or comb_count * n < (1 << n))
     if use_comb:
         if n > 63:  # beyond uint64 masks: the Python-int walk still works
             r, m = _bounded_walk_py(adj, deg, d, n, size_cap)
         else:
             r, m = _bounded_scan(adj, deg, d, n, size_cap, (math.inf, 0))
+    elif backend == "native" or (
+        backend == "auto" and n <= _NATIVE_MAX_VERTICES and _native.native_available()
+    ):
+        r, m = _full_scan_native(adj, deg, d, n, size_cap, jobs)
     else:
         r, m = _full_scan(adj, deg, d, n, size_cap, jobs)
     return r, _mask_to_bool(m, n)

@@ -10,7 +10,7 @@ degree ``d`` (§2.0.2) — loops never cross a cut, so in practice we divide by
 
 Exact ``h`` is NP-hard, so the module offers a *sandwich*:
 
-* **exact enumeration** for small graphs (≤ :data:`EXACT_LIMIT` = 28
+* **exact enumeration** for small graphs (≤ :data:`EXACT_LIMIT` = 32
   vertices by default) — ground truth for the test suite and for the
   ``Dec_k C`` base cases (``Dec₁C`` of every scheme, and ``Dec₂C`` of the
   ⟨1,2,2⟩-type rectangular schemes).  The enumeration itself lives in
@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -51,6 +52,9 @@ from repro.core.exact import (
     exact_small_set_expansion_v2,
 )
 from repro.core.exact import _popcount as _popcount  # back-compat re-export
+
+if TYPE_CHECKING:
+    from repro.core.certify import ExpansionInterval
 
 __all__ = [
     "EXACT_LIMIT",
@@ -68,7 +72,7 @@ __all__ = [
 ]
 
 #: The exact-enumeration ceiling (re-exported from :mod:`repro.core.exact`;
-#: 28 by default, overridable via ``REPRO_EXACT_LIMIT``).  Public because the
+#: 32 by default, overridable via ``REPRO_EXACT_LIMIT``).  Public because the
 #: engine's policy selection and the experiments branch on it.
 _EXACT_LIMIT = EXACT_LIMIT  # backwards-compatible alias
 
@@ -77,12 +81,22 @@ _EXACT_LIMIT = EXACT_LIMIT  # backwards-compatible alias
 class ExpansionEstimate:
     """A two-sided estimate of h(G) with the witness cut for the upper side."""
 
-    lower: float               # certified lower bound (spectral or exact)
+    lower: float               # certified lower bound (spectral or exact); NaN = none
     upper: float               # certified upper bound (a concrete cut)
     witness_size: int          # |U| of the best cut found
     witness_boundary: int      # |E(U, V\U)| of that cut
     degree: int                # the regularized degree d used
     method: str
+
+    def interval(self) -> "ExpansionInterval":
+        """The certified :class:`~repro.core.certify.ExpansionInterval`.
+
+        Lazy import: :mod:`repro.core.certify` builds on this module, so the
+        dependency must not also run at import time in the other direction.
+        """
+        from repro.core.certify import interval_from_estimate
+
+        return interval_from_estimate(self)
 
 
 # ---------------------------------------------------------------------- #
@@ -117,7 +131,7 @@ def exact_edge_expansion(
 
     Returns ``(h, best_mask)`` — bit-identical to the seed brute-force
     enumerator (same ``h``, smallest minimizing mask).  Feasible for
-    ``|V| <= EXACT_LIMIT`` (28 by default); with ``max_size`` set, the
+    ``|V| <= EXACT_LIMIT`` (32 by default); with ``max_size`` set, the
     size-restricted walk also solves much larger graphs as long as
     ``C(n, <=max_size)`` stays enumerable.  ``jobs > 1`` shards the subset
     space over worker processes without changing the result.
@@ -331,7 +345,7 @@ def estimate_expansion(
     ``scheme``/``k`` describe the graph as a ``Dec_k C``).
     """
     d = g.max_degree
-    if g.n_vertices <= EXACT_LIMIT:
+    if g.n_vertices <= effective_exact_limit():
         h, mask = exact_edge_expansion(g, jobs=jobs)
         return ExpansionEstimate(
             lower=h,

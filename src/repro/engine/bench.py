@@ -699,6 +699,72 @@ def _bench_small_set_exact(cache: EngineCache, n: int, s_max: int) -> dict:
 
 
 @register_bench(
+    "exact_native",
+    "expansion",
+    params={"n": 28, "jobs": 1},
+    quick_params={"n": 24},
+    rounds=3,
+    quick_rounds=2,
+    cold=True,
+)
+def _bench_exact_native(cache: EngineCache, n: int, jobs: int) -> dict:
+    """The native C kernel on the bench circulant (the tentpole hot path).
+
+    Explicitly requests ``backend="native"`` so the timing row measures the
+    compiled kernel; when the build is unavailable (``REPRO_NATIVE=0`` legs)
+    the workload degrades to the bitset backend and says so in its check —
+    the ``h`` value is bit-identical either way, so check comparison across
+    legs still passes.
+    """
+    from repro.cdag.build import layered_circulant_cdag
+    from repro.core.exact import exact_edge_expansion_v2, native_backend_available
+
+    del cache
+    g = layered_circulant_cdag(n)
+    backend = "native" if native_backend_available() else "bitset"
+    h, mask = exact_edge_expansion_v2(g, backend=backend, jobs=jobs)
+    return {
+        "check": {
+            "V": g.n_vertices,
+            "h": h,
+            "witness": int(mask.sum()),
+        },
+        "backend": backend,
+    }
+
+
+@register_bench(
+    "certify_interval",
+    "expansion",
+    params={"scheme": "strassen", "k_max": 3},
+    quick_params={"k_max": 2},
+    cold=True,
+)
+def _bench_certify_interval(cache: EngineCache, scheme: str, k_max: int) -> dict:
+    """Certified-interval pipeline down the auto-policy method ladder.
+
+    One ``cached_estimate(...).interval()`` per depth: exact at k=1, then
+    Cheeger + witness cuts — the end-to-end cost of producing the
+    ``(lower, upper, provenance)`` certificates the engine rows now carry.
+    """
+    from repro.engine.builders import cached_estimate
+
+    rows = []
+    for k in range(1, k_max + 1):
+        iv = cached_estimate(scheme, k, policy="auto", cache=cache).interval()
+        rows.append(
+            {"k": k, "lower": iv.lower, "upper": iv.upper, "provenance": iv.provenance}
+        )
+    return {
+        "check": {
+            "provenances": [r["provenance"] for r in rows],
+            "uppers": [r["upper"] for r in rows],
+            "lowers": [r["lower"] for r in rows],
+        },
+    }
+
+
+@register_bench(
     "expansion_spectral",
     "expansion",
     params={"scheme": "strassen", "k": 4},

@@ -234,6 +234,11 @@ def cached_estimate(
     :data:`AUTO_SPECTRAL_LIMIT`, cone-only beyond).  ``jobs`` shards the
     exact subset search over processes; it never changes the result, so it
     is not part of the cache key.
+
+    Every estimate certifies an :class:`~repro.core.certify.ExpansionInterval`
+    (via :meth:`ExpansionEstimate.interval`); the interval's lower bound and
+    provenance tag are stored alongside the raw fields so the artifact is a
+    self-describing certificate.
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown estimate policy {policy!r}; choose from {POLICIES}")
@@ -266,6 +271,7 @@ def cached_estimate(
     else:
         cache.count_build()
         est = _compute_estimate(scheme, k, policy, cache, jobs=jobs)
+        iv = est.interval()
         cache.put_arrays(
             key,
             {
@@ -275,6 +281,12 @@ def cached_estimate(
                 "witness_boundary": np.int64(est.witness_boundary),
                 "degree": np.int64(est.degree),
                 "method": np.asarray(est.method),
+                # The certified interval (v6 schema): lower differs from the
+                # raw estimate only for cone-only rows (NaN → trivial 0), and
+                # the provenance tag names the proof path, so cache readers
+                # get the certificate without re-deriving it.
+                "interval_lower": np.float64(iv.lower),
+                "provenance": np.asarray(iv.provenance),
             },
         )
     cache.put_object(key, est)

@@ -72,6 +72,10 @@ __all__ = [
 #: v5: "auto"-policy estimate keys now carry the effective exact-enumeration
 #: ceiling (exact_limit=...), closing the stale-read when REPRO_EXACT_LIMIT
 #: changes between runs; old auto-estimate entries keyed without it must miss.
+#: v6: certified expansion intervals — estimate artifacts now store the
+#: interval provenance tag, DEFAULT_EXACT_LIMIT rose 28 → 32 (the native
+#: kernel), so "auto"-policy estimates of 29..32-vertex graphs change method;
+#: v5 estimate entries lack the provenance field and must miss.
 #:
 #: Numeric-key normalization (PR 7) deliberately did NOT bump the version:
 #: normalized keys are byte-identical to the keys plain-Python (and
@@ -80,7 +84,7 @@ __all__ = [
 #: scalars created via ``repr(np.float64(1.5)) == 'np.float64(1.5)'`` — those
 #: held the same artifact content as their canonical twins, so leaving them
 #: unreachable cannot serve a stale result.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 

@@ -38,6 +38,7 @@ _SWEEP_COLUMNS = [
     "E",
     "h_lower",
     "h_upper",
+    "provenance",
     "method",
     "io_lower_bound",
     "measured_words",
@@ -459,6 +460,7 @@ def _cmd_expansion(args: argparse.Namespace, cache: EngineCache, out: TextIO) ->
         "witness_boundary": est.witness_boundary,
         "degree": est.degree,
         "method": est.method,
+        "interval": est.interval().as_dict(),
     }
     print(json.dumps(jsonable(payload), indent=2, allow_nan=False), file=out)
     return 0

@@ -135,6 +135,7 @@ def evaluate_point(point: GridPoint, cache: EngineCache | None = None) -> dict:
     s = get_scheme(point.scheme)
     g = cached_dec_graph(s, point.k, cache=cache)
     est = cached_estimate(s, point.k, policy=point.policy, cache=cache)
+    iv = est.interval()
     m_dim, n_dim, p_dim = (s.m0**point.k, s.n0**point.k, s.p0**point.k)
     ratio = s.c_blocks / s.t0
     row = {
@@ -147,6 +148,11 @@ def evaluate_point(point: GridPoint, cache: EngineCache | None = None) -> dict:
         "max_degree": g.max_degree,
         "h_lower": est.lower,
         "h_upper": est.upper,
+        # The certified interval: h_lower_cert is the interval's lower bound
+        # (the trivial 0 when only a cone witness ran, where h_lower is NaN),
+        # and provenance names the proof path ("exact", "cheeger+sweep", ...).
+        "h_lower_cert": iv.lower,
+        "provenance": iv.provenance,
         "h_upper/(c0/t0)^k": est.upper / ratio**point.k,
         "witness_size": est.witness_size,
         "method": est.method,

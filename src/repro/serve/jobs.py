@@ -199,6 +199,9 @@ def _expansion_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, 
         "witness_boundary": est.witness_boundary,
         "degree": est.degree,
         "method": est.method,
+        # Certified interval: both endpoints finite (cone-only rows get the
+        # trivial 0 lower where "lower" above serializes to null).
+        "interval": est.interval().as_dict(),
     }
 
 

@@ -47,6 +47,8 @@ ROW_SCHEMA = {
     "max_degree": int,
     "h_lower": (int, float, type(None)),   # null for cone-only rows
     "h_upper": (int, float),
+    "h_lower_cert": (int, float),          # certified interval lower: finite
+    "provenance": str,
     "h_upper/(c0/t0)^k": (int, float),
     "witness_size": int,
     "method": str,
@@ -97,7 +99,7 @@ def _validate_schema(report: dict) -> None:
 #: ignoring legitimate last-digit solver noise.  witness_size is excluded
 #: entirely: ties between equally-expanding cuts are broken by eigenvector
 #: ordering, which is not stable across solvers.
-SPECTRAL_FIELDS = {"h_lower", "h_upper", "h_upper/(c0/t0)^k"}
+SPECTRAL_FIELDS = {"h_lower", "h_lower_cert", "h_upper", "h_upper/(c0/t0)^k"}
 UNSTABLE_FIELDS = {"witness_size"}
 
 
@@ -285,5 +287,9 @@ class TestGoldenNanNull:
         report = _strict_loads(out)
         row = report["rows"][0]
         assert row["h_lower"] is None
+        # ... but the certified interval never has a hole: the cone path
+        # certifies the trivial 0 <= h and says so in its provenance.
+        assert row["h_lower_cert"] == 0.0
+        assert row["provenance"] == "cone"
         assert row["measured_words"] is None  # M=2 < 3: no dfs run either
         _validate_schema(report)

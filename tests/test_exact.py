@@ -152,10 +152,38 @@ class TestParallelSharding:
         assert np.array_equal(m1, m2)
 
 
+class TestRuntimeLimitFlip:
+    """Regression: the v2 gate read the import-time EXACT_LIMIT constant
+    while the auto-policy cache keys read effective_exact_limit() — flipping
+    REPRO_EXACT_LIMIT at runtime desynchronized them."""
+
+    def test_gate_follows_env_at_runtime(self, monkeypatch):
+        g = layered_circulant_cdag(10)
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "8")
+        with pytest.raises(ValueError, match="enumeration"):
+            exact_edge_expansion_v2(g)
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "12")
+        h, _ = exact_edge_expansion_v2(g)
+        assert np.isfinite(h)
+
+    def test_estimator_policy_follows_env(self, monkeypatch):
+        g = layered_circulant_cdag(10)
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "8")
+        assert estimate_expansion(g).method != "exact"
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "12")
+        assert estimate_expansion(g).method == "exact"
+
+    def test_explicit_limit_still_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_LIMIT", "8")
+        g = layered_circulant_cdag(10)
+        h, _ = exact_edge_expansion_v2(g, limit=10)
+        assert np.isfinite(h)
+
+
 class TestRaisedLimit:
-    def test_limit_is_28_plus(self):
-        assert DEFAULT_EXACT_LIMIT >= 28
-        assert EXACT_LIMIT >= 28
+    def test_limit_is_32_plus(self):
+        assert DEFAULT_EXACT_LIMIT >= 32
+        assert EXACT_LIMIT >= 32
 
     def test_n26_full_solve_works(self):
         g = layered_circulant_cdag(26)
@@ -167,6 +195,20 @@ class TestRaisedLimit:
         h_v2, m_v2 = exact_edge_expansion_v2(g)
         assert h == h_v2
         assert np.array_equal(mask, m_v2)
+
+    def test_n32_full_solve_under_native(self):
+        # The new ceiling's headline case: 2^32 subsets in seconds.  Skipped
+        # (not failed) on the fallback leg — the numpy path handles the same
+        # space but is deliberately not held to the native wall-clock budget.
+        from repro.core.exact import native_backend_available
+
+        if not native_backend_available():
+            pytest.skip("native kernel unavailable")
+        g = layered_circulant_cdag(32)
+        h, mask = exact_edge_expansion_v2(g)
+        from repro.core.expansion import expansion_of_cut
+
+        assert h == pytest.approx(expansion_of_cut(g, mask))
 
     def test_beyond_limit_rejected_without_max_size(self):
         g = layered_circulant_cdag(EXACT_LIMIT + 1)

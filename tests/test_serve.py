@@ -125,6 +125,11 @@ class TestEndpoints:
         assert body["method"] == est.method
         assert body["upper"] == pytest.approx(est.upper)
         assert body["lower"] == pytest.approx(est.lower)
+        iv = est.interval()
+        assert body["interval"]["provenance"] == iv.provenance
+        assert body["interval"]["lower"] == pytest.approx(iv.lower)
+        assert body["interval"]["upper"] == pytest.approx(iv.upper)
+        assert body["interval"]["lower"] <= body["interval"]["upper"]
 
     def test_cone_only_nan_serializes_as_null(self, cache):
         async def scenario(svc):
@@ -134,6 +139,12 @@ class TestEndpoints:
         est = cached_estimate("strassen", 5, cache=EngineCache(disk=False))
         assert status == 200 and est.method == "cone-only" and math.isnan(est.lower)
         assert body["lower"] is None  # strict JSON: NaN -> null, never a NaN token
+        # The certified interval has no hole: the trivial 0 lower, tagged.
+        assert body["interval"] == {
+            "lower": 0.0,
+            "upper": pytest.approx(est.upper),
+            "provenance": "cone",
+        }
 
     def test_bounds_matches_closed_forms(self, cache):
         async def scenario(svc):
