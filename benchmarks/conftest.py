@@ -73,6 +73,12 @@ def caps_tradeoff_payload():
 
 
 @pytest.fixture(scope="session")
+def plan_tournament_payload():
+    """plan_tournament bundle (auto-scheduler winners per topology × memory)."""
+    return _workload_payload("plan_tournament")
+
+
+@pytest.fixture(scope="session")
 def latency_payload():
     """latency bundle (sequential + parallel message counts)."""
     return _workload_payload("latency")

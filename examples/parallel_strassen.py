@@ -1,7 +1,7 @@
 """Parallel study: Table I's algorithms side by side, via the registry.
 
 Runs every registered parallel algorithm (Cannon, SUMMA, 3D, 2.5D, CAPS)
-on the same problem through the uniform ``run(A, B, *, p, ...)`` entry
+on the same problem through the planner-first ``execute(A, B, cfg)`` entry
 point, verifies each result against numpy, and prints the measured
 critical-path communication next to the algorithm's declared analytic cost
 and its Table I cell.
@@ -11,7 +11,7 @@ Run:  python examples/parallel_strassen.py
 
 from repro.core.bounds import LG7, parallel_io_bound, table1_cell
 from repro.experiments.report import render_table
-from repro.parallel import get_parallel
+from repro.parallel import ParallelConfig, get_parallel
 from repro.util.matgen import integer_matrix
 
 
@@ -20,17 +20,17 @@ def main() -> None:
     A = integer_matrix(n, seed=1)
     B = integer_matrix(n, seed=2)
 
-    # (registry name, run kwargs, Table I cell) for the classical column.
+    # (registry name, config, Table I cell) for the classical column.
     classical = [
-        ("cannon", dict(p=64), ("2D", 1.0)),
-        ("summa", dict(p=64), ("2D", 1.0)),
-        ("3d", dict(p=64), ("3D", 1.0)),
-        ("2.5d", dict(p=128, c=2), ("2.5D", 2.0)),
+        ("cannon", ParallelConfig(n=n, p=64), ("2D", 1.0)),
+        ("summa", ParallelConfig(n=n, p=64), ("2D", 1.0)),
+        ("3d", ParallelConfig(n=n, p=64), ("3D", 1.0)),
+        ("2.5d", ParallelConfig(n=n, p=128, c=2), ("2.5D", 2.0)),
     ]
     ref = A @ B
     rows = []
-    for name, kwargs, (regime, c) in classical:
-        r = get_parallel(name).run(A, B, **kwargs)
+    for name, cfg, (regime, c) in classical:
+        r = get_parallel(name).execute(A, B, cfg)
         cell = table1_cell(regime, "classical", n, r.p, c)
         rows.append(_row(r, cell.bound, ref))
 
@@ -41,7 +41,8 @@ def main() -> None:
     ref7 = A7 @ B7
     caps = get_parallel("caps")
     for sched in ("BB", "DBB"):
-        r = caps.run(A7, B7, p=49, schedule=sched)
+        cfg = ParallelConfig(n=n7, p=49, scheme="strassen", schedule=sched)
+        r = caps.execute(A7, B7, cfg)
         rows.append(_row(r, parallel_io_bound(n7, r.max_mem_peak, 49, LG7), ref7))
 
     print(render_table(rows, title=f"parallel registry (classical at n={n}, CAPS at n={n7})"))

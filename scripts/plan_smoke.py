@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI smoke test for ``python -m repro plan``: run, compare, gate.
+
+Runs the real CLI entry point (``python -m repro plan --json``) against a
+hermetic cache on the pinned spec in ``tests/data/plan_golden.json`` and
+checks three things:
+
+* the ranking (labels, p, schedules, predicted times, counters, regime
+  classifications) matches the golden file exactly;
+* the top plan flips algorithms somewhere along the default memory
+  ladder on the acceptance topology (the auto-scheduler's raison d'être);
+* a warm re-run of the same command rebuilds nothing (builds == 0).
+
+``--regen`` rewrites the golden file from the current code instead of
+comparing (for intentional cost-model changes; review the diff).
+
+Usage::
+
+    PYTHONPATH=src python scripts/plan_smoke.py [--regen]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+GOLDEN = os.path.join(REPO_ROOT, "tests", "data", "plan_golden.json")
+
+PIN_FIELDS = ("label", "p", "schedule", "predicted_time", "words", "messages", "binding")
+
+
+def run_plan_cli(spec: dict, cache_dir: str) -> dict:
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "plan",
+        "--n",
+        str(spec["n"]),
+        "--scheme",
+        spec["scheme"],
+        "--topology",
+        spec["topology"],
+        "--json",
+    ]
+    if spec["memory_limit"] is not None:
+        cmd += ["--memory-limits", str(spec["memory_limit"])]
+    if spec["p_max"] is not None:
+        cmd += ["--p-max", str(spec["p_max"])]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    proc = subprocess.run(
+        cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"`{' '.join(cmd)}` exited {proc.returncode}\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout)
+
+
+def pinned_rows(report: dict, memory_limit) -> list[dict]:
+    for table in report["tables"]:
+        if table["memory_limit"] == memory_limit:
+            return [
+                {k: row[k] if k != "predicted_time" else round(row[k], 6) for k in PIN_FIELDS}
+                for row in table["rows"]
+            ]
+    raise SystemExit(f"no plan table for memory_limit={memory_limit!r} in the report")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--regen", action="store_true", help="rewrite the golden file")
+    args = ap.parse_args()
+
+    doc = json.loads(open(GOLDEN).read())
+    spec = doc["spec"]
+
+    with tempfile.TemporaryDirectory(prefix="plan-smoke-") as cache_dir:
+        report = run_plan_cli(spec, cache_dir)
+        got = pinned_rows(report, spec["memory_limit"])
+
+        if args.regen:
+            doc["plans"] = got
+            with open(GOLDEN, "w") as fh:
+                json.dump(doc, fh, indent=2, allow_nan=False)
+                fh.write("\n")
+            print(f"plan-smoke: regenerated {GOLDEN} ({len(got)} plans)")
+            return 0
+
+        if got != doc["plans"]:
+            want, have = doc["plans"], got
+            print("plan-smoke: ranking drifted from the golden file", file=sys.stderr)
+            for i, (w, h) in enumerate(zip(want, have)):
+                if w != h:
+                    print(f"  row {i}: want {w}\n          have {h}", file=sys.stderr)
+            if len(want) != len(have):
+                print(f"  row count: want {len(want)}, have {len(have)}", file=sys.stderr)
+            return 1
+
+        # The acceptance flip: the default ladder changes the winner.
+        winners = report["winners"]
+        if len(set(winners.values())) < 2:
+            print(f"plan-smoke: no regime flip across the ladder ({winners})", file=sys.stderr)
+            return 1
+
+        # Warm re-run: the plan table must come off the cache.
+        warm = run_plan_cli(spec, cache_dir)
+        builds = warm["stats"]["builds"]
+        if builds != 0:
+            print(f"plan-smoke: warm re-run rebuilt {builds} artifact(s)", file=sys.stderr)
+            return 1
+
+    print(
+        f"plan-smoke: OK — {len(got)} pinned plans on {spec['topology']}, "
+        f"winners {winners}, warm builds=0"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

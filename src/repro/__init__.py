@@ -80,21 +80,19 @@ from repro.engine import (
     run_grid,
     scaling_sweep,
 )
+from repro.engine.planner import Plan, plan
 from repro.machine.cache import FastMemory
 from repro.machine.distributed import Machine, Message
 from repro.parallel import (
     AnalyticCost,
     ParallelAlgorithm,
+    ParallelConfig,
     ParallelResult,
     available_parallel,
-    cannon_multiply,
-    caps_multiply,
     get_parallel,
     run_parallel,
-    summa_multiply,
-    threed_multiply,
-    two5d_multiply,
 )
+from repro.topology import Device, Link, Topology
 
 __version__ = "1.0.0"
 
@@ -164,14 +162,15 @@ __all__ = [
     "Message",
     "AnalyticCost",
     "ParallelAlgorithm",
+    "ParallelConfig",
     "ParallelResult",
     "available_parallel",
     "get_parallel",
     "run_parallel",
-    "cannon_multiply",
-    "summa_multiply",
-    "threed_multiply",
-    "two5d_multiply",
-    "caps_multiply",
+    "Device",
+    "Link",
+    "Topology",
+    "Plan",
+    "plan",
     "__version__",
 ]

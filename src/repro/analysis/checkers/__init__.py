@@ -13,6 +13,8 @@ RC201    registry-parallel      ``@register_parallel`` classes declare
                                 validity + analytic-cost contracts
 RC202    registry-bench         ``@register_bench`` workloads declare quick
                                 param sets and a scalar ``check`` payload
+RC203    registry-pure-cost     pure-cost methods of registered parallel
+                                algorithms never touch numpy or ``Machine``
 RC301    strict-json            no raw ``json.dump(s)`` on non-literal
                                 payloads outside ``util/jsonutil``
 RC401    spawn-pool             no lambdas/closures/bound methods submitted

@@ -14,6 +14,13 @@ on registry entries actually *declaring* their contracts:
   deliberately equals full"), and every dict-literal return of the
   workload must carry the scalar ``"check"`` payload the CI comparison
   gate pins.
+* **RC203** — the planner-facing cost surface (``estimate`` /
+  ``analytic_costs`` / ``analytic_flops`` / ``validate`` /
+  ``plan_configs``) of a registered algorithm must stay *pure*: no numpy
+  arrays and no ``Machine`` simulation.  The auto-scheduler calls these
+  methods thousands of times per search; an array allocation or a
+  simulator hop hidden in one turns an O(1) analytic probe into an
+  accidental execution.
 """
 
 from __future__ import annotations
@@ -25,10 +32,28 @@ from repro.analysis.astutil import decorator_call, decorator_name
 from repro.analysis.base import Checker, Module, register_checker
 from repro.analysis.findings import Finding
 
-__all__ = ["ParallelContractChecker", "BenchContractChecker"]
+__all__ = [
+    "ParallelContractChecker",
+    "BenchContractChecker",
+    "PureCostChecker",
+]
 
 #: Methods a registered parallel algorithm must define in its own body.
 REQUIRED_PARALLEL_METHODS = ("validate", "analytic_costs", "_execute")
+
+#: Methods the planner treats as pure analytics: they may not touch numpy
+#: or the ``Machine`` simulator.  (``_execute`` is the *only* sanctioned
+#: home for both.)
+PURE_COST_METHODS = (
+    "estimate",
+    "analytic_costs",
+    "analytic_flops",
+    "validate",
+    "plan_configs",
+)
+
+#: Names whose appearance inside a pure-cost method marks an impurity.
+_IMPURE_NAMES = frozenset({"np", "numpy", "Machine"})
 
 
 def _class_method_names(node: ast.ClassDef) -> set[str]:
@@ -200,5 +225,56 @@ class BenchContractChecker(Checker):
                         fix_hint=(
                             "add 'check': {...} with the scalar science outputs "
                             "the --compare gate must pin"
+                        ),
+                    )
+
+
+def _impure_references(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[int, str]]:
+    """(lineno, name) for each numpy/Machine reference in ``func``'s body."""
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id in _IMPURE_NAMES:
+            out.append((node.lineno, node.id))
+        elif isinstance(node, ast.Attribute) and node.attr == "Machine":
+            out.append((node.lineno, "Machine"))
+    return out
+
+
+@register_checker
+class PureCostChecker(Checker):
+    """RC203: planner-facing cost methods stay numpy- and Machine-free."""
+
+    name = "registry-pure-cost"
+    code = "RC203"
+    description = (
+        "pure-cost methods (estimate/analytic_costs/analytic_flops/"
+        "validate/plan_configs) of @register_parallel classes may not "
+        "reference numpy or Machine"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                decorator_name(d) == "register_parallel" for d in node.decorator_list
+            ):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name not in PURE_COST_METHODS:
+                    continue
+                for lineno, name in _impure_references(stmt):
+                    yield self.finding(
+                        module,
+                        lineno,
+                        f"pure-cost method {node.name}.{stmt.name}() references "
+                        f"{name!r}; the planner requires it to be analytic",
+                        fix_hint=(
+                            "move array work and Machine simulation into "
+                            "_execute(); cost methods must be closed-form"
                         ),
                     )

@@ -10,6 +10,8 @@ Layers (bottom up):
   sweep runner with aggregated cache accounting;
 * :mod:`repro.engine.scaling` — the cached strong-scaling sweep over the
   parallel-algorithm registry (algorithms × p-grid × replication c);
+* :mod:`repro.engine.planner` — the topology-aware auto-scheduler ranking
+  registry configurations by predicted time under a memory limit;
 * :mod:`repro.engine.bench` — the benchmark-workload registry, the
   ``BENCH_<tag>.json`` emitter, and the baseline-comparison gate;
 * :mod:`repro.engine.cli` — the ``python -m repro`` command-line front end.
@@ -46,6 +48,13 @@ from repro.engine.bench import (
     selected_benches,
 )
 from repro.engine.grid import GridPoint, GridReport, GridSpec, evaluate_point, run_grid
+from repro.engine.planner import (
+    Plan,
+    default_memory_ladder,
+    enumerate_plans,
+    plan,
+    plan_report,
+)
 from repro.engine.scaling import (
     ScalingPoint,
     ScalingReport,
@@ -84,6 +93,11 @@ __all__ = [
     "GridSpec",
     "evaluate_point",
     "run_grid",
+    "Plan",
+    "default_memory_ladder",
+    "enumerate_plans",
+    "plan",
+    "plan_report",
     "ScalingPoint",
     "ScalingReport",
     "ScalingSpec",

@@ -1077,6 +1077,43 @@ def _bench_scaling_sweep(cache: EngineCache, n: int, p_max: int, cs: Sequence[in
 
 
 @register_bench(
+    "plan_tournament",
+    "parallel",
+    params={"n": 56, "topologies": ("uniform", "fat-tree:4x4", "torus:4x4", "gpu:2x8")},
+    quick_params={"topologies": ("uniform", "fat-tree:4x4", "torus:4x4")},
+    cold=True,
+)
+def _bench_plan_tournament(cache: EngineCache, n: int, topologies: Sequence[str]) -> dict:
+    """Auto-scheduler tournament: the planner's memory-ladder winners per topology.
+
+    The ``check`` block pins the winner table, so a cost-model or search
+    regression that changes who wins (not just how fast the search runs)
+    fails the gate outright.
+    """
+    from repro.engine.planner import plan_report
+
+    from repro.topology import Topology
+
+    reports = {}
+    winners = {}
+    searched = 0
+    for spec in topologies:
+        report = plan_report(n, topology=Topology.parse(spec), cache=cache)
+        reports[spec] = report
+        for limit, winner in report["winners"].items():
+            winners[f"{spec}@{limit}"] = winner
+        searched += sum(len(t["rows"]) for t in report["tables"])
+    return {
+        "reports": reports,
+        "check": {
+            "winners": winners,
+            "ranked_plans": searched,
+            "every_topology_flips": all(r["flips"] for r in reports.values()),
+        },
+    }
+
+
+@register_bench(
     "memory_sweep",
     "parallel",
     params={"n": 64, "q": 8, "cs": (1, 2, 4, 8)},

@@ -76,6 +76,11 @@ __all__ = [
 #: interval provenance tag, DEFAULT_EXACT_LIMIT rose 28 → 32 (the native
 #: kernel), so "auto"-policy estimates of 29..32-vertex graphs change method;
 #: v5 estimate entries lack the provenance field and must miss.
+#: v7: planner-first parallel API — scaling artifacts now measure via
+#: ``execute(ParallelConfig)`` and analytic records carry a flops term, and
+#: the new kind ``"plan"`` stores ranked plan tables keyed by topology
+#: cache tokens; pre-planner scaling entries must not be replayed into the
+#: topology-costed pipeline.
 #:
 #: Numeric-key normalization (PR 7) deliberately did NOT bump the version:
 #: normalized keys are byte-identical to the keys plain-Python (and
@@ -84,7 +89,7 @@ __all__ = [
 #: scalars created via ``repr(np.float64(1.5)) == 'np.float64(1.5)'`` — those
 #: held the same artifact content as their canonical twins, so leaving them
 #: unreachable cannot serve a stale result.
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 

@@ -4,6 +4,7 @@ Subcommands:
 
 * ``sweep``     — cached (scheme × k × M × policy) grid, optionally parallel
 * ``scaling``   — cached strong-scaling sweep (parallel registry × p × c)
+* ``plan``      — topology-aware auto-scheduler: ranked plans per memory limit
 * ``bench``     — run the registered benchmark workloads, write
   ``BENCH_<tag>.json``, optionally gate against a baseline
 * ``expansion`` — one ``h(Dec_k C)`` estimate through the cache
@@ -133,7 +134,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scaling.add_argument("--alpha", type=float, default=1.0, help="per-message latency")
     scaling.add_argument("--beta", type=float, default=1.0, help="per-word cost")
+    scaling.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "cost the sweep on a machine topology instead of the flat "
+            "(alpha, beta) model: uniform | fat-tree:SxH | torus:AxB[x..] | "
+            "gpu:NxG"
+        ),
+    )
     scaling.add_argument("--json", action="store_true", help="emit the full report as JSON")
+
+    plan_cmd = sub.add_parser(
+        "plan",
+        help="auto-scheduler: rank registry configurations on a topology",
+    )
+    plan_cmd.add_argument("--n", type=int, default=4096, help="matrix size (default 4096)")
+    plan_cmd.add_argument(
+        "--topology",
+        default="uniform",
+        metavar="SPEC",
+        help="uniform[:P] | fat-tree:SxH | torus:AxB[x..] | gpu:NxG (default uniform)",
+    )
+    plan_cmd.add_argument(
+        "--scheme", default="strassen", help="scheme for scheme-driven algorithms (CAPS)"
+    )
+    plan_cmd.add_argument("--alpha", type=float, default=1.0, help="base per-message latency")
+    plan_cmd.add_argument("--beta", type=float, default=1.0, help="base per-word cost")
+    plan_cmd.add_argument(
+        "--p-max", type=int, default=None, help="processor budget (default: topology capacity)"
+    )
+    plan_cmd.add_argument(
+        "--cs",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4],
+        metavar="C",
+        help="replication factors offered to 2.5D-style algorithms",
+    )
+    plan_cmd.add_argument(
+        "--memory-limits",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="M",
+        help=(
+            "per-rank word budgets to rank under (0 = unlimited); default: "
+            "a tight->roomy->unlimited ladder that walks the Table-I regimes"
+        ),
+    )
+    plan_cmd.add_argument(
+        "--algos",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict the search to these registry names (default: all)",
+    )
+    plan_cmd.add_argument(
+        "--top", type=int, default=5, help="rows shown per memory limit (default 5)"
+    )
+    plan_cmd.add_argument("--json", action="store_true", help="emit the full report as JSON")
 
     bench = sub.add_parser(
         "bench",
@@ -222,7 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve /expansion /bounds /sweep /scaling over HTTP (asyncio + worker pool)",
+        help=(
+            "serve /expansion /bounds /sweep /scaling /plan over HTTP "
+            "(asyncio + worker pool)"
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default loopback)")
     serve.add_argument(
@@ -341,6 +405,11 @@ def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> i
     from repro.parallel.base import available_parallel
 
     algos = available_parallel() if args.algos == ["all"] else args.algos
+    topology = None
+    if args.topology is not None:
+        from repro.topology import Topology
+
+        topology = Topology.parse(args.topology, args.alpha, args.beta)
     spec = ScalingSpec(
         algos=tuple(algos),
         n=args.n,
@@ -349,6 +418,7 @@ def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> i
         scheme=args.scheme,
         alpha=args.alpha,
         beta=args.beta,
+        topology=topology,
     )
     report = scaling_sweep(spec, cache=cache)
     if args.json:
@@ -371,6 +441,70 @@ def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> i
             f"hits={s['hits']}  misses={s['misses']}  (warm cache => builds=0)",
             file=out,
         )
+    return 0
+
+
+_PLAN_COLUMNS = [
+    "label",
+    "p",
+    "c",
+    "schedule",
+    "predicted_time",
+    "words",
+    "messages",
+    "memory",
+    "lower_bound",
+    "binding",
+]
+
+
+def _cmd_plan(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> int:
+    from repro.engine.planner import plan_report
+    from repro.experiments.report import render_table
+    from repro.topology import Topology
+
+    topology = Topology.parse(args.topology, args.alpha, args.beta)
+    memory_limits = None
+    if args.memory_limits is not None:
+        memory_limits = [None if m == 0 else m for m in args.memory_limits]
+    report = plan_report(
+        args.n,
+        scheme=args.scheme,
+        topology=topology,
+        memory_limits=memory_limits,
+        p_max=args.p_max,
+        cs=tuple(args.cs),
+        algos=args.algos,
+        cache=cache,
+    )
+    if args.json:
+        print(json.dumps(jsonable(report), indent=2, allow_nan=False), file=out)
+        return 0
+    for table in report["tables"]:
+        limit = table["memory_limit"]
+        label = "unlimited" if limit is None else f"{limit} words/rank"
+        rows = table["rows"][: args.top]
+        if not rows:
+            print(f"[plan] M={label}: no feasible configuration", file=out)
+            continue
+        print(
+            render_table(
+                rows,
+                columns=_PLAN_COLUMNS,
+                title=(
+                    f"[plan] n={args.n} on {topology.name}, M={label}: "
+                    f"top {len(rows)} of {len(table['rows'])} feasible plans"
+                ),
+            ),
+            file=out,
+        )
+    print(f"winners across the memory ladder: {report['winners']}", file=out)
+    s = report["stats"]
+    print(
+        f"wall {report['wall_time']:.3f}s  builds={s['builds']}  "
+        f"hits={s['hits']}  misses={s['misses']}  (warm cache => builds=0)",
+        file=out,
+    )
     return 0
 
 
@@ -607,6 +741,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args, cache, out)
         if args.command == "scaling":
             return _cmd_scaling(args, cache, out)
+        if args.command == "plan":
+            return _cmd_plan(args, cache, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
         if args.command == "expansion":

@@ -17,8 +17,15 @@ the PR-1 content-addressed store (kind ``"scaling"``) keyed by the
 algorithm name, problem geometry, schedule, and seeds — a warm sweep
 replays from disk without simulating anything (``builds == 0``).  The
 per-superstep per-rank (msgs, words) tallies are part of the cached
-artifact, so the α–β time is recomputed at read time and sweeping α or β
-never re-simulates.
+artifact, so the critical-path time is recomputed at read time and
+sweeping machine parameters never re-simulates.
+
+Machine parameters flow through one object: a sweep's ``(alpha, beta)``
+pair is materialized as ``Topology.uniform(alpha, beta)`` (bit-identical
+to the historical flat α-β expression), and handing ``ScalingSpec`` a
+heterogeneous :class:`~repro.topology.Topology` re-costs the same cached
+tallies under that machine's effective tier parameters with no new
+plumbing.
 """
 
 from __future__ import annotations
@@ -33,7 +40,8 @@ import numpy as np
 from repro.cdag.schemes import get_scheme
 from repro.core.bounds import scaling_regime
 from repro.engine.cache import EngineCache, cache_key, default_cache
-from repro.parallel.base import get_parallel
+from repro.parallel.base import ParallelConfig, get_parallel
+from repro.topology import Topology
 from repro.util.jsonutil import jsonable
 from repro.util.matgen import integer_matrix
 
@@ -72,17 +80,28 @@ class ScalingSpec:
     seed: int = 11
     alpha: float = 1.0
     beta: float = 1.0
+    topology: Topology | None = None   # None = Topology.uniform(alpha, beta)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algos", tuple(self.algos))
         object.__setattr__(self, "cs", tuple(self.cs))
 
+    def machine_topology(self) -> Topology:
+        """The machine the sweep is costed on (uniform unless overridden)."""
+        if self.topology is not None:
+            return self.topology
+        return Topology.uniform(self.alpha, self.beta)
+
     def points(self) -> list[ScalingPoint]:
+        p_max = self.p_max
+        cap = self.machine_topology().capacity
+        if cap is not None:
+            p_max = min(p_max, cap)
         pts = []
         for name in self.algos:
             algo = get_parallel(name)
             sch = get_scheme(self.scheme) if algo.uses_scheme else None
-            for cfg in algo.default_configs(self.n, self.p_max, cs=self.cs, scheme=sch):
+            for cfg in algo.default_configs(self.n, p_max, cs=self.cs, scheme=sch):
                 pts.append(
                     ScalingPoint(
                         algo=name,
@@ -119,6 +138,13 @@ class ScalingReport:
                         "seed": self.spec.seed,
                         "alpha": self.spec.alpha,
                         "beta": self.spec.beta,
+                        # only heterogeneous sweeps carry the extra key, so
+                        # the uniform spec JSON stays golden-pinned verbatim
+                        **(
+                            {"topology": self.spec.topology.name}
+                            if self.spec.topology is not None
+                            else {}
+                        ),
                     },
                     "rows": self.rows,
                     "stats": self.stats,
@@ -154,19 +180,15 @@ def _measure(point: ScalingPoint) -> dict:
     algo = get_parallel(point.algo)
     A = integer_matrix(point.n, seed=point.seed)
     B = integer_matrix(point.n, seed=point.seed + 2)
-    options = {}
-    if point.schedule is not None:
-        options["schedule"] = point.schedule
-    r = algo.run(
-        A,
-        B,
+    cfg = ParallelConfig(
+        n=point.n,
         p=point.p,
         c=point.c,
-        memory_limit=point.memory_limit,
         scheme=point.scheme if algo.uses_scheme else None,
-        verify=True,
-        **options,
+        schedule=point.schedule,
+        memory_limit=point.memory_limit,
     )
+    r = algo.execute(A, B, cfg, verify=True)
     steps = r.machine.log.steps
     step_words = np.zeros((len(steps), point.p), dtype=np.int64)
     step_msgs = np.zeros((len(steps), point.p), dtype=np.int64)
@@ -190,12 +212,14 @@ def _measure(point: ScalingPoint) -> dict:
     }
 
 
-def _ab_time(measured: dict, alpha: float, beta: float) -> float:
-    """``Σ_steps max_r (α·msgs_r + β·words_r)`` from the cached tallies."""
-    step_msgs = measured["step_msgs"]
-    if step_msgs.size == 0:
-        return 0.0
-    return float((alpha * step_msgs + beta * measured["step_words"]).max(axis=1).sum())
+def _ab_time(measured: dict, topology: Topology) -> float:
+    """Critical-path time of the cached tallies on ``topology``.
+
+    On ``Topology.uniform(alpha, beta)`` this is bit-identical to the
+    historical flat expression
+    ``Σ_steps max_r (α·msgs_r + β·words_r)`` (golden-pinned).
+    """
+    return topology.time_from_steps(measured["step_msgs"], measured["step_words"])
 
 
 def _cached_measure(point: ScalingPoint, cache: EngineCache) -> dict:
@@ -242,6 +266,7 @@ def evaluate_scaling_point(
     cache: EngineCache | None = None,
     alpha: float = 1.0,
     beta: float = 1.0,
+    topology: Topology | None = None,
 ) -> dict:
     """One sweep row: measured counters + declared costs + both bounds.
 
@@ -251,6 +276,7 @@ def evaluate_scaling_point(
     the two at that M and ``p_limit`` where the crossover sits.
     """
     cache = cache if cache is not None else default_cache()
+    topology = topology if topology is not None else Topology.uniform(alpha, beta)
     algo = get_parallel(point.algo)
     sch = get_scheme(point.scheme) if algo.uses_scheme else None
     measured = _cached_measure(point, cache)
@@ -274,7 +300,7 @@ def evaluate_scaling_point(
         "omega0": w0,
         "measured_words": measured["critical_words"],
         "measured_messages": measured["critical_messages"],
-        "time": _ab_time(measured, alpha, beta),
+        "time": _ab_time(measured, topology),
         "mem_peak": M,
         "analytic_words": costs.words,
         "analytic_messages": costs.messages,
@@ -304,8 +330,9 @@ def scaling_sweep(spec: ScalingSpec, cache: EngineCache | None = None) -> Scalin
     cache = cache if cache is not None else default_cache()
     start = time.perf_counter()
     before = cache.stats.as_dict()
+    topology = spec.machine_topology()
     rows = [
-        evaluate_scaling_point(pt, cache=cache, alpha=spec.alpha, beta=spec.beta)
+        evaluate_scaling_point(pt, cache=cache, topology=topology)
         for pt in spec.points()
     ]
     stats = cache.stats.delta_since(before)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.algorithms.io_strassen import dfs_io_model
 from repro.core.bounds import LG7, latency_bound, parallel_io_bound, sequential_io_bound
-from repro.parallel.base import run_parallel
+from repro.parallel.base import ParallelConfig, get_parallel
 from repro.util.matgen import integer_matrix
 
 __all__ = ["sequential_latency", "parallel_latency"]
@@ -44,7 +44,7 @@ def parallel_latency(n: int = 64) -> dict:
     rows = []
     for q in (2, 4, 8):
         p = q * q
-        r = run_parallel("cannon", A, B, p=p)
+        r = get_parallel("cannon").execute(A, B, ParallelConfig(n=n, p=p))
         M = 3 * (n // q) ** 2
         bw = parallel_io_bound(n, M, p, 3.0)
         rows.append(
@@ -61,7 +61,9 @@ def parallel_latency(n: int = 64) -> dict:
     B7 = integer_matrix(n7, seed=13)
     for sched in ("B", "DB"):
         p = 7
-        r = run_parallel("caps", A7, B7, p=p, schedule=sched)
+        r = get_parallel("caps").execute(
+            A7, B7, ParallelConfig(n=n7, p=p, scheme="strassen", schedule=sched)
+        )
         M = r.max_mem_peak
         bw = parallel_io_bound(n7, M, p, LG7)
         rows.append(

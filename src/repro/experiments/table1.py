@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 
 from repro.core.bounds import LG7, parallel_io_bound, table1_cell
-from repro.parallel.base import run_parallel
+from repro.parallel.base import ParallelConfig, get_parallel
 from repro.util.matgen import integer_matrix
 from repro.util.numutil import fit_power_law
 
@@ -32,6 +32,13 @@ def _inputs(n: int):
     return integer_matrix(n, seed=11), integer_matrix(n, seed=13)
 
 
+def _execute(name, A, B, *, p, c=1, schedule=None):
+    """Run one registry algorithm through the planner-first config API."""
+    scheme = "strassen" if get_parallel(name).uses_scheme else None
+    cfg = ParallelConfig(n=A.shape[0], p=p, c=c, scheme=scheme, schedule=schedule)
+    return get_parallel(name).execute(A, B, cfg)
+
+
 def classical_2d_scaling(n: int = 64, qs=(2, 4, 8, 16)) -> dict:
     """Cannon & SUMMA vs the 2D cell ``Ω(n²/√p)`` — exponent fit in p."""
     A, B = _inputs(n)
@@ -41,7 +48,7 @@ def classical_2d_scaling(n: int = 64, qs=(2, 4, 8, 16)) -> dict:
             continue
         cell = table1_cell("2D", "classical", n, q * q)
         for alg in ("cannon", "summa"):
-            r = run_parallel(alg, A, B, p=q * q)
+            r = _execute(alg, A, B, p=q * q)
             ok = bool((r.C == A @ B).all())
             rows.append(
                 {
@@ -68,7 +75,7 @@ def threed_scaling(n: int = 64, qs=(2, 4)) -> dict:
     for q in qs:
         p = q**3
         cell = table1_cell("3D", "classical", n, p)
-        r = run_parallel("3d", A, B, p=p)
+        r = _execute("3d", A, B, p=p)
         rows.append(
             {
                 "p": p,
@@ -95,7 +102,7 @@ def two5d_c_sweep(n: int = 64, q: int = 8, cs=(1, 2, 4, 8)) -> dict:
             continue
         p = q * q * c
         cell = table1_cell("2.5D", "classical", n, p, c)
-        r = run_parallel("2.5d", A, B, p=p, c=c)
+        r = _execute("2.5d", A, B, p=p, c=c)
         rows.append(
             {
                 "c": c,
@@ -125,7 +132,7 @@ def caps_scaling(n0_factor: int = 8, ells=(1, 2)) -> dict:
         p = 7**ell
         n = n0_factor * (2**ell) * (7 ** math.ceil(ell / 2))
         A, B = _inputs(n)
-        r = run_parallel("caps", A, B, p=p)
+        r = _execute("caps", A, B, p=p)
         shape = n * n / p ** (2.0 / LG7)
         rows.append(
             {
@@ -157,7 +164,7 @@ def caps_memory_sweep(n: int = 112, ell: int = 2) -> dict:
         if sched.count("B") != ell:
             continue
         try:
-            r = run_parallel("caps", A, B, p=p, schedule=sched)
+            r = _execute("caps", A, B, p=p, schedule=sched)
         except ValueError:
             continue
         M = r.max_mem_peak
@@ -181,27 +188,27 @@ def table1_summary(n: int = 64) -> list[dict]:
     out = []
     A, B = _inputs(n)
     # classical 2D at p=16
-    r = run_parallel("cannon", A, B, p=16)
+    r = _execute("cannon", A, B, p=16)
     cell = table1_cell("2D", "classical", n, 16)
     out.append(_cell_row(cell, r.critical_words, "cannon"))
     # classical 3D at p=64
-    r = run_parallel("3d", A, B, p=64)
+    r = _execute("3d", A, B, p=64)
     cell = table1_cell("3D", "classical", n, 64)
     out.append(_cell_row(cell, r.critical_words, "3d"))
     # classical 2.5D at p=64 (q=4, c=4)
-    r = run_parallel("2.5d", A, B, p=64, c=4)
+    r = _execute("2.5d", A, B, p=64, c=4)
     cell = table1_cell("2.5D", "classical", n, 64, 4)
     out.append(_cell_row(cell, r.critical_words, "2.5d"))
     # strassen-like cells at p=7 (n divisible appropriately)
     n7 = 56
     A7, B7 = _inputs(n7)
-    r = run_parallel("caps", A7, B7, p=7, schedule="DDB")
+    r = _execute("caps", A7, B7, p=7, schedule="DDB")
     cell = table1_cell("2D", "strassen-like", n7, 7)
     out.append(_cell_row(cell, r.critical_words, "caps(DDB)"))
-    r = run_parallel("caps", A7, B7, p=7, schedule="DB")
+    r = _execute("caps", A7, B7, p=7, schedule="DB")
     cell = table1_cell("3D", "strassen-like", n7, 7)
     out.append(_cell_row(cell, r.critical_words, "caps(DB)"))
-    r = run_parallel("caps", A7, B7, p=7, schedule="B")
+    r = _execute("caps", A7, B7, p=7, schedule="B")
     cell = table1_cell("2.5D", "strassen-like", n7, 7, 2)
     out.append(_cell_row(cell, r.critical_words, "caps(B)"))
     return out

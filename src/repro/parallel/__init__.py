@@ -1,45 +1,41 @@
 """Parallel algorithms on the simulated machine: Table I's attaining algorithms.
 
-All five algorithms live in one registry behind a uniform
-``run(A, B, *, p, c=1, memory_limit=None, scheme=None)`` entry point::
+All five algorithms live in one registry behind the planner-first split
+API — a pure cost estimate and a simulation, both driven by one frozen
+:class:`ParallelConfig` record::
 
-    from repro.parallel import get_parallel, run_parallel, available_parallel
+    from repro.parallel import ParallelConfig, get_parallel
 
-    r = run_parallel("2.5d", A, B, p=32, c=2)     # ParallelResult
-    get_parallel("caps").analytic_costs(56, 49)   # declared cost formulas
+    cfg = ParallelConfig(n=56, p=49, scheme="strassen")
+    get_parallel("caps").estimate(cfg)          # AnalyticCost — no arrays
+    get_parallel("caps").execute(A, B, cfg)     # ParallelResult — simulation
 
-The classic per-algorithm functions (``cannon_multiply`` etc.) remain as
-thin wrappers over the registry.
+``run(A, B, p=...)`` remains as a compatibility shim over ``execute``
+(positional use warns once per algorithm); the legacy per-algorithm
+``*_multiply`` wrappers are gone.
 """
 
 from repro.parallel.base import (
     AnalyticCost,
     ParallelAlgorithm,
+    ParallelConfig,
     ParallelResult,
     available_parallel,
     get_parallel,
     register_parallel,
     run_parallel,
 )
-from repro.parallel.cannon import cannon_multiply
-from repro.parallel.summa import summa_multiply
-from repro.parallel.threed import threed_multiply
-from repro.parallel.two5d import two5d_multiply
-from repro.parallel.caps import caps_multiply, quadtree_permutation, validate_caps_geometry
+from repro.parallel.caps import quadtree_permutation, validate_caps_geometry
 
 __all__ = [
     "AnalyticCost",
     "ParallelAlgorithm",
+    "ParallelConfig",
     "ParallelResult",
     "available_parallel",
     "get_parallel",
     "register_parallel",
     "run_parallel",
-    "cannon_multiply",
-    "summa_multiply",
-    "threed_multiply",
-    "two5d_multiply",
-    "caps_multiply",
     "quadtree_permutation",
     "validate_caps_geometry",
 ]

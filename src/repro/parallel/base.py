@@ -6,13 +6,22 @@ every algorithm through one interface.  This module provides that
 interface, mirroring the bilinear-scheme registry in
 :mod:`repro.cdag.schemes`:
 
+* :class:`ParallelConfig` — one frozen record naming a configuration
+  ``(n, p, c, scheme, schedule, memory_limit)``; it replaces the loose
+  kwarg soup that used to flow through ``run(A, B, *, p, c=1, ...)``.
 * :class:`ParallelAlgorithm` — the protocol every algorithm implements:
   a declared **validity predicate** (``validate``: square grid, cube,
   replication factor c, rank count t₀^ℓ, block divisibility), declared
-  **analytic cost formulas** (``analytic_costs``: per-processor words,
-  messages, memory, with explicit constants derived from the actual
-  superstep structure), and a uniform entry point
-  ``run(A, B, *, p, c=1, memory_limit=None, scheme=None) -> ParallelResult``.
+  **analytic cost formulas** (``analytic_costs`` / ``analytic_flops``),
+  and the planner-first split entry points:
+
+  - ``estimate(cfg, topology=None) -> AnalyticCost`` — *pure*: closed-form
+    per-processor words/messages/memory/flops, optionally checked against
+    a :class:`~repro.topology.Topology`'s capacity.  Never touches numpy
+    arrays or the simulator (checker RC203 enforces this).
+  - ``execute(A, B, cfg, verify=False) -> ParallelResult`` — the
+    simulation, semantics unchanged from the historical ``run``.
+
 * ``@register_parallel`` / :func:`get_parallel` /
   :func:`available_parallel` — the registry (``cannon``, ``summa``, ``3d``,
   ``2.5d``, ``caps``).
@@ -20,17 +29,16 @@ interface, mirroring the bilinear-scheme registry in
   messages, α–β time, per-rank memory peaks), promoted here so sibling
   algorithms stop importing it from ``parallel/cannon.py``.
 
-The driver in :meth:`ParallelAlgorithm.run` hoists the boilerplate every
-bespoke function used to repeat: input shape checks, validity checking,
-:class:`~repro.machine.distributed.Machine` construction, flop-phase
-flushing, optional verification against ``A @ B``, and result assembly
-with the declared analytic costs attached.
+``run(A, B, p=...)`` remains as a thin compatibility shim over
+``execute``; positional use beyond ``(A, B)`` is deprecated and warns once
+per algorithm.
 """
 
 from __future__ import annotations
 
 import abc
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -38,10 +46,12 @@ import numpy as np
 
 from repro.cdag.schemes import BilinearScheme, get_scheme
 from repro.machine.distributed import Machine
+from repro.topology import Topology
 
 __all__ = [
     "AnalyticCost",
     "ParallelAlgorithm",
+    "ParallelConfig",
     "ParallelResult",
     "available_parallel",
     "get_parallel",
@@ -63,9 +73,60 @@ class AnalyticCost:
     words: float      # critical-path bandwidth
     messages: float   # critical-path latency
     memory: float     # per-rank peak footprint
+    flops: float = 0.0  # critical-path arithmetic (leading term)
 
     def as_dict(self) -> dict[str, float]:
-        return {"words": self.words, "messages": self.messages, "memory": self.memory}
+        return {
+            "words": self.words,
+            "messages": self.messages,
+            "memory": self.memory,
+            "flops": self.flops,
+        }
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """One fully-named parallel configuration.
+
+    Frozen and hashable so planner rows, cache keys, and test
+    parametrizations can carry configurations by value.  ``scheme`` and
+    ``schedule`` are plain strings (resolved at use time); ``estimate``
+    and ``execute`` both consume this record.
+    """
+
+    n: int
+    p: int
+    c: int = 1
+    scheme: str | None = None
+    schedule: str | None = None
+    memory_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"ParallelConfig: n must be >= 1 (got {self.n})")
+        if self.p < 1:
+            raise ValueError(f"ParallelConfig: p must be >= 1 (got {self.p})")
+        if self.c < 1:
+            raise ValueError(f"ParallelConfig: c must be >= 1 (got {self.c})")
+        if self.memory_limit is not None and self.memory_limit < 1:
+            raise ValueError(
+                f"ParallelConfig: memory_limit must be >= 1 or None "
+                f"(got {self.memory_limit})"
+            )
+
+    def options(self) -> dict[str, Any]:
+        """Algorithm-specific extras in ``**options`` form (CAPS schedule)."""
+        return {} if self.schedule is None else {"schedule": self.schedule}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "p": self.p,
+            "c": self.c,
+            "scheme": self.scheme,
+            "schedule": self.schedule,
+            "memory_limit": self.memory_limit,
+        }
 
 
 @dataclass(frozen=True)
@@ -101,6 +162,11 @@ class ParallelResult:
 
     def time(self, alpha: float = 1.0, beta: float = 1.0) -> float:
         """α–β critical-path time ``Σ_steps max_r (α·msgs_r + β·words_r)``."""
+        return self.machine.time(alpha, beta)
+
+    def time_on(self, topology: Topology) -> float:
+        """Critical-path time under a topology's effective tier parameters."""
+        alpha, beta = topology.effective_alpha_beta(self.p)
         return self.machine.time(alpha, beta)
 
     def summary(self) -> dict:
@@ -194,6 +260,18 @@ class ParallelAlgorithm(abc.ABC):
     ) -> AnalyticCost:
         """Declared per-processor (words, messages, memory) formulas."""
 
+    def analytic_flops(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        **options: Any,
+    ) -> float:
+        """Per-processor critical-path flops, leading term (classical: 2n³/p)."""
+        return 2.0 * float(n) ** 3 / p
+
     def default_configs(
         self,
         n: int,
@@ -203,6 +281,56 @@ class ParallelAlgorithm(abc.ABC):
     ) -> list[dict]:
         """Valid ``{"p": ..., "c": ...}`` configurations with ``p ≤ p_max``."""
         return []
+
+    def plan_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: str | None = None,
+    ) -> list[ParallelConfig]:
+        """Candidate :class:`ParallelConfig` records for the auto-scheduler.
+
+        The default wraps :meth:`default_configs`; algorithms with extra
+        schedule dimensions (CAPS) override this to expose them to the
+        planner's search space.
+        """
+        sch = self._resolve_scheme(scheme) if self.uses_scheme else None
+        scheme_name = sch.name if sch is not None else None
+        return [
+            ParallelConfig(
+                n=n,
+                p=cfg["p"],
+                c=cfg.get("c", 1),
+                scheme=scheme_name,
+                schedule=cfg.get("schedule"),
+            )
+            for cfg in self.default_configs(n, p_max, cs=cs, scheme=sch)
+        ]
+
+    def estimate(
+        self, cfg: ParallelConfig, topology: Topology | None = None
+    ) -> AnalyticCost:
+        """Pure cost estimate of one configuration — no arrays, no simulator.
+
+        Validates the configuration (and, when a topology is given, that
+        its device set can seat ``cfg.p`` ranks), then evaluates the
+        declared closed-form cost model.  This is the planner's inner
+        loop: it must stay array-free (checker RC203 enforces the purity
+        contract on every registered algorithm).
+        """
+        options = cfg.options()
+        self._check_options("estimate", options)
+        sch = self._resolve_scheme(cfg.scheme)
+        if not self.supports_replication and cfg.c != 1:
+            raise ValueError(
+                f"{self.name} has no replication factor (got c={cfg.c}); "
+                "only 2.5D-style algorithms accept c > 1"
+            )
+        if topology is not None:
+            topology.validate_p(cfg.p)
+        self.validate(cfg.n, cfg.p, c=cfg.c, scheme=sch, **options)
+        return self._full_analytic(cfg.n, cfg.p, c=cfg.c, scheme=sch, **options)
 
     # -- execution ------------------------------------------------------- #
 
@@ -239,44 +367,74 @@ class ParallelAlgorithm(abc.ABC):
             scheme = self.default_scheme
         return get_scheme(scheme) if isinstance(scheme, str) else scheme
 
-    def run(
+    def _full_analytic(
         self,
-        A: np.ndarray,
-        B: np.ndarray,
-        *,
+        n: int,
         p: int,
+        *,
         c: int = 1,
-        memory_limit: int | None = None,
-        scheme: BilinearScheme | str | None = None,
-        verify: bool = False,
+        scheme: BilinearScheme | None = None,
         **options: Any,
-    ) -> ParallelResult:
-        """Uniform entry point: validate, simulate, account, assemble.
+    ) -> AnalyticCost:
+        """Declared costs with the flop term filled in."""
+        base = self.analytic_costs(n, p, c=c, scheme=scheme, **options)
+        return AnalyticCost(
+            words=base.words,
+            messages=base.messages,
+            memory=base.memory,
+            flops=self.analytic_flops(n, p, c=c, scheme=scheme, **options),
+        )
 
-        ``options`` are algorithm-specific extras (e.g. CAPS's
-        ``schedule``); keys outside the algorithm's declared
-        ``option_names`` are rejected, so a typo'd keyword cannot be
-        silently swallowed by the ``**options`` plumbing.
+    def _check_options(self, entry: str, options: dict[str, Any]) -> None:
+        """Reject extras outside the declared ``option_names``.
+
+        A typo'd keyword cannot be silently swallowed by the ``**options``
+        plumbing, and a schedule handed to a schedule-free algorithm fails
+        loudly instead of being ignored.
         """
         unknown = set(options) - set(self.option_names)
         if unknown:
             raise TypeError(
-                f"{self.name}.run() got unexpected option(s) {sorted(unknown)}; "
+                f"{self.name}.{entry}() got unexpected option(s) {sorted(unknown)}; "
                 f"accepted: {sorted(self.option_names) or 'none'}"
             )
+
+    def execute(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        cfg: ParallelConfig,
+        *,
+        verify: bool = False,
+    ) -> ParallelResult:
+        """Simulate one configuration: validate, run supersteps, assemble.
+
+        Semantics are the historical ``run`` driver's, unchanged: input
+        shape checks, validity checking, ``Machine`` construction,
+        flop-phase flushing, optional verification against ``A @ B``, and
+        result assembly with the declared analytic costs attached.
+        """
+        options = cfg.options()
+        self._check_options("execute", options)
         A = np.ascontiguousarray(A, dtype=np.float64)
         B = np.ascontiguousarray(B, dtype=np.float64)
         if A.ndim != 2 or A.shape[0] != A.shape[1] or A.shape != B.shape:
             raise ValueError("A and B must be equal square matrices")
         n = A.shape[0]
-        sch = self._resolve_scheme(scheme)
+        if n != cfg.n:
+            raise ValueError(
+                f"{self.name}.execute(): cfg.n={cfg.n} does not match the "
+                f"operands' n={n}"
+            )
+        sch = self._resolve_scheme(cfg.scheme)
+        p, c = cfg.p, cfg.c
         if not self.supports_replication and c != 1:
             raise ValueError(
                 f"{self.name} has no replication factor (got c={c}); "
                 "only 2.5D-style algorithms accept c > 1"
             )
         self.validate(n, p, c=c, scheme=sch, **options)
-        m = Machine(p, memory_limit=memory_limit)
+        m = Machine(p, memory_limit=cfg.memory_limit)
         C = self._execute(m, A, B, p=p, c=c, scheme=sch, **options)
         m.end_compute_phase()
         verified = bool(np.allclose(C, A @ B, rtol=1e-9, atol=1e-9)) if verify else None
@@ -288,9 +446,65 @@ class ParallelAlgorithm(abc.ABC):
             p=p,
             c=c,
             scheme_name=sch.name if sch is not None else None,
-            analytic=self.analytic_costs(n, p, c=c, scheme=sch, **options),
+            analytic=self._full_analytic(n, p, c=c, scheme=sch, **options),
             verified=verified,
         )
+
+    def run(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        *args: Any,
+        p: int | None = None,
+        c: int = 1,
+        memory_limit: int | None = None,
+        scheme: BilinearScheme | str | None = None,
+        verify: bool = False,
+        **options: Any,
+    ) -> ParallelResult:
+        """Compatibility shim over :meth:`execute`.
+
+        Keyword use (``run(A, B, p=16)``) stays supported; positional
+        extras (``run(A, B, 16)``) are deprecated and warn once per
+        algorithm.  New code should build a :class:`ParallelConfig` and
+        call :meth:`execute` directly.
+        """
+        if args:
+            if self.name not in _positional_run_warned:
+                _positional_run_warned.add(self.name)
+                warnings.warn(
+                    f"positional arguments to {self.name}.run() are deprecated; "
+                    "build a ParallelConfig and call execute(A, B, cfg)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            if len(args) > 2:
+                raise TypeError(
+                    f"{self.name}.run() takes at most (A, B, p, c) positionally "
+                    f"(got {2 + len(args)} positional arguments)"
+                )
+            if p is not None:
+                raise TypeError(f"{self.name}.run() got p both positionally and by keyword")
+            p = int(args[0])
+            if len(args) == 2:
+                c = int(args[1])
+        if p is None:
+            raise TypeError(f"{self.name}.run() missing required argument: 'p'")
+        self._check_options("run", options)
+        A = np.asarray(A)
+        if A.ndim != 2:
+            raise ValueError("A and B must be equal square matrices")
+        if isinstance(scheme, BilinearScheme):
+            scheme = scheme.name
+        cfg = ParallelConfig(
+            n=int(A.shape[0]),
+            p=p,
+            c=c,
+            scheme=scheme,
+            schedule=options.get("schedule"),
+            memory_limit=memory_limit,
+        )
+        return self.execute(A, B, cfg, verify=verify)
 
 
 # ---------------------------------------------------------------------- #
@@ -298,6 +512,9 @@ class ParallelAlgorithm(abc.ABC):
 # ---------------------------------------------------------------------- #
 
 _REGISTRY: dict[str, ParallelAlgorithm] = {}
+
+# Algorithms that already emitted the positional-run() DeprecationWarning.
+_positional_run_warned: set[str] = set()
 
 
 def register_parallel(cls: type[ParallelAlgorithm]) -> type[ParallelAlgorithm]:

@@ -22,14 +22,12 @@ from repro.machine.distributed import Machine, Message
 from repro.parallel.base import (
     AnalyticCost,
     ParallelAlgorithm,
-    ParallelResult,
     check_block_divisibility,
-    get_parallel,
     register_parallel,
     square_grid_side,
 )
 
-__all__ = ["Cannon", "cannon_multiply", "ParallelResult"]
+__all__ = ["Cannon"]
 
 
 @register_parallel
@@ -125,10 +123,3 @@ class Cannon(ParallelAlgorithm):
                 shift_many(m, [grid.col(j) for j in range(q)], "B", -1, label="shiftB")
 
         return gather_blocks(m, "C", grid, n)
-
-
-def cannon_multiply(
-    A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None
-) -> ParallelResult:
-    """Run Cannon's algorithm on a q×q simulated grid (registry wrapper)."""
-    return get_parallel("cannon").run(A, B, p=q * q, memory_limit=memory_limit)

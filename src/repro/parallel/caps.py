@@ -46,15 +46,13 @@ from repro.machine.distributed import Machine, Message
 from repro.parallel.base import (
     AnalyticCost,
     ParallelAlgorithm,
-    ParallelResult,
-    get_parallel,
+    ParallelConfig,
     register_parallel,
 )
 from repro.util.numutil import is_power_of
 
 __all__ = [
     "Caps",
-    "caps_multiply",
     "block_permutation",
     "quadtree_permutation",
     "validate_caps_geometry",
@@ -234,6 +232,25 @@ class Caps(ParallelAlgorithm):
         memory = chain + 2.0 * s * s + dfs_extra
         return AnalyticCost(words=words, messages=msgs, memory=memory)
 
+    def analytic_flops(
+        self,
+        n: int,
+        p: int,
+        *,
+        c: int = 1,
+        scheme: BilinearScheme | None = None,
+        schedule: str | None = None,
+        **options: Any,
+    ) -> float:
+        # t₀^depth leaf multiplies of size (n/n₀^depth) split over p ranks;
+        # each DFS step serializes a factor t₀ of them onto every rank.
+        scheme = scheme if scheme is not None else get_scheme(self.default_scheme)
+        if schedule is None:
+            schedule = "B" * _bfs_count(scheme, p)
+        depth = len(schedule)
+        leaf = n / scheme.n0**depth
+        return scheme.t0**depth * 2.0 * leaf**3 / p
+
     def default_configs(
         self,
         n: int,
@@ -253,6 +270,37 @@ class Caps(ParallelAlgorithm):
             else:
                 out.append({"p": p, "c": 1})
             ell += 1
+        return out
+
+    def plan_configs(
+        self,
+        n: int,
+        p_max: int,
+        cs: Sequence[int] = (1,),
+        scheme: str | None = None,
+    ) -> list[ParallelConfig]:
+        """All-BFS plus DFS-prefixed schedules: the bandwidth↔memory knob.
+
+        ``"B"·ℓ`` is the unlimited-memory point; each prepended DFS step
+        trades a factor t₀ of bandwidth for a factor n₀² of footprint, so
+        the planner sees the whole Table-I trade-off curve, not just its
+        memory-hungry endpoint.
+        """
+        sch = self._resolve_scheme(scheme)
+        assert sch is not None
+        out = []
+        for base in self.default_configs(n, p_max, cs=cs, scheme=sch):
+            p = base["p"]
+            ell = _bfs_count(sch, p)
+            for dfs in range(3):
+                schedule = "D" * dfs + "B" * ell
+                try:
+                    validate_caps_geometry(n, p, schedule, sch)
+                except ValueError:
+                    continue
+                out.append(
+                    ParallelConfig(n=n, p=p, scheme=sch.name, schedule=schedule)
+                )
         return out
 
     def result_label(
@@ -301,40 +349,6 @@ class Caps(ParallelAlgorithm):
         C = np.empty(n * n)
         C[perm] = c_flat
         return C.reshape(n, n)
-
-
-def caps_multiply(
-    A: np.ndarray,
-    B: np.ndarray,
-    ell: int,
-    schedule: str | None = None,
-    memory_limit: int | None = None,
-    scheme: BilinearScheme | str = "strassen",
-) -> ParallelResult:
-    """Run CAPS on ``p = t₀^ℓ`` simulated processors (registry wrapper).
-
-    ``schedule`` defaults to all-BFS (``"B"·ℓ`` — unlimited-memory CAPS);
-    any interleaving with exactly ℓ B's is accepted, e.g. ``"DDBB"`` for a
-    memory-constrained run.  The scheme defaults to Strassen; any *square*
-    scheme works (Winograd gives the practical variant; classical2 gives a
-    cubic baseline on the same layout) — the recursion step, group fan-out,
-    and block tree are all driven by the scheme's (n₀, t₀).
-    """
-    if isinstance(scheme, str):
-        scheme = get_scheme(scheme)
-    if not scheme.is_square:
-        raise ValueError(
-            "the cyclic-over-block-tree CAPS layout needs a square scheme; "
-            f"{scheme.name!r} has shape {scheme.shape}"
-        )
-    return get_parallel("caps").run(
-        A,
-        B,
-        p=scheme.t0**ell,
-        memory_limit=memory_limit,
-        scheme=scheme,
-        schedule=schedule,
-    )
 
 
 def _lin_combo(m: Machine, rank: int, coeffs: np.ndarray, segments: list[np.ndarray]) -> np.ndarray:

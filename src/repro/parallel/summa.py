@@ -22,14 +22,12 @@ from repro.machine.distributed import Machine
 from repro.parallel.base import (
     AnalyticCost,
     ParallelAlgorithm,
-    ParallelResult,
     check_block_divisibility,
-    get_parallel,
     register_parallel,
     square_grid_side,
 )
 
-__all__ = ["Summa", "summa_multiply"]
+__all__ = ["Summa"]
 
 
 @register_parallel
@@ -119,10 +117,3 @@ class Summa(ParallelAlgorithm):
             m.end_compute_phase()
 
         return gather_blocks(m, "C", grid, n)
-
-
-def summa_multiply(
-    A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None
-) -> ParallelResult:
-    """Run SUMMA on a q×q simulated grid (registry wrapper)."""
-    return get_parallel("summa").run(A, B, p=q * q, memory_limit=memory_limit)

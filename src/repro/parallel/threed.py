@@ -24,14 +24,12 @@ from repro.machine.distributed import Machine, Message
 from repro.parallel.base import (
     AnalyticCost,
     ParallelAlgorithm,
-    ParallelResult,
     check_block_divisibility,
     cube_grid_side,
-    get_parallel,
     register_parallel,
 )
 
-__all__ = ["ThreeD", "threed_multiply"]
+__all__ = ["ThreeD"]
 
 
 @register_parallel
@@ -155,10 +153,3 @@ class ThreeD(ParallelAlgorithm):
         )
 
         return gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
-
-
-def threed_multiply(
-    A: np.ndarray, B: np.ndarray, q: int, memory_limit: int | None = None
-) -> ParallelResult:
-    """Run the 3D algorithm on a q×q×q simulated grid (registry wrapper)."""
-    return get_parallel("3d").run(A, B, p=q**3, memory_limit=memory_limit)

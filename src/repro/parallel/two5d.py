@@ -24,14 +24,12 @@ from repro.machine.distributed import Machine, Message
 from repro.parallel.base import (
     AnalyticCost,
     ParallelAlgorithm,
-    ParallelResult,
     check_block_divisibility,
-    get_parallel,
     register_parallel,
     square_grid_side,
 )
 
-__all__ = ["Two5D", "two5d_multiply"]
+__all__ = ["Two5D"]
 
 
 def _grid_side(name: str, p: int, c: int) -> int:
@@ -195,14 +193,3 @@ class Two5D(ParallelAlgorithm):
         reduce_many(m, fibers, "Cpart", "C", label="reduceC")
 
         return gather_blocks(m, "C", face, n, layer_rank=lambda i, j: grid.rank(i, j, 0))
-
-
-def two5d_multiply(
-    A: np.ndarray,
-    B: np.ndarray,
-    q: int,
-    c: int,
-    memory_limit: int | None = None,
-) -> ParallelResult:
-    """Run the 2.5D algorithm on c layers of q×q grids (registry wrapper)."""
-    return get_parallel("2.5d").run(A, B, p=q * q * c, c=c, memory_limit=memory_limit)

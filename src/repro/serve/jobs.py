@@ -1,7 +1,7 @@
 """Job model for the serving layer: parse, key, and execute one request.
 
 A :class:`Job` is the canonical form of one analysis request — a kind
-(``expansion`` / ``bounds`` / ``sweep`` / ``scaling``) plus a sorted,
+(``expansion`` / ``bounds`` / ``sweep`` / ``scaling`` / ``plan``) plus a sorted,
 hashable parameter tuple.  Canonicalizing *before* keying is what makes
 single-flight deduplication work: two clients asking for
 ``?k=4&scheme=strassen`` and ``?scheme=strassen&k=4`` produce the same
@@ -34,13 +34,15 @@ __all__ = [
     "run_job_inline",
 ]
 
-JOB_KINDS = ("expansion", "bounds", "sweep", "scaling")
+JOB_KINDS = ("expansion", "bounds", "sweep", "scaling", "plan")
 
 #: Guardrails on the expensive dimensions; a service must bound the work
 #: one query can demand (the CLI, run by the operator, has no such caps).
 MAX_K = 7
 MAX_SWEEP_POINTS = 256
 MAX_SCALING_P = 256
+MAX_PLAN_P = 256
+MAX_PLAN_N = 65536
 
 
 @dataclass(frozen=True)
@@ -158,11 +160,32 @@ def _parse_scaling(raw: dict[str, str]) -> dict[str, Any]:
     }
 
 
+def _parse_plan(raw: dict[str, str]) -> dict[str, Any]:
+    from repro.topology import Topology
+
+    try:
+        cs = tuple(int(c) for c in _as_names(raw, "cs", "1,2,4"))
+    except ValueError:
+        raise ValueError("parameter 'cs' must be comma-separated integers") from None
+    topology = raw.get("topology", "uniform")
+    Topology.parse(topology)  # reject malformed specs at the 400 boundary
+    return {
+        "n": _as_int(raw, "n", 4096, 4, MAX_PLAN_N),
+        "topology": topology,
+        "scheme": raw.get("scheme", "strassen"),
+        # 0 means "no limit" / "topology capacity" — query strings have no null
+        "memory_limit": _as_int(raw, "memory_limit", 0, 0, 10**12),
+        "p_max": _as_int(raw, "p_max", 0, 0, MAX_PLAN_P),
+        "cs": cs,
+    }
+
+
 _PARSERS = {
     "expansion": _parse_expansion,
     "bounds": _parse_bounds,
     "sweep": _parse_sweep,
     "scaling": _parse_scaling,
+    "plan": _parse_plan,
 }
 
 
@@ -278,11 +301,35 @@ def _scaling_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, An
     }
 
 
+def _plan_payload(params: dict[str, Any], cache: EngineCache) -> dict[str, Any]:
+    from repro.engine.planner import plan
+    from repro.topology import Topology
+
+    topology = Topology.parse(params["topology"])
+    ranked = plan(
+        params["n"],
+        scheme=params["scheme"],
+        topology=topology,
+        memory_limit=params["memory_limit"] or None,
+        p_max=params["p_max"] or None,
+        cs=params["cs"],
+        cache=cache,
+    )
+    return {
+        "n": params["n"],
+        "scheme": params["scheme"],
+        "topology": topology.describe(),
+        "memory_limit": params["memory_limit"] or None,
+        "plans": [pl.as_dict() for pl in ranked],
+    }
+
+
 _BUILDERS = {
     "expansion": _expansion_payload,
     "bounds": _bounds_payload,
     "sweep": _sweep_payload,
     "scaling": _scaling_payload,
+    "plan": _plan_payload,
 }
 
 

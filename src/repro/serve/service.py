@@ -38,7 +38,14 @@ from typing import Any
 
 from repro.engine.cache import EngineCache, default_cache_root
 from repro.serve.http import HttpError, Request, Response, json_response, read_request
-from repro.serve.jobs import Job, init_worker, parse_job, run_job_in_worker, run_job_inline
+from repro.serve.jobs import (
+    JOB_KINDS,
+    Job,
+    init_worker,
+    parse_job,
+    run_job_in_worker,
+    run_job_inline,
+)
 
 __all__ = ["ServeConfig", "ExpansionService", "run"]
 
@@ -198,7 +205,7 @@ class ExpansionService:
             }
             return json_response(200, info)
         kind = path.lstrip("/")
-        if kind not in ("expansion", "bounds", "sweep", "scaling"):
+        if kind not in JOB_KINDS:
             return json_response(404, {"error": f"no route for {request.path!r}"})
         job = parse_job(kind, request.query)
         payload = await self._submit(job.key(), job)

@@ -1,0 +1,27 @@
+"""Machine-topology cost model: devices, links, tiered collective costing.
+
+``Topology`` generalizes the flat α-β machine of §1.1 to hierarchical
+machines (fat-tree, torus, multi-GPU clusters) while reproducing the flat
+model bit-for-bit through ``Topology.uniform(alpha, beta)``::
+
+    from repro.topology import Topology
+
+    t = Topology.parse("fat-tree:16x4")
+    t.predict_time(words=1.5e6, messages=32, p=64)
+"""
+
+from repro.topology.model import (
+    TOPOLOGY_FAMILIES,
+    CommTier,
+    Device,
+    Link,
+    Topology,
+)
+
+__all__ = [
+    "TOPOLOGY_FAMILIES",
+    "CommTier",
+    "Device",
+    "Link",
+    "Topology",
+]

@@ -22,10 +22,21 @@ from repro.core.expansion import (
     exact_edge_expansion,
 )
 from repro.core.partition import best_partition_bound, expansion_io_bound
-from repro.parallel.cannon import cannon_multiply
-from repro.parallel.caps import caps_multiply
+from repro.parallel import ParallelConfig, get_parallel
 from repro.util.matgen import integer_matrix
 from repro.util.numutil import fit_power_law
+
+
+def cannon_multiply(A, B, q):
+    cfg = ParallelConfig(n=A.shape[0], p=q * q)
+    return get_parallel("cannon").execute(A, B, cfg)
+
+
+def caps_multiply(A, B, ell, schedule=None):
+    cfg = ParallelConfig(
+        n=A.shape[0], p=7**ell, scheme="strassen", schedule=schedule
+    )
+    return get_parallel("caps").execute(A, B, cfg)
 
 
 class TestLowerBoundChain:

@@ -5,16 +5,46 @@ import math
 import numpy as np
 import pytest
 
-from repro.parallel.cannon import cannon_multiply
-from repro.parallel.caps import caps_multiply, quadtree_permutation, validate_caps_geometry
-from repro.parallel.summa import summa_multiply
-from repro.parallel.threed import threed_multiply
-from repro.parallel.two5d import two5d_multiply
+from repro.parallel import ParallelConfig, get_parallel
+from repro.parallel.caps import quadtree_permutation, validate_caps_geometry
+from repro.cdag.schemes import get_scheme
 from repro.util.matgen import integer_matrix, random_matrix
 
 
 def _pair(n, s1=11, s2=13):
     return integer_matrix(n, seed=s1), integer_matrix(n, seed=s2)
+
+
+def _execute(name, A, B, p, *, c=1, scheme=None, schedule=None, memory_limit=None):
+    cfg = ParallelConfig(
+        n=A.shape[0], p=p, c=c, scheme=scheme, schedule=schedule,
+        memory_limit=memory_limit,
+    )
+    return get_parallel(name).execute(A, B, cfg)
+
+
+def cannon_multiply(A, B, q, memory_limit=None):
+    return _execute("cannon", A, B, q * q, memory_limit=memory_limit)
+
+
+def summa_multiply(A, B, q, memory_limit=None):
+    return _execute("summa", A, B, q * q, memory_limit=memory_limit)
+
+
+def threed_multiply(A, B, q, memory_limit=None):
+    return _execute("3d", A, B, q**3, memory_limit=memory_limit)
+
+
+def two5d_multiply(A, B, q, c, memory_limit=None):
+    return _execute("2.5d", A, B, q * q * c, c=c, memory_limit=memory_limit)
+
+
+def caps_multiply(A, B, ell, schedule=None, memory_limit=None, scheme="strassen"):
+    t0 = get_scheme(scheme).t0
+    return _execute(
+        "caps", A, B, t0**ell, scheme=scheme, schedule=schedule,
+        memory_limit=memory_limit,
+    )
 
 
 class TestCannon:

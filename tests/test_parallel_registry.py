@@ -1,18 +1,16 @@
-"""Tests for the parallel-algorithm registry and the uniform run() driver."""
+"""Tests for the parallel-algorithm registry and the planner-first API."""
+
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.parallel import (
+    ParallelConfig,
     ParallelResult,
     available_parallel,
-    cannon_multiply,
-    caps_multiply,
     get_parallel,
     run_parallel,
-    summa_multiply,
-    threed_multiply,
-    two5d_multiply,
 )
 from repro.util.matgen import integer_matrix
 
@@ -77,21 +75,20 @@ class TestUniformRun:
         assert r.time(0.0, 1.0) <= r.critical_words  # coupled ≤ separable
         assert r.verified is None  # verify defaults off
 
-    def test_registry_matches_legacy_wrappers(self):
+    @pytest.mark.parametrize("name,kwargs", CONFIGS)
+    def test_run_shim_matches_execute(self, name, kwargs):
         A, B = _pair(56)
-        pairs = [
-            (run_parallel("cannon", A, B, p=16), cannon_multiply(A, B, 4)),
-            (run_parallel("summa", A, B, p=16), summa_multiply(A, B, 4)),
-            (run_parallel("3d", A, B, p=8), threed_multiply(A, B, 2)),
-            (run_parallel("2.5d", A, B, p=32, c=2), two5d_multiply(A, B, 4, 2)),
-            (run_parallel("caps", A, B, p=7), caps_multiply(A, B, 1)),
-        ]
-        for via_registry, via_wrapper in pairs:
-            assert via_registry.critical_words == via_wrapper.critical_words
-            assert via_registry.critical_messages == via_wrapper.critical_messages
-            assert via_registry.max_mem_peak == via_wrapper.max_mem_peak
-            assert via_registry.algorithm == via_wrapper.algorithm
-            assert np.array_equal(via_registry.C, via_wrapper.C)
+        cfg = ParallelConfig(
+            n=56, p=kwargs["p"], c=kwargs.get("c", 1),
+            scheme="strassen" if name == "caps" else None,
+        )
+        via_shim = run_parallel(name, A, B, **kwargs)
+        via_execute = get_parallel(name).execute(A, B, cfg)
+        assert via_shim.critical_words == via_execute.critical_words
+        assert via_shim.critical_messages == via_execute.critical_messages
+        assert via_shim.max_mem_peak == via_execute.max_mem_peak
+        assert via_shim.algorithm == via_execute.algorithm
+        assert np.array_equal(via_shim.C, via_execute.C)
 
     def test_memory_limit_passes_through(self):
         A, B = _pair(56)
@@ -206,3 +203,93 @@ class TestAnalyticCosts:
         m1 = t.analytic_costs(64, 64, c=1).memory
         m4 = t.analytic_costs(64, 64, c=4).memory
         assert m4 / m1 == pytest.approx(4.0)
+
+
+class TestEstimate:
+    """estimate(): the planner's pure cost probe."""
+
+    @pytest.mark.parametrize("name,kwargs", CONFIGS)
+    def test_estimate_matches_executed_analytic(self, name, kwargs):
+        A, B = _pair(56)
+        cfg = ParallelConfig(
+            n=56, p=kwargs["p"], c=kwargs.get("c", 1),
+            scheme="strassen" if name == "caps" else None,
+        )
+        algo = get_parallel(name)
+        est = algo.estimate(cfg)
+        r = algo.execute(A, B, cfg)
+        assert est.words == r.analytic.words
+        assert est.messages == r.analytic.messages
+        assert est.memory == r.analytic.memory
+        assert est.flops == r.analytic.flops > 0
+
+    @pytest.mark.parametrize("name,kwargs", CONFIGS)
+    def test_estimate_within_constant_factor_of_measured(self, name, kwargs):
+        # the acceptance contract: predicted costs track execute()-measured
+        # counters within the declared constant factor on uniform configs
+        A, B = _pair(56)
+        cfg = ParallelConfig(
+            n=56, p=kwargs["p"], c=kwargs.get("c", 1),
+            scheme="strassen" if name == "caps" else None,
+        )
+        algo = get_parallel(name)
+        est = algo.estimate(cfg)
+        r = algo.execute(A, B, cfg)
+        assert 0.25 <= r.critical_words / est.words <= 4.0
+        assert 0.25 <= r.critical_messages / max(est.messages, 1) <= 4.0
+        assert 0.25 <= r.max_mem_peak / est.memory <= 4.0
+
+    def test_estimate_validates(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            get_parallel("cannon").estimate(ParallelConfig(n=56, p=12))
+        with pytest.raises(ValueError, match="no replication factor"):
+            get_parallel("cannon").estimate(ParallelConfig(n=56, p=16, c=2))
+        with pytest.raises(TypeError, match="unexpected option"):
+            get_parallel("cannon").estimate(
+                ParallelConfig(n=56, p=16, schedule="BB")
+            )
+
+    def test_estimate_respects_topology_capacity(self):
+        from repro.topology import Topology
+
+        topo = Topology.uniform(p=8)
+        with pytest.raises(ValueError, match="exceeds the topology"):
+            get_parallel("cannon").estimate(ParallelConfig(n=56, p=16), topo)
+
+    def test_plan_configs_are_valid_configs(self):
+        for name in available_parallel():
+            algo = get_parallel(name)
+            configs = algo.plan_configs(56, 64, cs=(1, 2, 4))
+            assert configs, f"{name} offers no plan config at n=56, p<=64"
+            for cfg in configs:
+                assert isinstance(cfg, ParallelConfig)
+                assert cfg.p <= 64
+                algo.estimate(cfg)  # must not raise
+
+
+class TestRunShimDeprecation:
+    def test_positional_run_warns_once_per_algorithm(self):
+        from repro.parallel import base as parallel_base
+
+        A, B = _pair(16)
+        algo = get_parallel("cannon")
+        parallel_base._positional_run_warned.discard("cannon")
+        with pytest.warns(DeprecationWarning, match="positional arguments"):
+            r1 = algo.run(A, B, 16)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would fail
+            r2 = algo.run(A, B, 16)
+        assert np.array_equal(r1.C, r2.C)
+
+    def test_positional_p_conflicts_with_keyword(self):
+        A, B = _pair(16)
+        algo = get_parallel("cannon")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="both positionally and by keyword"):
+                algo.run(A, B, 16, p=16)
+
+    def test_run_requires_p(self):
+        A, B = _pair(16)
+        with pytest.raises(TypeError, match="missing required argument"):
+            get_parallel("cannon").run(A, B)

@@ -257,6 +257,67 @@ class TestRegistryContracts:
         )
         assert codes(report) == []
 
+    def test_pure_cost_method_touching_numpy_flagged(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            @register_parallel
+            class Leaky:
+                name = "leaky"
+
+                def analytic_costs(self, n, p, c):
+                    return np.zeros(p).sum()
+
+                def estimate(self, cfg, topology=None):
+                    m = Machine(cfg.p)
+                    return m
+
+                def _execute(self, machine):
+                    return np.zeros(4)
+            """,
+            select=["registry-pure-cost"],
+        )
+        assert codes(report) == ["RC203", "RC203"]
+        names = {f.message.split("references ")[1].split(";")[0] for f in report.findings}
+        assert names == {"'np'", "'Machine'"}
+
+    def test_pure_cost_methods_closed_form_are_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            @register_parallel
+            class Analytic:
+                name = "analytic"
+
+                def validate(self, n, p, c):
+                    return True
+
+                def analytic_costs(self, n, p, c):
+                    return 4 * n * n / p**0.5
+
+                def analytic_flops(self, n, p, c):
+                    return 2.0 * n**3 / p
+
+                def _execute(self, machine):
+                    # arrays and the simulator are sanctioned here
+                    return np.zeros((4, 4)) if Machine else None
+            """,
+            select=["registry-pure-cost"],
+        )
+        assert codes(report) == []
+
+    def test_pure_cost_checker_ignores_unregistered_classes(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            class Helper:
+                def estimate(self, cfg):
+                    return np.zeros(3)
+            """,
+            select=["registry-pure-cost"],
+        )
+        assert codes(report) == []
+
 
 # --------------------------------------------------------------------- #
 # RC301 strict-json                                                     #
@@ -723,7 +784,7 @@ class TestFramework:
         assert rc == 0
         assert "0 finding(s)" in capsys.readouterr().out
 
-    def test_all_ten_checkers_are_registered(self):
+    def test_all_eleven_checkers_are_registered(self):
         names = available_checkers()
         assert names == sorted(names)
         assert set(names) == {
@@ -734,6 +795,7 @@ class TestFramework:
             "cache-version-pin",
             "registry-bench",
             "registry-parallel",
+            "registry-pure-cost",
             "spawn-order",
             "spawn-pool",
             "strict-json",

@@ -180,6 +180,26 @@ class TestEndpoints:
         assert status == 200
         assert body["points"] == len(body["rows"]) > 0
 
+    def test_plan_returns_ranked_plans(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/plan?n=56&topology=fat-tree:4x4")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 200
+        assert body["topology"]["name"] == "fat-tree:4x4"
+        rows = body["plans"]
+        assert rows
+        times = [row["predicted_time"] for row in rows]
+        assert times == sorted(times)
+        assert {"label", "p", "words", "lower_bound", "binding"} <= set(rows[0])
+
+    def test_plan_bad_topology_400(self, cache):
+        async def scenario(svc):
+            return await _get(svc, "/plan?n=56&topology=hypercube:8")
+
+        status, body = _run_with_service(cache, scenario)
+        assert status == 400 and "topology" in body["error"]
+
     def test_unknown_route_404(self, cache):
         async def scenario(svc):
             return await _get(svc, "/spectra")
