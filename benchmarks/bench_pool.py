@@ -1,0 +1,32 @@
+"""P1 — the persistent worker-pool runtime: cold spawn vs warm dispatch.
+
+Thin wrapper over the ``pool_cold_vs_warm`` registry workload (shared with
+``python -m repro bench``): one ``workers=4`` grid sweep from a shut-down
+pool (pays interpreter + numpy spawn per worker), then the identical sweep
+on the now-warm pool.  The assertions pin the tentpole's acceptance
+criteria — the warm sweep spawns **zero** new processes and, where a pool
+actually runs, finishes at least 3x faster than the cold one.
+"""
+
+from repro.engine import pool as pool_runtime
+from repro.engine.bench import get_bench
+
+
+def test_pool_cold_vs_warm(benchmark, emit):
+    w = get_bench("pool_cold_vs_warm")
+    payload = benchmark.pedantic(lambda: w.call(quick=True), rounds=1, iterations=1)
+    check = payload["check"]
+    metrics = payload["metrics"]
+    emit(
+        f"[P1] pool: {check['points']} grid points x4 workers — "
+        f"cold {metrics['cold_seconds']:.3f}s, warm {metrics['warm_seconds']:.3f}s "
+        f"({metrics['cold_over_warm']:.1f}x), "
+        f"warm spawns={check['warm_new_processes']} "
+        f"pooled={metrics['pooled']}"
+    )
+    assert check["rows_identical"]
+    assert check["warm_new_processes"] == 0
+    assert check["warm_pool_starts"] == 0
+    if metrics["pooled"] and pool_runtime.serial_fallback_reason() is None:
+        # the acceptance floor: a warm pool amortizes its spawns away
+        assert metrics["cold_over_warm"] >= 3.0, metrics

@@ -23,6 +23,8 @@ RC402    spawn-order            no unordered-set iteration feeding work
                                 construction in multiprocessing modules
 RC403    async-cache-lock       async handlers touch the shared engine
                                 cache only inside a lock block
+RC404    adhoc-pool             process pools are constructed only by the
+                                shared runtime (``repro/engine/pool.py``)
 RC501    bitset-dtype           uint64 bitset arrays never mix with
                                 signed/float operands
 RC601    broad-except           no new bare/broad ``except`` clauses

@@ -15,6 +15,11 @@ import ``multiprocessing`` or ``concurrent.futures``:
   (display, call, or comprehension) has no deterministic order; when such
   a loop builds the task list feeding a pool, results become
   run-to-run unstable.  Sort first (``sorted(...)``).
+* **RC404** — process-pool construction (``multiprocessing...Pool(...)``,
+  ``ProcessPoolExecutor(...)``) anywhere outside the shared persistent
+  runtime (:mod:`repro.engine.pool`).  An ad-hoc pool pays cold spawns per
+  call and dodges the runtime's kill switch, recovery ladder, and
+  telemetry; ship work through ``submit_batch`` / ``submit_one`` instead.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.analysis.astutil import imports_module
 from repro.analysis.base import Checker, Module, register_checker
 from repro.analysis.findings import Finding
 
-__all__ = ["SpawnPicklabilityChecker", "SpawnOrderChecker"]
+__all__ = ["SpawnPicklabilityChecker", "SpawnOrderChecker", "AdHocPoolChecker"]
 
 #: Methods that submit a callable (first positional argument) to a pool.
 POOL_SUBMIT_METHODS = {
@@ -168,3 +173,54 @@ class SpawnOrderChecker(Checker):
                             "comprehension iterates directly over an unordered set",
                             fix_hint=hint,
                         )
+
+
+#: Constructors that boot a fresh process pool (the runtime's exclusive job).
+_POOL_CONSTRUCTORS = {"Pool", "ProcessPoolExecutor"}
+
+#: The one module allowed to own worker processes.
+_POOL_RUNTIME_SUFFIX = "repro/engine/pool.py"
+
+
+def _constructor_name(func: ast.expr) -> str | None:
+    """The terminal name of a call target: ``mp.Pool`` → ``Pool``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register_checker
+class AdHocPoolChecker(Checker):
+    """RC404: process pools are constructed only by the shared runtime."""
+
+    name = "adhoc-pool"
+    code = "RC404"
+    description = (
+        "no ad-hoc multiprocessing Pool / ProcessPoolExecutor outside "
+        "repro/engine/pool.py; ship work through the shared runtime"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if module.rel.replace("\\", "/").endswith(_POOL_RUNTIME_SUFFIX):
+            return
+        if not _is_parallel_module(module):
+            return
+        hint = (
+            "route the work through repro.engine.pool (submit_batch / "
+            "submit_one): one warm shared pool, kill switch, recovery "
+            "ladder, and telemetry come for free"
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _constructor_name(node.func)
+            if name in _POOL_CONSTRUCTORS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"ad-hoc process pool {name}(...) outside the shared "
+                    "worker-pool runtime",
+                    fix_hint=hint,
+                )

@@ -54,8 +54,8 @@ subset mask.
 from __future__ import annotations
 
 import ctypes
+import hashlib
 import math
-import multiprocessing
 import os
 from dataclasses import dataclass
 from typing import Any, Iterator
@@ -325,24 +325,135 @@ def _scan_span(
     return best_r, best_m
 
 
-# -- worker plumbing (spawn-safe module level) -------------------------- #
+# -- shared-pool span plumbing (spawn-safe module level) ----------------- #
 
-_WORKER_CTX: _ScanCtx | None = None
-_WORKER_MIN: Any = None
+_MASK64 = (1 << 64) - 1
 
-
-def _exact_worker_init(
-    adj: list[int], deg: list[int], d: int, n: int, limit: int, shared_min: Any
-) -> None:
-    global _WORKER_CTX, _WORKER_MIN
-    _WORKER_CTX = _ScanCtx(adj, deg, d, n, limit)
-    _WORKER_MIN = shared_min
+#: The span task message: (shm name, context token, backend, n, words-per-
+#: row, d, limit, degree tuple, p_lo, p_hi).
+_SpanMsg = tuple[str, str, str, int, int, int, int, "tuple[int, ...]", int, int]
 
 
-def _exact_worker_span(span: tuple[int, int]) -> tuple[float, int]:
-    p_lo, p_hi = span
-    assert _WORKER_CTX is not None  # set by _exact_worker_init in each worker
-    return _scan_span(_WORKER_CTX, p_lo, p_hi, (math.inf, 0), shared=_WORKER_MIN)
+def _ints_from_rows(rows: np.ndarray, n: int, w: int) -> list[int]:
+    """Per-vertex Python-int neighborhoods from packed uint64 rows."""
+    out = []
+    for v in range(n):
+        acc = 0
+        for j in range(w - 1, -1, -1):
+            acc = (acc << 64) | int(rows[v, j])
+        out.append(acc)
+    return out
+
+
+def _pool_scan_span(msg: _SpanMsg) -> tuple[float, int]:
+    """One prefix span on a pool worker (or inline, under serial fallback).
+
+    The message carries only scalars plus the name of the shared-memory
+    segment holding the cross-shard running minimum (first 8 bytes) and
+    the packed adjacency rows.  The scan context — the doubling tables the
+    kernel re-reads on every span — is installed once per (graph, backend)
+    through the pool's worker context store and reused across all of that
+    graph's spans, and across repeat scans of the same graph.
+    """
+    from repro.engine import pool as pool_runtime
+
+    shm_name, token, backend, n, w, d, limit, deg, p_lo, p_hi = msg
+    shm = pool_runtime.attach_shm(shm_name)
+    shared = pool_runtime.SharedMinimum(shm.buf)
+    try:
+
+        def _build() -> Any:
+            rows = np.frombuffer(shm.buf, dtype=np.uint64, count=n * w, offset=8)
+            adj = _ints_from_rows(rows.reshape(n, w), n, w)
+            if backend == "native":
+                return _native_ctx(adj, list(deg), d, n, limit)
+            return _ScanCtx(adj, list(deg), d, n, limit)
+
+        ctx = pool_runtime.worker_ctx(token, _build)
+        if backend == "native":
+            assert isinstance(ctx, _NativeCtx)
+            return _native_scan_span(
+                ctx, p_lo, p_hi, (math.inf, 0), shared_addr=shared.addr()
+            )
+        assert isinstance(ctx, _ScanCtx)
+        return _scan_span(ctx, p_lo, p_hi, (math.inf, 0), shared=shared)
+    finally:
+        shared.close()
+        try:
+            shm.close()
+        except BufferError:  # a lingering view export; GC finishes the close
+            pass
+
+
+def _pooled_span_scan(
+    backend: str,
+    adj: list[int],
+    deg: list[int],
+    d: int,
+    n: int,
+    limit: int,
+    n_pref: int,
+    jobs: int,
+    best: tuple[float, int],
+) -> tuple[float, int]:
+    """Fan prefix spans over the shared pool; deterministic (h, mask) merge.
+
+    One shared-memory segment per scan ships the bulk data zero-copy: the
+    running minimum (seeded with the singleton best) followed by the packed
+    adjacency rows.  Spans and merge order are identical to the serial
+    scan, so results are bit-identical for every ``jobs`` value.
+    """
+    from repro.engine import pool as pool_runtime
+
+    w = (n + 63) // 64
+    spans = []
+    n_spans = min(n_pref, jobs * 4)
+    step = -(-n_pref // n_spans)
+    for lo in range(0, n_pref, step):
+        spans.append((lo, min(lo + step, n_pref)))
+    shm = pool_runtime.create_shm(8 + n * w * 8)
+    try:
+        shared = pool_runtime.SharedMinimum(shm.buf)
+        shared.value = best[0]
+        rows = np.frombuffer(shm.buf, dtype=np.uint64, count=n * w, offset=8)
+        rows = rows.reshape(n, w)
+        for v, a in enumerate(adj):
+            for j in range(w):
+                rows[v, j] = (a >> (64 * j)) & _MASK64
+        token = hashlib.sha256(
+            repr((backend, n, d, limit, tuple(deg))).encode() + rows.tobytes()
+        ).hexdigest()
+        msgs: list[_SpanMsg] = [
+            (shm.name, token, backend, n, w, d, limit, tuple(deg), lo, hi)
+            for lo, hi in spans
+        ]
+        results = pool_runtime.submit_batch(
+            _pool_scan_span, msgs, workers=jobs, chunksize=1
+        )
+        del rows
+        shared.close()
+        for r, m in results:
+            if r < best[0] or (r == best[0] and m < best[1]):
+                best = (r, m)
+        return best
+    finally:
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        shm.unlink()
+
+
+def _span_jobs(jobs: int, n_pref: int) -> int:
+    """Clamp the span fan-out: never more workers than prefixes, and serial
+    whenever the shared pool cannot run workers (kill switch, fallback)."""
+    jobs = max(1, min(jobs, n_pref))
+    if jobs > 1:
+        from repro.engine import pool as pool_runtime
+
+        if not pool_runtime.pool_enabled():
+            jobs = 1
+    return jobs
 
 
 def _full_scan(
@@ -352,26 +463,10 @@ def _full_scan(
     ctx = _ScanCtx(adj, deg, d, n, limit)
     best = _seed_singletons(ctx)
     n_pref = ctx.n_prefixes()
-    jobs = max(1, min(jobs, n_pref))
+    jobs = _span_jobs(jobs, n_pref)
     if jobs == 1:
         return _scan_span(ctx, 0, n_pref, best)
-    mp = multiprocessing.get_context("spawn")
-    shared_min = mp.Value("d", best[0])
-    spans = []
-    n_spans = min(n_pref, jobs * 4)
-    step = -(-n_pref // n_spans)
-    for lo in range(0, n_pref, step):
-        spans.append((lo, min(lo + step, n_pref)))
-    with mp.Pool(
-        processes=jobs,
-        initializer=_exact_worker_init,
-        initargs=(adj, deg, d, n, limit, shared_min),
-    ) as pool:
-        results = pool.map(_exact_worker_span, spans)
-    for r, m in results:
-        if r < best[0] or (r == best[0] and m < best[1]):
-            best = (r, m)
-    return best
+    return _pooled_span_scan("bitset", adj, deg, d, n, limit, n_pref, jobs, best)
 
 
 # ---------------------------------------------------------------------- #
@@ -459,29 +554,6 @@ def _native_scan_span(
     return float(out_r.value), int(out_m.value)
 
 
-# -- native worker plumbing (spawn-safe module level) -------------------- #
-
-_NATIVE_WORKER_CTX: _NativeCtx | None = None
-_NATIVE_WORKER_MIN: Any = None
-
-
-def _native_worker_init(
-    adj: list[int], deg: list[int], d: int, n: int, limit: int, shared_min: Any
-) -> None:
-    global _NATIVE_WORKER_CTX, _NATIVE_WORKER_MIN
-    _NATIVE_WORKER_CTX = _native_ctx(adj, deg, d, n, limit)
-    _NATIVE_WORKER_MIN = shared_min
-
-
-def _native_worker_span(span: tuple[int, int]) -> tuple[float, int]:
-    p_lo, p_hi = span
-    assert _NATIVE_WORKER_CTX is not None  # set by _native_worker_init per worker
-    addr = ctypes.addressof(_NATIVE_WORKER_MIN.get_obj())
-    return _native_scan_span(
-        _NATIVE_WORKER_CTX, p_lo, p_hi, (math.inf, 0), shared_addr=addr
-    )
-
-
 def _full_scan_native(
     adj: list[int], deg: list[int], d: int, n: int, limit: int, jobs: int
 ) -> tuple[float, int]:
@@ -489,26 +561,10 @@ def _full_scan_native(
     ctx = _native_ctx(adj, deg, d, n, limit)
     best = _seed_singletons(_ScanCtx(adj, deg, d, n, limit))
     n_pref = ctx.n_prefixes()
-    jobs = max(1, min(jobs, n_pref))
+    jobs = _span_jobs(jobs, n_pref)
     if jobs == 1:
         return _native_scan_span(ctx, 0, n_pref, best)
-    mp = multiprocessing.get_context("spawn")
-    shared_min = mp.Value("d", best[0])
-    spans = []
-    n_spans = min(n_pref, jobs * 4)
-    step = -(-n_pref // n_spans)
-    for lo in range(0, n_pref, step):
-        spans.append((lo, min(lo + step, n_pref)))
-    with mp.Pool(
-        processes=jobs,
-        initializer=_native_worker_init,
-        initargs=(adj, deg, d, n, limit, shared_min),
-    ) as pool:
-        results = pool.map(_native_worker_span, spans)
-    for r, m in results:
-        if r < best[0] or (r == best[0] and m < best[1]):
-            best = (r, m)
-    return best
+    return _pooled_span_scan("native", adj, deg, d, n, limit, n_pref, jobs, best)
 
 
 # ---------------------------------------------------------------------- #

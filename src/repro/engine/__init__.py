@@ -6,8 +6,11 @@ Layers (bottom up):
   artifact store keyed by scheme coefficients, depth, and build options;
 * :mod:`repro.engine.builders` — cache-backed constructors for ``Dec_k C`` /
   ``H_k`` graphs, Laplacian spectra, and expansion estimates;
-* :mod:`repro.engine.grid` — the multiprocessing (scheme, k, M, policy)
-  sweep runner with aggregated cache accounting;
+* :mod:`repro.engine.pool` — the process-wide persistent worker-pool
+  runtime every parallel call site ships work through (warm reuse,
+  zero-copy task transport, ``REPRO_POOL`` kill switch, telemetry);
+* :mod:`repro.engine.grid` — the pooled (scheme, k, M, policy) sweep
+  runner with aggregated cache accounting;
 * :mod:`repro.engine.scaling` — the cached strong-scaling sweep over the
   parallel-algorithm registry (algorithms × p-grid × replication c);
 * :mod:`repro.engine.planner` — the topology-aware auto-scheduler ranking
@@ -48,6 +51,18 @@ from repro.engine.bench import (
     selected_benches,
 )
 from repro.engine.grid import GridPoint, GridReport, GridSpec, evaluate_point, run_grid
+from repro.engine.pool import (
+    PoolStats,
+    max_pool_workers,
+    pool_enabled,
+    pool_info,
+    pool_stats_snapshot,
+    prewarm,
+    serial_fallback_reason,
+    shutdown_pool,
+    submit_batch,
+    submit_one,
+)
 from repro.engine.planner import (
     Plan,
     default_memory_ladder,
@@ -93,6 +108,16 @@ __all__ = [
     "GridSpec",
     "evaluate_point",
     "run_grid",
+    "PoolStats",
+    "max_pool_workers",
+    "pool_enabled",
+    "pool_info",
+    "pool_stats_snapshot",
+    "prewarm",
+    "serial_fallback_reason",
+    "shutdown_pool",
+    "submit_batch",
+    "submit_one",
     "Plan",
     "default_memory_ladder",
     "enumerate_plans",

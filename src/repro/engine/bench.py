@@ -11,7 +11,7 @@ result is a machine-readable ``BENCH_<tag>.json`` that
 ``benchmarks/bench_*.py`` pytest files are thin wrappers over the same
 registry, so the CLI and pytest-benchmark share one workload definition.
 
-``BENCH_*.json`` schema (``BENCH_SCHEMA_VERSION = 2``)
+``BENCH_*.json`` schema (``BENCH_SCHEMA_VERSION = 3``)
 ------------------------------------------------------
 
 Top level::
@@ -40,6 +40,10 @@ Per workload::
     cache            object — engine-cache counter increments during the
                               timed rounds: hits, misses, stores, builds,
                               disk_errors, evictions (v2: two new counters)
+    pool             object — worker-pool counter increments during the
+                              timed rounds (v3; see ``repro.engine.pool``):
+                              pool_starts, workers_spawned, tasks_dispatched,
+                              warm_dispatches, respawns, serial_tasks
     metrics          object — optional workload-reported numbers (the serve
                               load test's requests/sec and p50/p99 latency
                               land here); informational, never gated
@@ -77,6 +81,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from repro.engine import pool as pool_runtime
 from repro.engine.cache import CacheStats, EngineCache
 from repro.util.jsonutil import jsonable as _jsonable
 
@@ -103,7 +108,9 @@ __all__ = [
 #: v2: the per-workload ``cache`` block gained the ``disk_errors`` and
 #: ``evictions`` counters, and workloads may attach an ungated ``metrics``
 #: object (the serve load test's throughput/latency numbers).
-BENCH_SCHEMA_VERSION = 2
+#: v3: every workload record carries a ``pool`` block — the shared
+#: worker-pool runtime's counter increments over the timed rounds.
+BENCH_SCHEMA_VERSION = 3
 
 #: The groups a workload may declare, in display order.
 BENCH_GROUPS = ("cdag", "expansion", "io", "engine", "parallel", "serve")
@@ -292,6 +299,7 @@ def run_bench(
     if w.warmup:
         w.func(cache, **params)
     cache.reset_stats()
+    pool_before = pool_runtime.pool_stats_snapshot()
 
     raw: list[float] = []
     payload: dict = {}
@@ -321,6 +329,10 @@ def run_bench(
         "seconds": _seconds_stats(raw),
         "peak_rss_kb": _peak_rss_kb(),
         "cache": cache_stats,
+        "pool": {
+            k: v - pool_before.get(k, 0)
+            for k, v in pool_runtime.pool_stats_snapshot().items()
+        },
         "check": _jsonable(payload["check"]),
     }
     if "metrics" in payload:
@@ -1050,6 +1062,61 @@ def _bench_grid_sweep_warm(cache: EngineCache, schemes: Sequence[str], k_max: in
     check = _grid_check(report)
     check["rebuilds"] = report.rebuilds
     return {"report": report, "check": check}
+
+
+@register_bench(
+    "pool_cold_vs_warm",
+    "engine",
+    params={"schemes": ("strassen",), "k_max": 3, "workers": 4},
+    quick_params={},
+    rounds=1,
+    quick_rounds=1,
+)
+def _bench_pool_cold_vs_warm(
+    cache: EngineCache, schemes: Sequence[str], k_max: int, workers: int
+) -> dict:
+    """First vs second pooled grid sweep: worker spawn cost vs warm dispatch.
+
+    The workload shuts the shared pool down, runs one ``workers``-wide grid
+    sweep cold (pays interpreter + numpy spawns), then runs the identical
+    sweep warm on the now-live pool.  The ``check`` block pins what must
+    hold on every leg — identical rows and **zero** new processes for the
+    warm sweep (trivially true under ``REPRO_POOL=0``, load-bearing when
+    pooled); the cold/warm split and their ratio land in the ungated
+    ``metrics`` block (the ``benchmarks/bench_pool.py`` wrapper asserts the
+    warm-speedup floor where a pool actually runs).
+    """
+    from repro.engine.grid import run_grid
+
+    del cache  # fresh memory-only caches per sweep: the pool is the subject
+    pool_runtime.shutdown_pool()
+    spec = _grid_spec(schemes, k_max)
+    t0 = time.perf_counter()
+    cold_report = run_grid(spec, workers=workers, cache=EngineCache(disk=False))
+    cold_s = time.perf_counter() - t0
+    before = pool_runtime.pool_stats_snapshot()
+    t0 = time.perf_counter()
+    warm_report = run_grid(spec, workers=workers, cache=EngineCache(disk=False))
+    warm_s = time.perf_counter() - t0
+    warm_delta = {
+        k: v - before.get(k, 0) for k, v in pool_runtime.pool_stats_snapshot().items()
+    }
+    return {
+        "cold": cold_report,
+        "warm": warm_report,
+        "metrics": {
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "cold_over_warm": cold_s / warm_s if warm_s > 0 else math.inf,
+            "pooled": pool_runtime.pool_enabled(),
+        },
+        "check": {
+            "points": len(cold_report.rows),
+            "rows_identical": cold_report.rows == warm_report.rows,
+            "warm_new_processes": warm_delta["workers_spawned"],
+            "warm_pool_starts": warm_delta["pool_starts"],
+        },
+    }
 
 
 @register_bench(

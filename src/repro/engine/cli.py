@@ -144,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
             "gpu:NxG"
         ),
     )
+    scaling.add_argument(
+        "--workers", type=int, default=1, help="pool workers for the sweep (1 = serial)"
+    )
     scaling.add_argument("--json", action="store_true", help="emit the full report as JSON")
 
     plan_cmd = sub.add_parser(
@@ -420,7 +423,7 @@ def _cmd_scaling(args: argparse.Namespace, cache: EngineCache, out: TextIO) -> i
         beta=args.beta,
         topology=topology,
     )
-    report = scaling_sweep(spec, cache=cache)
+    report = scaling_sweep(spec, cache=cache, workers=args.workers)
     if args.json:
         print(report.to_json(indent=2), file=out)
     else:

@@ -18,7 +18,6 @@ from __future__ import annotations
 import itertools
 import json
 import math
-import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -26,6 +25,7 @@ from typing import Sequence
 from repro.cdag.schemes import get_scheme
 from repro.core.bounds import rect_sequential_io_bound, sequential_io_bound
 from repro.algorithms.io_strassen import dfs_io_model, rect_dfs_io_model
+from repro.engine import pool as pool_runtime
 from repro.engine.builders import cached_dec_graph, cached_estimate
 from repro.engine.cache import CacheStats, EngineCache, default_cache
 from repro.util.jsonutil import jsonable
@@ -178,23 +178,20 @@ def evaluate_point(point: GridPoint, cache: EngineCache | None = None) -> dict:
 
 
 # ---------------------------------------------------------------------- #
-# worker plumbing                                                         #
+# worker plumbing (shared persistent pool; see repro.engine.pool)         #
 # ---------------------------------------------------------------------- #
 
-_WORKER_CACHE: EngineCache | None = None
 
+def _pool_point_task(msg: tuple[str, int, int, str, str | None]) -> tuple[dict, dict]:
+    """Evaluate one point on a pool worker; returns (row, stat increments).
 
-def _init_worker(root: str | None) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = (
-        EngineCache(root) if root is not None else EngineCache(disk=False)
-    )
-
-
-def _run_point_task(args: tuple[str, int, int, str]) -> tuple[dict, dict]:
-    """Evaluate one point in a worker; returns (row, cache-stat increments)."""
-    scheme, k, M, policy = args
-    cache = _WORKER_CACHE if _WORKER_CACHE is not None else default_cache()
+    The per-task context message replaces the old per-pool ``initializer=``
+    plumbing: the cache root rides along with every point, and
+    :func:`~repro.engine.pool.worker_cache` memoizes the per-process
+    :class:`EngineCache` it names — warm across batches and sweeps.
+    """
+    scheme, k, M, policy, root = msg
+    cache = pool_runtime.worker_cache(root)
     before = cache.stats.as_dict()
     row = evaluate_point(GridPoint(scheme, k, M, policy), cache=cache)
     return row, cache.stats.delta_since(before)
@@ -205,38 +202,39 @@ def run_grid(
     workers: int | None = None,
     cache: EngineCache | None = None,
 ) -> GridReport:
-    """Run the sweep; ``workers`` > 1 fans points over processes.
+    """Run the sweep; ``workers`` > 1 fans points over the shared pool.
 
     All workers share the serial cache's *disk* root (atomic writes make
     concurrent population safe); their in-memory layers are per-process.
     Rows come back in deterministic point order regardless of worker count,
     and the stats aggregate hit/miss/build counters across all processes.
+    ``workers`` is clamped to the point count (a 2-point grid with
+    ``workers=8`` fans out over 2 processes, not 8), and the pool's serial
+    modes (``REPRO_POOL=0``, permanent fallback) run the same tasks inline
+    with bit-identical rows.
     """
     cache = cache if cache is not None else default_cache()
     points = spec.points()
-    tasks = [(p.scheme, p.k, p.M, p.policy) for p in points]
     start = time.perf_counter()
     stats = CacheStats()
     rows: list[dict] = []
-    if workers is None or workers <= 1:
-        for task in tasks:
+    n_workers = max(1, min(workers if workers is not None else 1, len(points)))
+    if n_workers <= 1:
+        for point in points:
             before = cache.stats.as_dict()
-            rows.append(evaluate_point(GridPoint(*task), cache=cache))
+            rows.append(evaluate_point(point, cache=cache))
             delta = cache.stats.delta_since(before)
             for name, inc in delta.items():
                 setattr(stats, name, getattr(stats, name) + inc)
-        n_workers = 1
     else:
         root = str(cache.root) if cache.disk_enabled else None
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(
-            processes=workers, initializer=_init_worker, initargs=(root,)
-        ) as pool:
-            for row, delta in pool.map(_run_point_task, tasks):
-                rows.append(row)
-                for name, inc in delta.items():
-                    setattr(stats, name, getattr(stats, name) + inc)
-        n_workers = workers
+        msgs = [(p.scheme, p.k, p.M, p.policy, root) for p in points]
+        for row, delta in pool_runtime.submit_batch(
+            _pool_point_task, msgs, workers=n_workers
+        ):
+            rows.append(row)
+            for name, inc in delta.items():
+                setattr(stats, name, getattr(stats, name) + inc)
     return GridReport(
         spec=spec,
         rows=rows,

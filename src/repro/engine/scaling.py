@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.cdag.schemes import get_scheme
 from repro.core.bounds import scaling_regime
+from repro.engine import pool as pool_runtime
 from repro.engine.cache import EngineCache, cache_key, default_cache
 from repro.parallel.base import ParallelConfig, get_parallel
 from repro.topology import Topology
@@ -321,21 +322,57 @@ def evaluate_scaling_point(
     return row
 
 
-def scaling_sweep(spec: ScalingSpec, cache: EngineCache | None = None) -> ScalingReport:
+def _pool_scaling_task(msg: "tuple[ScalingPoint, str | None, Topology]") -> tuple[dict, dict]:
+    """Evaluate one scaling point on a pool worker: (row, stat increments).
+
+    The per-task context message ships the point, the disk root, and the
+    (picklable) topology; :func:`~repro.engine.pool.worker_cache` memoizes
+    the per-process cache, so a sweep's points share warm state per worker.
+    """
+    point, root, topology = msg
+    cache = pool_runtime.worker_cache(root)
+    before = cache.stats.as_dict()
+    row = evaluate_scaling_point(point, cache=cache, topology=topology)
+    return row, cache.stats.delta_since(before)
+
+
+def scaling_sweep(
+    spec: ScalingSpec,
+    cache: EngineCache | None = None,
+    workers: int | None = None,
+) -> ScalingReport:
     """Run the whole sweep through the cache (warm reruns simulate nothing).
 
-    Points are cheap simulations (n is small), so the sweep is serial; the
-    cache layer is what makes repeats and overlapping sweeps free.
+    Points are cheap simulations (n is small), so the sweep defaults to
+    serial; ``workers > 1`` fans the points over the shared persistent pool
+    (clamped to the point count), with rows in deterministic point order
+    and per-task cache-counter deltas merged into one stats block either
+    way.  The cache layer is what makes repeats and overlapping sweeps
+    free.
     """
     cache = cache if cache is not None else default_cache()
     start = time.perf_counter()
-    before = cache.stats.as_dict()
     topology = spec.machine_topology()
-    rows = [
-        evaluate_scaling_point(pt, cache=cache, topology=topology)
-        for pt in spec.points()
-    ]
-    stats = cache.stats.delta_since(before)
+    points = spec.points()
+    n_workers = max(1, min(workers if workers is not None else 1, len(points) or 1))
+    if n_workers <= 1:
+        before = cache.stats.as_dict()
+        rows = [
+            evaluate_scaling_point(pt, cache=cache, topology=topology) for pt in points
+        ]
+        stats = cache.stats.delta_since(before)
+    else:
+        root = str(cache.root) if cache.disk_enabled else None
+        msgs = [(pt, root, topology) for pt in points]
+        rows = []
+        totals: dict[str, int] = {}
+        for row, delta in pool_runtime.submit_batch(
+            _pool_scaling_task, msgs, workers=n_workers
+        ):
+            rows.append(row)
+            for name, inc in delta.items():
+                totals[name] = totals.get(name, 0) + inc
+        stats = totals
     return ScalingReport(
         spec=spec,
         rows=rows,

@@ -13,10 +13,9 @@ from repro.serve.jobs import (
     JOB_KINDS,
     Job,
     build_payload,
-    init_worker,
     parse_job,
-    run_job_in_worker,
     run_job_inline,
+    run_job_pooled,
 )
 from repro.serve.service import ExpansionService, ServeConfig, run
 
@@ -29,11 +28,10 @@ __all__ = [
     "ServeConfig",
     "build_payload",
     "fetch_json",
-    "init_worker",
     "json_response",
     "parse_job",
     "read_request",
     "run",
-    "run_job_in_worker",
     "run_job_inline",
+    "run_job_pooled",
 ]

@@ -9,10 +9,12 @@ single-flight deduplication work: two clients asking for
 
 Execution comes in two shapes, mirroring :mod:`repro.engine.grid`'s worker
 plumbing: :func:`run_job_inline` runs in the serving process (thread
-executor) against the shared cache, and :func:`run_job_in_worker` runs in
-a spawned process against a per-worker cache over the same disk root,
-returning the payload together with the worker's cache-counter delta so
-the parent can :meth:`~repro.engine.cache.EngineCache.merge_stats`.
+executor) against the shared cache, and :func:`run_job_pooled` ships the
+job as a namespaced ``(kind, params, root)`` message to the shared
+persistent worker pool (:mod:`repro.engine.pool`), where it runs against
+a per-worker cache over the same disk root and returns the payload
+together with the worker's cache-counter delta so the parent can
+:meth:`~repro.engine.cache.EngineCache.merge_stats`.
 """
 
 from __future__ import annotations
@@ -21,17 +23,17 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.bounds import LG7
+from repro.engine import pool as pool_runtime
 from repro.engine.builders import POLICIES, cached_estimate
-from repro.engine.cache import EngineCache, cache_key, default_cache
+from repro.engine.cache import EngineCache, cache_key
 
 __all__ = [
     "JOB_KINDS",
     "Job",
     "build_payload",
-    "init_worker",
     "parse_job",
-    "run_job_in_worker",
     "run_job_inline",
+    "run_job_pooled",
 ]
 
 JOB_KINDS = ("expansion", "bounds", "sweep", "scaling", "plan")
@@ -346,31 +348,39 @@ def run_job_inline(job: Job, cache: EngineCache) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------- #
-# process-pool plumbing (the grid runner's idiom)                          #
+# shared-pool plumbing (the grid runner's idiom, on repro.engine.pool)     #
 # ---------------------------------------------------------------------- #
 
-_WORKER_CACHE: EngineCache | None = None
 
+def _pool_job_task(
+    msg: tuple[str, tuple[tuple[str, Any], ...], str | None],
+) -> tuple[dict[str, Any], dict[str, int]]:
+    """Pool-worker entry point: ``(payload, cache-counter delta)``.
 
-def init_worker(root: str | None) -> None:
-    """ProcessPoolExecutor initializer: one cache per worker process.
-
-    Workers share the parent's *disk* root (atomic writes make concurrent
-    population safe) but keep private memory tiers and counters.
+    The namespaced message carries the job's canonical form plus the disk
+    root; :func:`~repro.engine.pool.worker_cache` memoizes the per-process
+    cache (shared disk root, private memory tiers and counters).  The
+    delta covers exactly this job (counters snapshotted around the build),
+    so the parent can merge per-job increments regardless of how jobs
+    interleave across the pool.
     """
-    global _WORKER_CACHE
-    _WORKER_CACHE = EngineCache(root) if root is not None else EngineCache(disk=False)
-
-
-def run_job_in_worker(job: Job) -> tuple[dict[str, Any], dict[str, int]]:
-    """Worker entry point: ``(payload, cache-counter delta)``.
-
-    The delta covers exactly this job (the worker cache's counters are
-    snapshotted around the build), so the parent can merge per-job
-    increments regardless of how jobs interleave across the pool.
-    """
-    cache = _WORKER_CACHE if _WORKER_CACHE is not None else default_cache()
+    kind, params, root = msg
+    job = Job(kind=kind, params=params)
+    cache = pool_runtime.worker_cache(root)
     before = cache.stats_snapshot()
     payload = cache.single_flight(job.key(), lambda: build_payload(job, cache))
     assert isinstance(payload, dict)
     return payload, cache.stats.delta_since(before)
+
+
+def run_job_pooled(job: Job, root: str | None) -> tuple[dict[str, Any], dict[str, int]]:
+    """Ship one job to the shared persistent pool (``workers > 0`` mode).
+
+    Blocking — the service calls it from executor threads, each of which
+    checks out its own pool worker, so distinct jobs overlap across
+    processes.  Under ``REPRO_POOL=0`` or serial fallback the job runs
+    inline with identical semantics (the payload/delta contract holds).
+    """
+    payload, delta = pool_runtime.submit_one(_pool_job_task, (job.kind, job.params, root))
+    assert isinstance(payload, dict)
+    return payload, delta

@@ -9,10 +9,13 @@ it is dispatched to an executor:
   NumPy/SciPy kernels release the GIL, so threads already overlap the
   heavy parts; this mode is also fully deterministic for tests and the
   load bench.
-* ``workers > 0`` — a spawn-context ``ProcessPoolExecutor`` whose workers
-  each hold a private cache over the same disk root (the grid runner's
+* ``workers > 0`` — jobs ship to the process-wide persistent worker pool
+  (:mod:`repro.engine.pool`, pre-warmed at service start), each worker
+  holding a private cache over the same disk root (the grid runner's
   sharing model).  Workers return ``(payload, counter-delta)`` and the
   parent merges the delta, so ``/cache/info`` reflects the whole fleet.
+  A small thread executor hosts the blocking pool round-trips so the
+  event loop never waits on a pipe.
 
 Single-flight: the loop keeps one future per in-flight job key.  N
 identical concurrent requests await the same future — exactly one build
@@ -31,20 +34,19 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
-import multiprocessing
 import sys
 from dataclasses import dataclass
 from typing import Any
 
+from repro.engine import pool as pool_runtime
 from repro.engine.cache import EngineCache, default_cache_root
 from repro.serve.http import HttpError, Request, Response, json_response, read_request
 from repro.serve.jobs import (
     JOB_KINDS,
     Job,
-    init_worker,
     parse_job,
-    run_job_in_worker,
     run_job_inline,
+    run_job_pooled,
 )
 
 __all__ = ["ServeConfig", "ExpansionService", "run"]
@@ -83,6 +85,7 @@ class ExpansionService:
             )
         self._lock = asyncio.Lock()  # guards _inflight and shared-cache access
         self._inflight: dict[str, asyncio.Future[dict[str, Any]]] = {}
+        self._pool_root: str | None = None
         self._executor: concurrent.futures.Executor | None = None
         self._server: asyncio.Server | None = None
         self.requests = 0
@@ -102,12 +105,14 @@ class ExpansionService:
 
     async def start(self) -> None:
         if self.config.workers > 0:
-            root = str(self.cache.root) if self.cache.disk_enabled else None
-            self._executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.config.workers,
-                mp_context=multiprocessing.get_context("spawn"),
-                initializer=init_worker,
-                initargs=(root,),
+            # Jobs run on the shared persistent pool; pre-warm it here so the
+            # first request finds live workers.  The thread executor only
+            # hosts the blocking pool round-trips (one thread per concurrent
+            # pooled job), keeping the event loop off the pipes.
+            self._pool_root = str(self.cache.root) if self.cache.disk_enabled else None
+            pool_runtime.prewarm(self.config.workers)
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.config.workers, thread_name_prefix="serve-pool"
             )
         else:
             self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -203,6 +208,7 @@ class ExpansionService:
                 "inflight": len(self._inflight),
                 "workers": self.config.workers,
             }
+            info["pool"] = pool_runtime.pool_info()
             return json_response(200, info)
         kind = path.lstrip("/")
         if kind not in JOB_KINDS:
@@ -236,7 +242,7 @@ class ExpansionService:
         try:
             if self.config.workers > 0:
                 payload, delta = await loop.run_in_executor(
-                    self._executor, run_job_in_worker, job
+                    self._executor, run_job_pooled, job, self._pool_root
                 )
                 async with self._lock:
                     self.cache.merge_stats(delta)

@@ -185,6 +185,7 @@ class TestSchemaGolden:
             assert sorted(rec.keys()) == GOLDEN["workload_keys"]
             assert sorted(rec["seconds"].keys()) == GOLDEN["seconds_keys"]
             assert sorted(rec["cache"].keys()) == GOLDEN["cache_keys"]
+            assert sorted(rec["pool"].keys()) == GOLDEN["pool_keys"]
 
     def test_check_values_are_pinned(self, doc):
         # science outputs of deterministic integer workloads never drift

@@ -499,6 +499,97 @@ class TestSpawnPool:
 
 
 # --------------------------------------------------------------------- #
+# RC404 adhoc-pool                                                      #
+# --------------------------------------------------------------------- #
+
+
+class TestAdHocPool:
+    def test_mp_pool_is_flagged(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import multiprocessing as mp
+
+            def _worker(t):
+                return t
+
+            def run(tasks):
+                with mp.get_context("spawn").Pool(2) as pool:
+                    return pool.map(_worker, tasks)
+            """,
+            select=["adhoc-pool"],
+        )
+        assert codes(report) == ["RC404"]
+        assert "Pool" in report.findings[0].message
+
+    def test_process_pool_executor_is_flagged(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import concurrent.futures
+
+            def _worker(t):
+                return t
+
+            def run(tasks):
+                with concurrent.futures.ProcessPoolExecutor(2) as ex:
+                    return list(ex.map(_worker, tasks))
+            """,
+            select=["adhoc-pool"],
+        )
+        assert codes(report) == ["RC404"]
+
+    def test_thread_pool_executor_is_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import concurrent.futures
+
+            def run(tasks):
+                with concurrent.futures.ThreadPoolExecutor(2) as ex:
+                    return list(ex.map(str, tasks))
+            """,
+            select=["adhoc-pool"],
+        )
+        assert codes(report) == []
+
+    def test_ignore_comment_suppresses(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            import multiprocessing as mp
+
+            def _worker(t):
+                return t
+
+            def run(tasks):
+                pool = mp.Pool(2)  # repro: ignore[RC404]
+                return pool.map(_worker, tasks)
+            """,
+            select=["adhoc-pool"],
+        )
+        assert codes(report) == []
+
+    def test_pool_runtime_module_is_exempt(self, tmp_path):
+        mod = tmp_path / "repro" / "engine" / "pool.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            textwrap.dedent(
+                """
+                import multiprocessing as mp
+
+                def boot():
+                    return mp.Pool(2)
+                """
+            )
+        )
+        report = run_check(
+            paths=[mod], select=["adhoc-pool"], root=tmp_path, use_baseline=False
+        )
+        assert codes(report) == []
+
+
+# --------------------------------------------------------------------- #
 # RC501 bitset-dtype                                                    #
 # --------------------------------------------------------------------- #
 
@@ -784,10 +875,11 @@ class TestFramework:
         assert rc == 0
         assert "0 finding(s)" in capsys.readouterr().out
 
-    def test_all_eleven_checkers_are_registered(self):
+    def test_all_twelve_checkers_are_registered(self):
         names = available_checkers()
         assert names == sorted(names)
         assert set(names) == {
+            "adhoc-pool",
             "async-cache-lock",
             "bitset-dtype",
             "broad-except",
